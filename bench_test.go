@@ -1,0 +1,175 @@
+package sdb
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// the design ablations. Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment driver from
+// internal/sim; the time per op is the cost of regenerating that
+// table/figure, and headline reproduction numbers are attached as
+// custom metrics where a single scalar captures the result.
+
+import (
+	"strconv"
+	"testing"
+
+	"sdb/internal/sim"
+)
+
+// runExperiment is the common driver: it regenerates the table b.N
+// times and reports its row count to ensure work isn't elided.
+func runExperiment(b *testing.B, run func() (*sim.Table, error)) *sim.Table {
+	b.Helper()
+	var tab *sim.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+	return tab
+}
+
+// metricFromCell attaches a named metric from a table cell.
+func metricFromCell(b *testing.B, tab *sim.Table, row int, col, name string) {
+	b.Helper()
+	s, ok := tab.Cell(row, col)
+	if !ok {
+		b.Fatalf("no cell (%d, %s)", row, col)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell (%d, %s) = %q", row, col, s)
+	}
+	b.ReportMetric(v, name)
+}
+
+func BenchmarkTable1Characteristics(b *testing.B) {
+	runExperiment(b, sim.Table1)
+}
+
+func BenchmarkFigure1aChemistryRadar(b *testing.B) {
+	runExperiment(b, sim.Figure1a)
+}
+
+func BenchmarkFigure1bLongevityVsRate(b *testing.B) {
+	tab := runExperiment(b, func() (*sim.Table, error) { return sim.Figure1b(sim.DefaultFigure1bCycles) })
+	metricFromCell(b, tab, len(tab.Rows)-1, "1.0A retention %", "retention1A%")
+}
+
+func BenchmarkFigure1cHeatLossVsRate(b *testing.B) {
+	tab := runExperiment(b, sim.Figure1c)
+	metricFromCell(b, tab, len(tab.Rows)-1, "Type4 loss %", "type4loss2C%")
+}
+
+func BenchmarkFigure6aDischargeLoss(b *testing.B) {
+	tab := runExperiment(b, sim.Figure6a)
+	metricFromCell(b, tab, len(tab.Rows)-1, "loss %", "loss10W%")
+}
+
+func BenchmarkFigure6bSharingError(b *testing.B) {
+	runExperiment(b, sim.Figure6b)
+}
+
+func BenchmarkFigure6cChargeEfficiency(b *testing.B) {
+	tab := runExperiment(b, sim.Figure6c)
+	metricFromCell(b, tab, len(tab.Rows)-1, "% of typical efficiency", "eff2.2A%")
+}
+
+func BenchmarkFigure6dChargeCurrentError(b *testing.B) {
+	runExperiment(b, sim.Figure6d)
+}
+
+func BenchmarkFigure8bOCPCurves(b *testing.B) {
+	runExperiment(b, sim.Figure8b)
+}
+
+func BenchmarkFigure8cResistanceCurves(b *testing.B) {
+	runExperiment(b, sim.Figure8c)
+}
+
+func BenchmarkFigure10ModelValidation(b *testing.B) {
+	tab := runExperiment(b, sim.Figure10)
+	metricFromCell(b, tab, 1, "accuracy %", "accuracy%")
+}
+
+func BenchmarkFigure11aEnergyDensity(b *testing.B) {
+	tab := runExperiment(b, sim.Figure11a)
+	metricFromCell(b, tab, 1, "energy density Wh/l", "sdbWhPerL")
+}
+
+func BenchmarkFigure11bChargeTime(b *testing.B) {
+	tab := runExperiment(b, sim.Figure11b)
+	// Row 5 is the 40% target; the headline is SDB's time advantage.
+	metricFromCell(b, tab, 5, "SDB min", "sdbTo40%min")
+}
+
+func BenchmarkFigure11cLongevity(b *testing.B) {
+	tab := runExperiment(b, func() (*sim.Table, error) { return sim.Figure11c(sim.DefaultFigure11cCycles) })
+	metricFromCell(b, tab, 1, "retention %", "sdbRetention%")
+}
+
+func BenchmarkFigure12TurboTradeoffs(b *testing.B) {
+	tab := runExperiment(b, sim.Figure12)
+	metricFromCell(b, tab, 5, "latency (norm)", "computeHighLatency")
+}
+
+func BenchmarkFigure13SmartwatchDay(b *testing.B) {
+	runExperiment(b, sim.Figure13)
+}
+
+func BenchmarkFigure14TwoInOne(b *testing.B) {
+	tab := runExperiment(b, sim.Figure14)
+	metricFromCell(b, tab, len(tab.Rows)-1, "improvement %", "gamingGain%")
+}
+
+func BenchmarkAblationSplit(b *testing.B) {
+	runExperiment(b, sim.AblationSplit)
+}
+
+func BenchmarkAblationDirective(b *testing.B) {
+	runExperiment(b, sim.AblationDirective)
+}
+
+func BenchmarkSpiceRegulatorRipple(b *testing.B) {
+	runExperiment(b, sim.SpiceRipple)
+}
+
+// Extension experiments (paper Sections 7-8 future work, implemented).
+
+func BenchmarkExtPredictor(b *testing.B) {
+	runExperiment(b, sim.ExtPredictor)
+}
+
+func BenchmarkExtThermal(b *testing.B) {
+	runExperiment(b, sim.ExtThermal)
+}
+
+func BenchmarkExtDeadline(b *testing.B) {
+	runExperiment(b, sim.ExtDeadline)
+}
+
+func BenchmarkExtEV(b *testing.B) {
+	tab := runExperiment(b, sim.ExtEV)
+	metricFromCell(b, tab, 2, "capture %", "navCapture%")
+}
+
+func BenchmarkExtYear(b *testing.B) {
+	tab := runExperiment(b, sim.ExtYear)
+	metricFromCell(b, tab, 2, "capacity after 1y %", "awareRetention%")
+}
+
+func BenchmarkSpiceBuck(b *testing.B) {
+	runExperiment(b, sim.SpiceBuck)
+}
+
+func BenchmarkExtQuad(b *testing.B) {
+	runExperiment(b, sim.ExtQuad)
+}
+
+func BenchmarkTable2Tradeoffs(b *testing.B) {
+	runExperiment(b, sim.Table2)
+}

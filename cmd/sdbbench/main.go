@@ -1,0 +1,87 @@
+// Command sdbbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sdbbench              # run every experiment (slow ones included)
+//	sdbbench -fast        # skip the slow emulation/endurance runs
+//	sdbbench -list        # list experiment ids
+//	sdbbench -run id,...  # run specific experiments
+//	sdbbench -plot        # additionally render ASCII charts
+//
+// Output is aligned text, one table per experiment, with a note line
+// stating the expected qualitative shape from the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sdb/internal/sim"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		fast = flag.Bool("fast", false, "skip slow experiments")
+		run  = flag.String("run", "", "comma-separated experiment ids to run")
+		plot = flag.Bool("plot", false, "render numeric experiments as ASCII charts too")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range sim.All() {
+			slow := ""
+			if e.Slow {
+				slow = " (slow)"
+			}
+			fmt.Printf("%s%s\n", e.ID, slow)
+		}
+		return
+	}
+
+	var selected []sim.Experiment
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := sim.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sdbbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	} else {
+		for _, e := range sim.All() {
+			if *fast && e.Slow {
+				continue
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if err := tab.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: print %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *plot {
+			if chart, err := sim.DefaultChart().Render(tab, nil); err == nil {
+				fmt.Println(chart)
+			}
+		}
+		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,174 @@
+// Command sdbctl talks the SDB control protocol to a microcontroller
+// over TCP — the command-line equivalent of the SDB Runtime's bus
+// client. It can also host a demo firmware instance to talk to.
+//
+// Usage:
+//
+//	sdbctl serve -addr :7070 -cells QuickCharge-2000,EnergyMax-4000 -load 2
+//	sdbctl -addr localhost:7070 status
+//	sdbctl -addr localhost:7070 ratios
+//	sdbctl -addr localhost:7070 discharge 0.7,0.3
+//	sdbctl -addr localhost:7070 charge 0.5,0.5
+//	sdbctl -addr localhost:7070 transfer 1 0 2.5 600
+//	sdbctl -addr localhost:7070 profile 0 fast
+//	sdbctl -addr localhost:7070 ping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdb"
+	"sdb/internal/pmic"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serve(os.Args[2:])
+		return
+	}
+	addr := flag.String("addr", "localhost:7070", "controller address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fatalf("missing command (ping|status|ratios|discharge|charge|transfer|profile)")
+	}
+
+	conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+	if err != nil {
+		fatalf("dial %s: %v", *addr, err)
+	}
+	defer conn.Close()
+	cl := pmic.NewClient(conn)
+
+	switch args[0] {
+	case "ping":
+		must(cl.Ping())
+		fmt.Println("ok")
+	case "status":
+		sts, err := cl.QueryBatteryStatus()
+		must(err)
+		fmt.Printf("%-3s %-20s %-8s %7s %8s %8s %8s %9s\n",
+			"idx", "name", "chem", "SoC %", "volts", "cycles", "cap %", "maxW")
+		for _, s := range sts {
+			fmt.Printf("%-3d %-20s %-8s %7.1f %8.3f %8.1f %8.1f %9.2f\n",
+				s.Index, s.Name, s.Chem, s.SoC*100, s.TerminalV, s.CycleCount,
+				s.CapacityFraction*100, s.MaxDischargeW)
+		}
+	case "ratios":
+		dis, chg, err := cl.Ratios()
+		must(err)
+		fmt.Printf("discharge: %v\ncharge:    %v\n", dis, chg)
+	case "discharge", "charge":
+		if len(args) != 2 {
+			fatalf("%s needs a ratio list, e.g. 0.7,0.3", args[0])
+		}
+		ratios, err := parseRatios(args[1])
+		must(err)
+		if args[0] == "discharge" {
+			must(cl.Discharge(ratios))
+		} else {
+			must(cl.Charge(ratios))
+		}
+		fmt.Println("ok")
+	case "transfer":
+		if len(args) != 5 {
+			fatalf("transfer needs: fromIdx toIdx watts seconds")
+		}
+		from, err1 := strconv.Atoi(args[1])
+		to, err2 := strconv.Atoi(args[2])
+		w, err3 := strconv.ParseFloat(args[3], 64)
+		secs, err4 := strconv.ParseFloat(args[4], 64)
+		for _, err := range []error{err1, err2, err3, err4} {
+			must(err)
+		}
+		must(cl.ChargeOneFromAnother(from, to, w, secs))
+		fmt.Println("ok")
+	case "profile":
+		if len(args) != 3 {
+			fatalf("profile needs: battIdx profileName")
+		}
+		batt, err := strconv.Atoi(args[1])
+		must(err)
+		must(cl.SetChargeProfile(batt, args[2]))
+		fmt.Println("ok")
+	default:
+		fatalf("unknown command %q", args[0])
+	}
+}
+
+// serve hosts a demo controller: a system under a constant load whose
+// firmware answers the protocol on a TCP listener, stepping simulated
+// time at wall-clock rate scaled by -speed.
+func serve(argv []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7070", "listen address")
+	cells := fs.String("cells", "QuickCharge-2000,EnergyMax-4000", "library cells")
+	loadW := fs.Float64("load", 2.0, "constant system load in watts")
+	speed := fs.Float64("speed", 60, "simulated seconds per wall second")
+	if err := fs.Parse(argv); err != nil {
+		os.Exit(2)
+	}
+
+	sys, err := sdb.NewSystem(sdb.SystemConfig{Cells: strings.Split(*cells, ",")})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("sdbctl: serving %d-cell firmware on %s (load %.2f W, %gx time)\n",
+		sys.Pack.N(), ln.Addr(), *loadW, *speed)
+
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for range tick.C {
+			if _, err := sys.Controller.Step(*loadW, 0, *speed); err != nil {
+				fmt.Fprintf(os.Stderr, "sdbctl: step: %v\n", err)
+			}
+		}
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		go func() {
+			defer conn.Close()
+			if err := sys.Controller.Serve(conn); err != nil {
+				fmt.Fprintf(os.Stderr, "sdbctl: serve: %v\n", err)
+			}
+		}()
+	}
+}
+
+func parseRatios(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ratio %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func must(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sdbctl: "+format+"\n", args...)
+	os.Exit(1)
+}

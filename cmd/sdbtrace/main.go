@@ -1,0 +1,136 @@
+// Command sdbtrace generates and inspects workload traces in the
+// repository's CSV exchange format.
+//
+// Usage:
+//
+//	sdbtrace gen -kind watchday -out day.csv
+//	sdbtrace gen -kind constant -watts 3 -hours 2 -out load.csv
+//	sdbtrace gen -kind square -low 0.5 -high 6 -period 600 -duty 0.3 -hours 4 -out sq.csv
+//	sdbtrace gen -kind diurnal -device phone -out phone.csv
+//	sdbtrace gen -kind charge -supply 30 -watts 2 -hours 1.5 -out plug.csv
+//	sdbtrace info day.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdb/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("missing subcommand: gen|info")
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		if len(os.Args) != 3 {
+			fatalf("info needs a trace file")
+		}
+		info(os.Args[2])
+	default:
+		fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func gen(argv []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		kind   = fs.String("kind", "constant", "constant|square|watchday|diurnal|charge")
+		watts  = fs.Float64("watts", 1.0, "load watts (constant/charge)")
+		low    = fs.Float64("low", 0.5, "square low watts")
+		high   = fs.Float64("high", 5.0, "square high watts")
+		period = fs.Float64("period", 600, "square period seconds")
+		duty   = fs.Float64("duty", 0.3, "square high-phase duty")
+		hours  = fs.Float64("hours", 1.0, "duration hours")
+		dt     = fs.Float64("dt", 1.0, "sample period seconds")
+		supply = fs.Float64("supply", 30, "external supply watts (charge)")
+		device = fs.String("device", "phone", "device profile: tablet|phone|watch (diurnal)")
+		seed   = fs.Int64("seed", 1, "generator seed")
+		out    = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		os.Exit(2)
+	}
+
+	var tr *workload.Trace
+	switch *kind {
+	case "constant":
+		tr = workload.Constant("constant", *watts, *hours*3600, *dt)
+	case "square":
+		tr = workload.Square("square", *low, *high, *period, *duty, *hours*3600, *dt)
+	case "watchday":
+		cfg := workload.DefaultSmartwatchDay()
+		cfg.Seed = *seed
+		cfg.DT = *dt
+		tr = workload.SmartwatchDay(cfg)
+	case "diurnal":
+		var d workload.Device
+		switch *device {
+		case "tablet":
+			d = workload.Tablet()
+		case "phone":
+			d = workload.Phone()
+		case "watch":
+			d = workload.Watch()
+		default:
+			fatalf("unknown device %q", *device)
+		}
+		tr = workload.Diurnal(*device+"-day", d, *seed, *dt)
+	case "charge":
+		tr = workload.ChargeSession("charge", *supply, *watts, *hours*3600, *dt)
+	default:
+		fatalf("unknown kind %q", *kind)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fatalf("%v", err)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s: %d samples, %.2f h, mean %.3f W, peak %.3f W\n",
+			*out, tr.Len(), tr.Duration()/3600, tr.MeanW(), tr.PeakW())
+	}
+}
+
+func info(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	tr, err := workload.ReadCSV(f, path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("trace:    %s\n", tr.Name)
+	fmt.Printf("samples:  %d @ %.3g s\n", tr.Len(), tr.DT)
+	fmt.Printf("duration: %.3f h\n", tr.Duration()/3600)
+	fmt.Printf("energy:   %.1f J (%.4f Wh)\n", tr.EnergyJ(), tr.EnergyJ()/3600)
+	fmt.Printf("mean:     %.4f W   peak: %.4f W\n", tr.MeanW(), tr.PeakW())
+	if tr.External != nil {
+		var on int
+		for _, e := range tr.External {
+			if e > 0 {
+				on++
+			}
+		}
+		fmt.Printf("external: plugged for %.1f%% of the trace\n", float64(on)/float64(tr.Len())*100)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sdbtrace: "+format+"\n", args...)
+	os.Exit(1)
+}

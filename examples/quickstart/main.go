@@ -1,0 +1,64 @@
+// Quickstart: build a two-battery SDB system, run a mixed load under
+// the default blended policy, and inspect what the OS can now see and
+// control that a traditional single-battery design hides.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdb"
+)
+
+func main() {
+	// A fast-charging cell paired with a high energy-density cell —
+	// the Section 5.1 combination.
+	sys, err := sdb.NewSystem(sdb.SystemConfig{
+		Cells: []string{"QuickCharge-2000", "EnergyMax-4000"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== pack ==")
+	printStatus(sys)
+
+	// Drive a bursty 2-hour workload: 0.5 W background with 6 W bursts
+	// 30% of the time (think video calls on a tablet).
+	tr := sdb.SquareTrace("bursty", 0.5, 6.0, 600, 0.3, 2*3600, 1)
+	res, err := sys.Run(tr, 60, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== after 2 h of bursty load ==")
+	fmt.Printf("delivered %.0f J, circuit loss %.0f J, battery loss %.0f J\n",
+		res.DeliveredJ, res.CircuitLossJ, res.BatteryLossJ)
+	printStatus(sys)
+
+	// The OS can change policy at any time — say the user is about to
+	// board a plane and wants every joule to count right now.
+	sys.Runtime.SetDirectives(1, 1) // prioritize RBL over cycle balance
+	if _, err := sys.Runtime.Update(6.0, 0); err != nil {
+		log.Fatal(err)
+	}
+	dis, _ := sys.Runtime.LastRatios()
+	fmt.Printf("\nRBL-priority discharge ratios for a 6 W load: [%.3f %.3f]\n", dis[0], dis[1])
+
+	m, err := sys.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics: remaining useful energy %.0f J, cycle balance %.3f\n", m.RBLJoules, m.CCB)
+}
+
+func printStatus(sys *sdb.System) {
+	sts, err := sys.Status()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range sts {
+		fmt.Printf("  %-18s %-8s SoC %5.1f%%  %5.3f V  maxDischarge %5.1f W\n",
+			s.Name, s.Chem, s.SoC*100, s.TerminalV, s.MaxDischargeW)
+	}
+}

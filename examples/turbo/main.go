@@ -1,0 +1,62 @@
+// Turbo: the Section 5.1 discharging scenario. A high power-density
+// battery unlocks longer CPU turbo residency — great for compute-bound
+// work, pure waste for network-bound work. The OS must pick the
+// performance priority level per task.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdb"
+	"sdb/internal/workload"
+)
+
+func main() {
+	// Battery peaks set the three power levels: low = high-density cell
+	// alone, medium = equal peak from both, high = everything.
+	hd, err := sdb.NewCell(mustCell("EnergyMax-4000"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fc, err := sdb.NewCell(mustCell("QuickCharge-4000"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hd.SetSoC(0.8)
+	fc.SetSoC(0.8)
+
+	model, err := workload.TabletTurboModel(workload.Tablet(), hd.MaxDischargePower(), fc.MaxDischargePower())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CPU power caps: low %.1f W, medium %.1f W, high %.1f W\n\n",
+		model.LowCapW, model.MediumCapW, model.HighCapW)
+
+	for _, task := range []workload.Task{workload.ComputeTask(), workload.NetworkTask()} {
+		res, err := model.Sweep(task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := res[0]
+		fmt.Printf("%s:\n", task.Name)
+		for _, r := range res {
+			fmt.Printf("  %-7s latency %.2fx  energy %.2fx\n",
+				r.Level, r.LatencyS/base.LatencyS, r.EnergyJ/base.EnergyJ)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("takeaway: a fixed level is wrong for someone — the OS should raise")
+	fmt.Println("it for compute-bound tasks (up to ~26% faster) and drop it for")
+	fmt.Println("network-bound ones (avoiding ~20% wasted energy), exactly the")
+	fmt.Println("dynamic tradeoff SDB's battery awareness enables.")
+}
+
+func mustCell(name string) sdb.CellParams {
+	p, err := sdb.CellByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,35 @@
+// Twoinone: the Section 5.3 scenario. A detachable 2-in-1 has one
+// battery in the tablet and one under the keyboard. Shipping designs
+// use the keyboard battery only to recharge the internal one, paying a
+// double conversion plus concentrated I^2 R losses; SDB draws from
+// both simultaneously and gets up to ~22% more battery life.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdb/internal/sim"
+)
+
+func main() {
+	rows, err := sim.RunFig14()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("battery life: simultaneous draw (SDB) vs charge-through baseline")
+	fmt.Printf("  %-12s %10s %12s %14s\n", "workload", "SDB h", "baseline h", "improvement")
+	var best sim.Fig14Row
+	for _, r := range rows {
+		fmt.Printf("  %-12s %10.2f %12.2f %13.1f%%\n",
+			r.Workload, r.SDBHours, r.BaselineHours, r.ImprovementPct)
+		if r.ImprovementPct > best.ImprovementPct {
+			best = r
+		}
+	}
+	fmt.Printf("\nbest case: %s gains %.1f%% — the paper reports up to 22%%\n",
+		best.Workload, best.ImprovementPct)
+	fmt.Println("\nwhy: splitting current halves I^2R losses (resistive losses are")
+	fmt.Println("quadratic in current), and no energy takes the reverse-buck +")
+	fmt.Println("buck double conversion that charge-through pays.")
+}

@@ -1,0 +1,180 @@
+// Package acpi presents a heterogeneous SDB pack as the single
+// battery that ACPI exposes to applications. Section 2.2 of the paper
+// notes that today's OS sees the pack only through ACPI's
+// query-oriented battery object; SDB enriches what the *power manager*
+// sees, but unmodified applications (battery indicators, power
+// daemons) still expect one battery. This package is that
+// compatibility shim: it merges per-cell status into the classic ACPI
+// _BST/_BIF-style record, with smoothed rate and time estimates.
+package acpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sdb/internal/pmic"
+)
+
+// State is the ACPI battery state.
+type State int
+
+const (
+	// StateIdle means no meaningful charge or discharge flow.
+	StateIdle State = iota
+	// StateDischarging means the pack is supplying the system.
+	StateDischarging
+	// StateCharging means the pack is absorbing external power.
+	StateCharging
+	// StateCritical means remaining capacity is below the critical
+	// threshold while discharging.
+	StateCritical
+)
+
+// String names the state like upower does.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateDischarging:
+		return "discharging"
+	case StateCharging:
+		return "charging"
+	case StateCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// CriticalFraction is the remaining-fraction threshold for
+// StateCritical.
+const CriticalFraction = 0.05
+
+// VirtualBattery is the merged single-battery record.
+type VirtualBattery struct {
+	// DesignCapacityJ is the as-built pack energy.
+	DesignCapacityJ float64
+	// FullChargeCapacityJ is the current (aged) full-charge energy.
+	FullChargeCapacityJ float64
+	// RemainingCapacityJ is the energy left now.
+	RemainingCapacityJ float64
+	// Percentage is remaining over full-charge, 0-100.
+	Percentage float64
+	// State is the ACPI charge state.
+	State State
+	// PresentRateW is the (smoothed) net discharge rate; negative
+	// while charging.
+	PresentRateW float64
+	// TimeToEmptyS estimates runtime at the present rate (-1 when not
+	// discharging or unknown).
+	TimeToEmptyS float64
+	// TimeToFullS estimates charge completion (-1 when not charging).
+	TimeToFullS float64
+	// VoltageV is the energy-weighted pack voltage.
+	VoltageV float64
+	// CycleCount is the highest per-cell cycle count (the conservative
+	// warranty view).
+	CycleCount float64
+	// Cells is the number of physical batteries merged.
+	Cells int
+}
+
+// Merge folds per-cell status into the virtual battery, given the
+// present net rate (watts, positive discharging).
+func Merge(sts []pmic.BatteryStatus, presentRateW float64) (VirtualBattery, error) {
+	if len(sts) == 0 {
+		return VirtualBattery{}, errors.New("acpi: no battery status")
+	}
+	var vb VirtualBattery
+	vb.Cells = len(sts)
+	var weightV float64
+	for _, s := range sts {
+		if s.CapacityCoulombs <= 0 || s.CapacityFraction <= 0 {
+			return VirtualBattery{}, fmt.Errorf("acpi: battery %d reports no capacity", s.Index)
+		}
+		fullJ := s.EnergyRemainingJ
+		if s.SoC > 0 {
+			fullJ = s.EnergyRemainingJ / s.SoC
+		} else {
+			// Empty cell: approximate full energy from capacity and
+			// terminal voltage.
+			fullJ = s.CapacityCoulombs * s.TerminalV
+		}
+		vb.FullChargeCapacityJ += fullJ
+		vb.DesignCapacityJ += fullJ / s.CapacityFraction
+		vb.RemainingCapacityJ += s.EnergyRemainingJ
+		weightV += s.TerminalV * fullJ
+		if s.CycleCount > vb.CycleCount {
+			vb.CycleCount = s.CycleCount
+		}
+	}
+	if vb.FullChargeCapacityJ > 0 {
+		vb.Percentage = vb.RemainingCapacityJ / vb.FullChargeCapacityJ * 100
+		vb.VoltageV = weightV / vb.FullChargeCapacityJ
+	}
+	vb.PresentRateW = presentRateW
+	vb.State, vb.TimeToEmptyS, vb.TimeToFullS = classify(vb, presentRateW)
+	return vb, nil
+}
+
+// rate thresholds: flows smaller than this count as idle.
+const idleRateW = 1e-3
+
+func classify(vb VirtualBattery, rateW float64) (State, float64, float64) {
+	switch {
+	case rateW > idleRateW:
+		tte := vb.RemainingCapacityJ / rateW
+		st := StateDischarging
+		if vb.Percentage < CriticalFraction*100 {
+			st = StateCritical
+		}
+		return st, tte, -1
+	case rateW < -idleRateW:
+		ttf := (vb.FullChargeCapacityJ - vb.RemainingCapacityJ) / -rateW
+		return StateCharging, -1, ttf
+	default:
+		return StateIdle, -1, -1
+	}
+}
+
+// Monitor smooths the present rate over time, as ACPI firmware does,
+// so time estimates don't jump with every load transient.
+type Monitor struct {
+	alpha float64
+	rateW float64
+	seen  bool
+}
+
+// NewMonitor builds a monitor; alpha in (0,1] is the EWMA weight of
+// each new sample (0.1 ~ a tens-of-seconds horizon at 1 Hz sampling).
+func NewMonitor(alpha float64) (*Monitor, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("acpi: alpha %g out of (0,1]", alpha)
+	}
+	return &Monitor{alpha: alpha}, nil
+}
+
+// Update folds one sample (net pack watts, positive discharging) and
+// returns the merged record using the smoothed rate.
+func (m *Monitor) Update(sts []pmic.BatteryStatus, rateW float64) (VirtualBattery, error) {
+	if !m.seen {
+		m.rateW, m.seen = rateW, true
+	} else {
+		m.rateW += m.alpha * (rateW - m.rateW)
+	}
+	return Merge(sts, m.rateW)
+}
+
+// Rate returns the smoothed rate.
+func (m *Monitor) Rate() float64 { return m.rateW }
+
+// HoursMinutes renders a time estimate the way battery UIs do.
+func HoursMinutes(seconds float64) string {
+	if seconds < 0 || math.IsInf(seconds, 0) || math.IsNaN(seconds) {
+		return "--:--"
+	}
+	h := int(seconds) / 3600
+	m := (int(seconds) % 3600) / 60
+	return fmt.Sprintf("%d:%02d", h, m)
+}

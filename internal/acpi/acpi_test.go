@@ -1,0 +1,241 @@
+package acpi
+
+import (
+	"math"
+	"testing"
+
+	"sdb/internal/battery"
+	"sdb/internal/core"
+	"sdb/internal/emulator"
+	"sdb/internal/pmic"
+	"sdb/internal/workload"
+)
+
+// mkStatus builds a synthetic cell status with the given SoC and
+// full-charge energy (joules).
+func mkStatus(idx int, soc, fullJ, volts, capFrac, cycles float64) pmic.BatteryStatus {
+	return pmic.BatteryStatus{
+		Index:            idx,
+		SoC:              soc,
+		TerminalV:        volts,
+		CapacityFraction: capFrac,
+		CapacityCoulombs: fullJ / volts,
+		EnergyRemainingJ: soc * fullJ,
+		CycleCount:       cycles,
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge(nil, 1); err == nil {
+		t.Error("empty status accepted")
+	}
+	bad := mkStatus(0, 0.5, 1000, 3.7, 1, 0)
+	bad.CapacityCoulombs = 0
+	if _, err := Merge([]pmic.BatteryStatus{bad}, 1); err == nil {
+		t.Error("zero-capacity cell accepted")
+	}
+}
+
+func TestMergeSumsEnergies(t *testing.T) {
+	sts := []pmic.BatteryStatus{
+		mkStatus(0, 0.5, 1000, 3.7, 1, 3),
+		mkStatus(1, 1.0, 2000, 3.9, 1, 7),
+	}
+	vb, err := Merge(sts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vb.FullChargeCapacityJ-3000) > 1 {
+		t.Errorf("full = %g, want 3000", vb.FullChargeCapacityJ)
+	}
+	if math.Abs(vb.RemainingCapacityJ-2500) > 1 {
+		t.Errorf("remaining = %g, want 2500", vb.RemainingCapacityJ)
+	}
+	if math.Abs(vb.Percentage-2500.0/3000*100) > 0.01 {
+		t.Errorf("pct = %g", vb.Percentage)
+	}
+	if vb.CycleCount != 7 {
+		t.Errorf("cycle count = %g, want max 7", vb.CycleCount)
+	}
+	if vb.Cells != 2 {
+		t.Errorf("cells = %d", vb.Cells)
+	}
+}
+
+func TestMergeAgedPackDesignCapacity(t *testing.T) {
+	sts := []pmic.BatteryStatus{mkStatus(0, 1, 900, 3.7, 0.9, 500)}
+	vb, err := Merge(sts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vb.DesignCapacityJ-1000) > 1 {
+		t.Errorf("design = %g, want 1000 (900 at 90%% health)", vb.DesignCapacityJ)
+	}
+	if vb.FullChargeCapacityJ >= vb.DesignCapacityJ {
+		t.Error("aged full-charge capacity should trail design capacity")
+	}
+}
+
+func TestStateClassification(t *testing.T) {
+	sts := []pmic.BatteryStatus{mkStatus(0, 0.5, 1000, 3.7, 1, 0)}
+	cases := []struct {
+		rate float64
+		want State
+	}{
+		{2.0, StateDischarging},
+		{-2.0, StateCharging},
+		{0, StateIdle},
+	}
+	for _, c := range cases {
+		vb, err := Merge(sts, c.rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vb.State != c.want {
+			t.Errorf("rate %g: state = %v, want %v", c.rate, vb.State, c.want)
+		}
+	}
+	low := []pmic.BatteryStatus{mkStatus(0, 0.03, 1000, 3.7, 1, 0)}
+	vb, err := Merge(low, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb.State != StateCritical {
+		t.Errorf("3%% discharging = %v, want critical", vb.State)
+	}
+}
+
+func TestTimeEstimates(t *testing.T) {
+	sts := []pmic.BatteryStatus{mkStatus(0, 0.5, 1000, 3.7, 1, 0)}
+	vb, err := Merge(sts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vb.TimeToEmptyS-100) > 0.1 {
+		t.Errorf("tte = %g, want 500 J / 5 W = 100 s", vb.TimeToEmptyS)
+	}
+	if vb.TimeToFullS != -1 {
+		t.Errorf("ttf while discharging = %g", vb.TimeToFullS)
+	}
+	vb, err = Merge(sts, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vb.TimeToFullS-100) > 0.1 {
+		t.Errorf("ttf = %g, want 100 s", vb.TimeToFullS)
+	}
+	if vb.TimeToEmptyS != -1 {
+		t.Errorf("tte while charging = %g", vb.TimeToEmptyS)
+	}
+}
+
+func TestMonitorSmoothsRate(t *testing.T) {
+	m, err := NewMonitor(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := []pmic.BatteryStatus{mkStatus(0, 0.5, 1000, 3.7, 1, 0)}
+	if _, err := m.Update(sts, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rate() != 10 {
+		t.Errorf("first sample not taken verbatim: %g", m.Rate())
+	}
+	if _, err := m.Update(sts, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rate() != 5 {
+		t.Errorf("smoothed rate = %g, want 5", m.Rate())
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewMonitor(2); err == nil {
+		t.Error("alpha 2 accepted")
+	}
+}
+
+func TestHoursMinutes(t *testing.T) {
+	cases := []struct {
+		secs float64
+		want string
+	}{
+		{3600, "1:00"}, {5400, "1:30"}, {59, "0:00"}, {-1, "--:--"},
+		{math.NaN(), "--:--"}, {math.Inf(1), "--:--"},
+	}
+	for _, c := range cases {
+		if got := HoursMinutes(c.secs); got != c.want {
+			t.Errorf("HoursMinutes(%g) = %q, want %q", c.secs, got, c.want)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		StateIdle: "idle", StateDischarging: "discharging",
+		StateCharging: "charging", StateCritical: "critical",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", int(s), s.String())
+		}
+	}
+	if State(99).String() == "" {
+		t.Error("out-of-range state empty")
+	}
+}
+
+// TestVirtualBatteryAgainstLiveStack runs a real discharge and checks
+// the ACPI view stays consistent with the pack.
+func TestVirtualBatteryAgainstLiveStack(t *testing.T) {
+	st, err := emulator.NewStack(1.0, core.Options{},
+		battery.MustByName("QuickCharge-2000"),
+		battery.MustByName("EnergyMax-4000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Constant("3w", 3, 1800, 1)
+	var lastPct = 101.0
+	for k := 0; k < tr.Len(); k++ {
+		loadW, _ := tr.At(float64(k))
+		if k%60 == 0 {
+			if _, err := st.Runtime.Update(loadW, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := st.Controller.Step(loadW, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k%60 != 0 {
+			continue
+		}
+		sts, err := st.Controller.QueryBatteryStatus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := m.Update(sts, rep.DeliveredW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vb.Percentage > lastPct+1e-9 {
+			t.Fatalf("percentage rose while discharging: %g -> %g", lastPct, vb.Percentage)
+		}
+		lastPct = vb.Percentage
+		if vb.State != StateDischarging {
+			t.Fatalf("state = %v during discharge", vb.State)
+		}
+		if vb.TimeToEmptyS <= 0 {
+			t.Fatalf("no runtime estimate while discharging")
+		}
+	}
+	if lastPct > 99 {
+		t.Error("percentage barely moved over a 30-minute 3 W discharge")
+	}
+}

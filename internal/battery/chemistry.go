@@ -1,0 +1,136 @@
+package battery
+
+import "fmt"
+
+// Chemistry identifies one of the cell chemistries the paper compares
+// (Figure 1(a)) plus the two scenario-specific variants used in
+// Section 5 (fast-charging and high energy-density CoO2 cells).
+type Chemistry int
+
+const (
+	// ChemUnknown is the zero value.
+	ChemUnknown Chemistry = iota
+	// ChemType1 is LiFePO4 cathode, high-density liquid polymer
+	// separator: power-tool class. High power, high cycle life, poor
+	// energy density (about half of Type 2 per volume).
+	ChemType1
+	// ChemType2 is CoO2 cathode, high-density liquid polymer
+	// separator: the common mobile-device cell.
+	ChemType2
+	// ChemType3 is CoO2 cathode, low-density liquid polymer separator:
+	// higher power density at some cost in energy density.
+	ChemType3
+	// ChemType4 is CoO2 cathode, rubber-like solid ceramic separator:
+	// bendable, but high internal resistance and low power density.
+	ChemType4
+	// ChemFastCharge is the high power-density CoO2 variant the paper
+	// pairs with a high-density cell in Section 5.1 (530-540 Wh/l,
+	// effectively 500-510 Wh/l after fast-charge swelling).
+	ChemFastCharge
+	// ChemHighDensity is the high energy-density CoO2 variant
+	// (590-600 Wh/l) used as the capacity workhorse.
+	ChemHighDensity
+)
+
+var chemNames = map[Chemistry]string{
+	ChemUnknown:     "unknown",
+	ChemType1:       "Type 1 (LiFePO4, high-density separator)",
+	ChemType2:       "Type 2 (CoO2, high-density separator)",
+	ChemType3:       "Type 3 (CoO2, low-density separator)",
+	ChemType4:       "Type 4 (CoO2, rubber-like solid separator)",
+	ChemFastCharge:  "Fast-charging CoO2",
+	ChemHighDensity: "High energy-density CoO2",
+}
+
+// String returns a human-readable chemistry name.
+func (c Chemistry) String() string {
+	if s, ok := chemNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Chemistry(%d)", int(c))
+}
+
+// Short returns a compact label suitable for table columns.
+func (c Chemistry) Short() string {
+	switch c {
+	case ChemType1:
+		return "Type1"
+	case ChemType2:
+		return "Type2"
+	case ChemType3:
+		return "Type3"
+	case ChemType4:
+		return "Type4"
+	case ChemFastCharge:
+		return "FastChg"
+	case ChemHighDensity:
+		return "HiDens"
+	default:
+		return "Unknown"
+	}
+}
+
+// Bendable reports whether cells of this chemistry can flex (Type 4's
+// solid ceramic separator).
+func (c Chemistry) Bendable() bool { return c == ChemType4 }
+
+// AxisScores holds the qualitative 0-5 scores for the six axes of the
+// paper's Figure 1(a) radar chart. Higher is better on every axis.
+type AxisScores struct {
+	PowerDensity  float64
+	FormFactor    float64 // form-factor flexibility
+	EnergyDensity float64
+	Affordability float64
+	Longevity     float64
+	Efficiency    float64
+}
+
+// Scores returns the Figure 1(a) radar scores for the chemistry. The
+// values encode the paper's qualitative comparison: Type 1 leads on
+// power/longevity/affordability, Type 2 on energy density, Type 3
+// trades a little energy for power, Type 4 leads only on form factor.
+func (c Chemistry) Scores() AxisScores {
+	switch c {
+	case ChemType1:
+		return AxisScores{PowerDensity: 5, FormFactor: 1, EnergyDensity: 2, Affordability: 5, Longevity: 5, Efficiency: 4}
+	case ChemType2:
+		return AxisScores{PowerDensity: 3, FormFactor: 1, EnergyDensity: 5, Affordability: 3, Longevity: 3, Efficiency: 4}
+	case ChemType3:
+		return AxisScores{PowerDensity: 4, FormFactor: 1, EnergyDensity: 4, Affordability: 3, Longevity: 3, Efficiency: 4}
+	case ChemType4:
+		return AxisScores{PowerDensity: 1, FormFactor: 5, EnergyDensity: 3, Affordability: 2, Longevity: 2, Efficiency: 1}
+	case ChemFastCharge:
+		return AxisScores{PowerDensity: 5, FormFactor: 1, EnergyDensity: 4, Affordability: 3, Longevity: 4, Efficiency: 4}
+	case ChemHighDensity:
+		return AxisScores{PowerDensity: 2, FormFactor: 1, EnergyDensity: 5, Affordability: 3, Longevity: 3, Efficiency: 4}
+	default:
+		return AxisScores{}
+	}
+}
+
+// Characteristic names the battery metrics of the paper's Table 1.
+type Characteristic struct {
+	Name  string
+	Units string
+}
+
+// Table1 returns the characteristic/unit rows of the paper's Table 1.
+func Table1() []Characteristic {
+	return []Characteristic{
+		{"Energy capacity", "joule"},
+		{"Volume", "mm^3"},
+		{"Mass", "kilogram"},
+		{"Discharge rate", "watt"},
+		{"Recharge rate", "watt"},
+		{"Gravimetric energy density", "joule / kilogram"},
+		{"Volumetric energy density", "joule / liter"},
+		{"Cost", "$ / joule"},
+		{"Discharge power density", "watt / kilogram"},
+		{"Recharge power density", "watt / kilogram"},
+		{"Cycle count", "number of discharge/recharge cycles"},
+		{"Longevity", "% of original capacity after N cycles"},
+		{"Internal resistance", "ohm"},
+		{"Efficiency", "% of energy turned into heat"},
+		{"Bend radius", "mm"},
+	}
+}

@@ -1,0 +1,161 @@
+// Package battery implements an electrochemical cell model based on the
+// Thevenin equivalent circuit used by the SDB paper's emulator: an open
+// circuit potential in series with an internal (DC) resistance and a
+// parallel RC pair (concentration resistance and plate capacitance).
+// It also implements rate-dependent aging calibrated to the paper's
+// Figure 1(b) longevity measurements, chemistry definitions for the four
+// Li-ion cell types the paper compares, and a library of 15 modeled
+// cells mirroring the paper's modeled battery set.
+//
+// Sign convention: positive current discharges the cell; negative
+// current charges it. All quantities are SI (volts, amperes, ohms,
+// farads, coulombs, joules, seconds) unless a name says otherwise.
+package battery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Curve is a piecewise-linear function y = f(x) defined by sample
+// points with strictly increasing X. Evaluation outside the sampled
+// range clamps to the end values, which matches how OCV and DCIR tables
+// from battery characterization are used in practice.
+type Curve struct {
+	xs []float64
+	ys []float64
+}
+
+// NewCurve builds a curve from parallel slices of sample coordinates.
+// It returns an error unless len(xs) == len(ys) >= 2 and xs is strictly
+// increasing and every value is finite.
+func NewCurve(xs, ys []float64) (Curve, error) {
+	if len(xs) != len(ys) {
+		return Curve{}, fmt.Errorf("battery: curve has %d x values but %d y values", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Curve{}, errors.New("battery: curve needs at least two points")
+	}
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return Curve{}, fmt.Errorf("battery: curve point %d is not finite", i)
+		}
+		if i > 0 && xs[i] <= xs[i-1] {
+			return Curve{}, fmt.Errorf("battery: curve x values not strictly increasing at index %d", i)
+		}
+	}
+	c := Curve{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+	return c, nil
+}
+
+// MustCurve is like NewCurve but panics on invalid input. It is
+// intended for the package-level cell library, where the tables are
+// constants validated by tests.
+func MustCurve(xs, ys []float64) Curve {
+	c, err := NewCurve(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// IsZero reports whether the curve has no points (the zero value).
+func (c Curve) IsZero() bool { return len(c.xs) == 0 }
+
+// Len returns the number of sample points.
+func (c Curve) Len() int { return len(c.xs) }
+
+// Domain returns the sampled x range.
+func (c Curve) Domain() (lo, hi float64) {
+	if c.IsZero() {
+		return 0, 0
+	}
+	return c.xs[0], c.xs[len(c.xs)-1]
+}
+
+// At evaluates the curve at x, clamping outside the sampled domain.
+func (c Curve) At(x float64) float64 {
+	n := len(c.xs)
+	if n == 0 {
+		return 0
+	}
+	if x <= c.xs[0] {
+		return c.ys[0]
+	}
+	if x >= c.xs[n-1] {
+		return c.ys[n-1]
+	}
+	// sort.SearchFloat64s returns the first index with xs[i] >= x.
+	i := sort.SearchFloat64s(c.xs, x)
+	if c.xs[i] == x {
+		return c.ys[i]
+	}
+	x0, x1 := c.xs[i-1], c.xs[i]
+	y0, y1 := c.ys[i-1], c.ys[i]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Slope returns the derivative dy/dx of the segment containing x. At a
+// knot it returns the slope of the right-hand segment; outside the
+// domain it returns 0 (the curve is clamped there).
+func (c Curve) Slope(x float64) float64 {
+	n := len(c.xs)
+	if n < 2 || x < c.xs[0] || x > c.xs[n-1] {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.xs, x)
+	switch {
+	case i == 0:
+		i = 1
+	case i == n:
+		i = n - 1
+	case c.xs[i] == x && i+1 < n:
+		i++
+	}
+	return (c.ys[i] - c.ys[i-1]) / (c.xs[i] - c.xs[i-1])
+}
+
+// Scale returns a new curve with every y multiplied by k.
+func (c Curve) Scale(k float64) Curve {
+	out := Curve{xs: append([]float64(nil), c.xs...), ys: make([]float64, len(c.ys))}
+	for i, y := range c.ys {
+		out.ys[i] = y * k
+	}
+	return out
+}
+
+// Min returns the minimum sampled y value.
+func (c Curve) Min() float64 {
+	if c.IsZero() {
+		return 0
+	}
+	m := c.ys[0]
+	for _, y := range c.ys[1:] {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Max returns the maximum sampled y value.
+func (c Curve) Max() float64 {
+	if c.IsZero() {
+		return 0
+	}
+	m := c.ys[0]
+	for _, y := range c.ys[1:] {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Points returns copies of the sample coordinates.
+func (c Curve) Points() (xs, ys []float64) {
+	return append([]float64(nil), c.xs...), append([]float64(nil), c.ys...)
+}

@@ -1,0 +1,171 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// Curve shape tables. OCV shapes are taken from typical published
+// charge curves for the two cathode families; the DCIR shape follows
+// the paper's Figure 8(c): resistance falls steeply as state of charge
+// rises out of the bottom decade.
+var (
+	socKnots = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+	ocvCoO2Shape = []float64{2.80, 3.30, 3.45, 3.55, 3.62, 3.67, 3.72, 3.78, 3.85, 3.93, 4.05, 4.20}
+	ocvLFPShape  = []float64{2.50, 3.00, 3.18, 3.25, 3.28, 3.30, 3.31, 3.32, 3.33, 3.34, 3.36, 3.45}
+
+	dcirShape = []float64{4.00, 2.40, 1.70, 1.40, 1.25, 1.12, 1.06, 1.02, 1.00, 0.97, 0.95, 0.94}
+)
+
+// OCVCoO2 returns the CoO2 cathode open-circuit-potential curve
+// (2.8-4.2 V over state of charge).
+func OCVCoO2() Curve { return MustCurve(socKnots, ocvCoO2Shape) }
+
+// OCVLiFePO4 returns the LiFePO4 open-circuit-potential curve (the
+// characteristically flat 3.2-3.3 V plateau).
+func OCVLiFePO4() Curve { return MustCurve(socKnots, ocvLFPShape) }
+
+// DCIRCurve returns the internal-resistance curve with the Figure 8(c)
+// shape, scaled so DCIR at 70% state of charge equals r70 ohms.
+func DCIRCurve(r70 float64) Curve { return MustCurve(socKnots, dcirShape).Scale(r70) }
+
+// makeParams assembles a Params with chemistry-typical defaults,
+// overridden per cell below.
+func makeParams(name string, chem Chemistry, capAh, r70 float64) Params {
+	p := Params{
+		Name:                  name,
+		Chem:                  chem,
+		CapacityAh:            capAh,
+		OCV:                   OCVCoO2(),
+		DCIR:                  DCIRCurve(r70),
+		ConcentrationR:        r70 * 0.25,
+		PlateC:                1920 / r70, // tau around 8 minutes for all sizes
+		MaxChargeC:            0.7,
+		MaxDischargeC:         2.0,
+		RatedCycles:           800,
+		FadePerCycle:          5.0e-5, // 3% after 600 cycles at 0.25C (Fig. 1(b) 0.5A on a 2Ah cell)
+		FadeRefC:              0.25,
+		FadeExponent:          2.3,
+		DischargeFadeWeight:   0.01,
+		ResGrowthPerCycle:     2e-4,
+		SelfDischargePerMonth: 0.02,
+		CostPerWh:             0.35,
+	}
+	switch chem {
+	case ChemType1:
+		p.OCV = OCVLiFePO4()
+		p.MaxChargeC = 4.0
+		p.MaxDischargeC = 10.0
+		p.RatedCycles = 2000
+		p.FadePerCycle = 2.0e-5
+		p.FadeExponent = 1.8
+		p.CostPerWh = 0.25
+	case ChemType3:
+		p.MaxChargeC = 1.2
+		p.MaxDischargeC = 3.0
+	case ChemType4:
+		p.MaxChargeC = 0.4
+		p.MaxDischargeC = 1.2
+		p.RatedCycles = 500
+		p.FadePerCycle = 8.0e-5
+		p.CostPerWh = 0.60
+		p.BendRadiusMM = 20
+	case ChemFastCharge:
+		p.MaxChargeC = 3.0
+		p.MaxDischargeC = 4.0
+		p.RatedCycles = 1000
+		// Rated for fast charging: the fade reference is 2C, so
+		// routine fast charges cost ~21% capacity per 1000 cycles
+		// (Figure 11(c), all-fast configuration).
+		p.FadePerCycle = 1.1e-4
+		p.FadeRefC = 2.0
+		p.FadeExponent = 2.2
+		p.SwellDensityLoss = 0.055 // 530-540 Wh/l -> 500-510 Wh/l effective
+	case ChemHighDensity:
+		p.MaxChargeC = 0.5
+		p.MaxDischargeC = 1.5
+		// Charged at its standard 0.5C, the high-density cell loses
+		// ~10% per 1000 cycles (Figure 11(c), no-fast configuration).
+		p.FadePerCycle = 1.05e-4
+		p.FadeRefC = 0.5
+	}
+	return p
+}
+
+// withVolume sets volume (liters) and mass (kg) so the cell hits the
+// given volumetric density in Wh/l and a plausible gravimetric
+// density, then derives thermal parameters from the mass: heat
+// capacity ~1000 J/(kg K) and a surface-limited thermal resistance
+// scaling with mass^(-2/3).
+func withVolume(p Params, whPerL float64) Params {
+	e := p.EnergyWh()
+	p.VolumeL = e / whPerL
+	p.MassKg = e / (whPerL * 0.45) // mobile Li-ion: Wh/kg is roughly 0.45x Wh/l
+
+	p.ThermalMassJPerK = 1000 * p.MassKg
+	p.ThermalResKPerW = 1.5 / pow23(p.MassKg)
+	p.TempCoeffRPerK = -0.008
+	p.AgingTempThresholdC = 45
+	p.AgingTempFactorPerK = 0.06
+	p.MaxTempC = 60
+	return p
+}
+
+// pow23 returns x^(2/3) for positive x.
+func pow23(x float64) float64 {
+	cbrt := math.Cbrt(x)
+	return cbrt * cbrt
+}
+
+// Library returns the 15 modeled cells, mirroring the paper's modeled
+// battery set: two Type 4 (bendable), two Type 3, eight from the Type 2
+// (CoO2, high-density separator) family including its fast-charging and
+// high energy-density variants, and one Type 1 power cell plus two more
+// fast-charge cells.
+func Library() []Params {
+	return []Params{
+		// Type 4: bendable strap cells (high resistance, low power).
+		withVolume(makeParams("BendStrap-200", ChemType4, 0.200, 2.1), 260),
+		withVolume(makeParams("BendStrap-150", ChemType4, 0.150, 2.7), 250),
+
+		// Type 3: low-density separator, higher power.
+		withVolume(makeParams("PowerPlus-2500", ChemType3, 2.5, 0.036), 520),
+		withVolume(makeParams("PowerPlus-3000", ChemType3, 3.0, 0.030), 525),
+
+		// Type 2 family: standard mobile cells.
+		withVolume(makeParams("Standard-1500", ChemType2, 1.5, 0.075), 560),
+		withVolume(makeParams("Standard-2000", ChemType2, 2.0, 0.060), 565),
+		withVolume(makeParams("Standard-3000", ChemType2, 3.0, 0.042), 570),
+		withVolume(makeParams("Slim-5000", ChemType2, 5.0, 0.030), 575),
+		withVolume(makeParams("Watch-200", ChemType2, 0.200, 0.45), 540),
+		withVolume(makeParams("Watch-300", ChemType2, 0.300, 0.34), 545),
+		// High energy-density variants (Section 5.1 workhorses).
+		withVolume(makeParams("EnergyMax-4000", ChemHighDensity, 4.0, 0.045), 595),
+		withVolume(makeParams("EnergyMax-8000", ChemHighDensity, 8.0, 0.026), 600),
+
+		// Other types: one LiFePO4 power cell, two fast-charging cells.
+		withVolume(makeParams("PowerTool-1500", ChemType1, 1.5, 0.016), 290),
+		withVolume(makeParams("QuickCharge-2000", ChemFastCharge, 2.0, 0.030), 535),
+		withVolume(makeParams("QuickCharge-4000", ChemFastCharge, 4.0, 0.020), 540),
+	}
+}
+
+// ByName returns the library cell with the given model name.
+func ByName(name string) (Params, error) {
+	for _, p := range Library() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("battery: no library cell named %q", name)
+}
+
+// MustByName is ByName, panicking if the cell is unknown.
+func MustByName(name string) Params {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

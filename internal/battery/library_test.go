@@ -1,0 +1,177 @@
+package battery
+
+import (
+	"testing"
+)
+
+func TestLibraryHasFifteenCells(t *testing.T) {
+	lib := Library()
+	if len(lib) != 15 {
+		t.Fatalf("library has %d cells, want 15 (paper Section 4.3)", len(lib))
+	}
+}
+
+func TestLibraryComposition(t *testing.T) {
+	// Paper: two Type 4, two Type 3, eight of the Type 2 family, three
+	// others.
+	counts := map[Chemistry]int{}
+	for _, p := range Library() {
+		counts[p.Chem]++
+	}
+	if counts[ChemType4] != 2 {
+		t.Errorf("Type 4 count = %d, want 2", counts[ChemType4])
+	}
+	if counts[ChemType3] != 2 {
+		t.Errorf("Type 3 count = %d, want 2", counts[ChemType3])
+	}
+	if family := counts[ChemType2] + counts[ChemHighDensity]; family != 8 {
+		t.Errorf("Type 2 family count = %d, want 8", family)
+	}
+	if others := counts[ChemType1] + counts[ChemFastCharge]; others != 3 {
+		t.Errorf("other-chemistry count = %d, want 3", others)
+	}
+}
+
+func TestLibraryAllValid(t *testing.T) {
+	for _, p := range Library() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("library cell %s invalid: %v", p.Name, err)
+		}
+		if _, err := New(p); err != nil {
+			t.Errorf("New(%s): %v", p.Name, err)
+		}
+	}
+}
+
+func TestLibraryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Library() {
+		if seen[p.Name] {
+			t.Errorf("duplicate library cell name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("Watch-200")
+	if err != nil {
+		t.Fatalf("ByName(Watch-200): %v", err)
+	}
+	if p.CapacityAh != 0.2 {
+		t.Errorf("Watch-200 capacity = %g Ah, want 0.2", p.CapacityAh)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestMustByNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName(unknown) did not panic")
+		}
+	}()
+	MustByName("unknown-cell")
+}
+
+func TestBendableCellsAreType4(t *testing.T) {
+	for _, p := range Library() {
+		bendable := p.BendRadiusMM > 0
+		if bendable != (p.Chem == ChemType4) {
+			t.Errorf("%s: bend radius %g inconsistent with chemistry %v", p.Name, p.BendRadiusMM, p.Chem)
+		}
+	}
+}
+
+func TestType4HasHighestResistance(t *testing.T) {
+	// Per Figure 1(c): the rubber-like separator increases resistance.
+	// Compare same-capacity watch cells.
+	bend := MustByName("BendStrap-200")
+	rigid := MustByName("Watch-200")
+	if bend.DCIR.At(0.7) <= rigid.DCIR.At(0.7) {
+		t.Error("bendable cell resistance not higher than rigid cell of same capacity")
+	}
+}
+
+func TestFastChargeAcceptsHigherChargeRate(t *testing.T) {
+	fc := MustByName("QuickCharge-4000")
+	hd := MustByName("EnergyMax-4000")
+	if fc.MaxChargeC <= hd.MaxChargeC {
+		t.Error("fast-charge cell does not out-charge the high-density cell")
+	}
+}
+
+func TestHighDensityDensestByVolume(t *testing.T) {
+	hd := MustByName("EnergyMax-8000").VolumetricDensityWhPerL(false)
+	for _, p := range Library() {
+		if p.Chem == ChemHighDensity {
+			continue
+		}
+		if d := p.VolumetricDensityWhPerL(false); d > hd {
+			t.Errorf("%s density %g Wh/l exceeds high-density cell %g", p.Name, d, hd)
+		}
+	}
+}
+
+func TestLiFePO4FlatOCV(t *testing.T) {
+	lfp := OCVLiFePO4()
+	coo2 := OCVCoO2()
+	lfpSwing := lfp.At(0.9) - lfp.At(0.2)
+	coo2Swing := coo2.At(0.9) - coo2.At(0.2)
+	if lfpSwing >= coo2Swing {
+		t.Errorf("LiFePO4 mid-range OCV swing %g not flatter than CoO2 %g", lfpSwing, coo2Swing)
+	}
+}
+
+func TestDCIRCurveDecreasesWithSoC(t *testing.T) {
+	c := DCIRCurve(0.1)
+	if c.At(0.05) <= c.At(0.9) {
+		t.Error("DCIR should decrease as SoC rises (Figure 8(c))")
+	}
+	if got := c.At(0.7); got != 0.1 {
+		t.Errorf("DCIRCurve(0.1) at 0.7 = %g, want exactly the scale anchor 0.1", got)
+	}
+}
+
+func TestChemistryStrings(t *testing.T) {
+	for _, c := range []Chemistry{ChemType1, ChemType2, ChemType3, ChemType4, ChemFastCharge, ChemHighDensity} {
+		if c.String() == "" || c.Short() == "Unknown" {
+			t.Errorf("chemistry %d has bad labels: %q / %q", int(c), c.String(), c.Short())
+		}
+	}
+	if ChemUnknown.Short() != "Unknown" {
+		t.Error("ChemUnknown.Short() changed")
+	}
+	if Chemistry(99).String() == "" {
+		t.Error("out-of-range chemistry String is empty")
+	}
+}
+
+func TestChemistryScoresCoverAxes(t *testing.T) {
+	// Figure 1(a): each of the four types leads on at least one axis.
+	if s := ChemType1.Scores(); s.PowerDensity < ChemType2.Scores().PowerDensity {
+		t.Error("Type 1 should lead Type 2 on power density")
+	}
+	if s := ChemType2.Scores(); s.EnergyDensity < ChemType1.Scores().EnergyDensity {
+		t.Error("Type 2 should lead Type 1 on energy density")
+	}
+	if s := ChemType4.Scores(); s.FormFactor <= ChemType2.Scores().FormFactor {
+		t.Error("Type 4 should lead on form factor")
+	}
+	if s := ChemType4.Scores(); s.Efficiency >= ChemType2.Scores().Efficiency {
+		t.Error("Type 4 should trail on efficiency")
+	}
+}
+
+func TestTable1HasFifteenRows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 15 {
+		t.Fatalf("Table1 rows = %d, want 15", len(rows))
+	}
+	for _, r := range rows {
+		if r.Name == "" || r.Units == "" {
+			t.Errorf("Table1 row missing fields: %+v", r)
+		}
+	}
+}

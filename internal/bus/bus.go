@@ -1,0 +1,235 @@
+// Package bus implements the framed serial protocol the SDB Runtime
+// uses to talk to the SDB microcontroller. The paper's prototype
+// carries this traffic over Bluetooth because the team could not tap
+// the power-management serial bus directly (Section 4.1); in a product
+// it would ride the PMIC's I2C/SMBus link. Either way the framing is
+// the same: a start byte, version, command, sequence number, a
+// length-prefixed payload, and a CRC-16 trailer.
+//
+//	offset  size  field
+//	0       1     SOF (0xA5)
+//	1       1     version (1)
+//	2       1     command
+//	3       1     sequence
+//	4       2     payload length, big endian
+//	6       n     payload
+//	6+n     2     CRC-16/CCITT-FALSE over bytes 1..6+n-1
+//
+// The package is transport-agnostic: any io.Reader/io.Writer pair
+// works (net.Conn, net.Pipe, an in-process buffer).
+package bus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	SOF     = 0xA5
+	Version = 1
+	// MaxPayload bounds frame payloads; a microcontroller has little
+	// RAM, so the limit is deliberately small.
+	MaxPayload = 4096
+	headerLen  = 6
+	crcLen     = 2
+)
+
+// Frame is one protocol data unit.
+type Frame struct {
+	Cmd     byte
+	Seq     byte
+	Payload []byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadSOF     = errors.New("bus: bad start-of-frame byte")
+	ErrBadVersion = errors.New("bus: unsupported protocol version")
+	ErrBadCRC     = errors.New("bus: CRC mismatch")
+	ErrTooLarge   = fmt.Errorf("bus: payload exceeds %d bytes", MaxPayload)
+)
+
+// Encode serializes the frame.
+func Encode(f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, headerLen+len(f.Payload)+crcLen)
+	buf[0] = SOF
+	buf[1] = Version
+	buf[2] = f.Cmd
+	buf[3] = f.Seq
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(f.Payload)))
+	copy(buf[headerLen:], f.Payload)
+	crc := CRC16(buf[1 : headerLen+len(f.Payload)])
+	binary.BigEndian.PutUint16(buf[headerLen+len(f.Payload):], crc)
+	return buf, nil
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and validates one frame. It resynchronizes by
+// scanning for the SOF byte, as a real serial receiver would after
+// line noise.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var b [1]byte
+	// Scan to SOF.
+	for {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return Frame{}, err
+		}
+		if b[0] == SOF {
+			break
+		}
+	}
+	var hdr [headerLen - 1]byte // version..length
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if hdr[0] != Version {
+		return Frame{}, ErrBadVersion
+	}
+	n := int(binary.BigEndian.Uint16(hdr[3:5]))
+	if n > MaxPayload {
+		return Frame{}, ErrTooLarge
+	}
+	rest := make([]byte, n+crcLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return Frame{}, err
+	}
+	full := make([]byte, 0, headerLen-1+n)
+	full = append(full, hdr[:]...)
+	full = append(full, rest[:n]...)
+	if CRC16(full) != binary.BigEndian.Uint16(rest[n:]) {
+		return Frame{}, ErrBadCRC
+	}
+	return Frame{Cmd: hdr[1], Seq: hdr[2], Payload: rest[:n]}, nil
+}
+
+// CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Payload codec helpers: big-endian primitives with a running error,
+// so command marshaling code stays linear.
+
+// Writer builds a payload.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v byte) *Writer { w.buf = append(w.buf, v); return w }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) *Writer {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+	return w
+}
+
+// F64 appends a big-endian IEEE-754 float64.
+func (w *Writer) F64(v float64) *Writer {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+	return w
+}
+
+// Str appends a length-prefixed (uint16) UTF-8 string.
+func (w *Writer) Str(s string) *Writer {
+	w.U16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+	return w
+}
+
+// Reader consumes a payload. The first decoding failure sticks: all
+// later reads return zero values and Err reports the failure.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(p []byte) *Reader { return &Reader{buf: p} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// F64 reads a big-endian float64.
+func (r *Reader) F64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := int(r.U16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,262 @@
+package bus
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Cmd: 0x12, Seq: 7, Payload: []byte("hello sdb")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cmd != in.Cmd || out.Seq != in.Seq || !bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestEmptyPayloadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Cmd: 1, Seq: 0}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payload) != 0 {
+		t.Errorf("payload len = %d, want 0", len(out.Payload))
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	err := WriteFrame(io.Discard, Frame{Cmd: 1, Payload: make([]byte, MaxPayload+1)})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadFrameResyncsPastGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x00, 0xFF, 0x13}) // line noise before SOF
+	if err := WriteFrame(&buf, Frame{Cmd: 5, Seq: 1, Payload: []byte{9}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cmd != 5 || out.Payload[0] != 9 {
+		t.Errorf("resync read wrong frame: %+v", out)
+	}
+}
+
+func TestCorruptedCRCDetected(t *testing.T) {
+	raw, err := Encode(Frame{Cmd: 2, Seq: 3, Payload: []byte("abc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	_, err = ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadCRC) {
+		t.Errorf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestCorruptedPayloadDetected(t *testing.T) {
+	raw, err := Encode(Frame{Cmd: 2, Seq: 3, Payload: []byte("abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[8] ^= 0x40 // flip a payload bit
+	_, err = ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadCRC) {
+		t.Errorf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestBadVersionDetected(t *testing.T) {
+	raw, err := Encode(Frame{Cmd: 2, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[1] = 99
+	_, err = ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestTruncatedFrameFails(t *testing.T) {
+	raw, err := Encode(Frame{Cmd: 2, Payload: []byte("abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadFrame(bytes.NewReader(raw[:5]))
+	if err == nil {
+		t.Error("truncated frame decoded successfully")
+	}
+}
+
+func TestEOFOnEmptyStream(t *testing.T) {
+	_, err := ReadFrame(bytes.NewReader(nil))
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, Frame{Cmd: byte(i), Seq: byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Cmd != byte(i) {
+			t.Errorf("frame %d has cmd %d", i, f.Cmd)
+		}
+	}
+}
+
+func TestFramesOverNetPipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- WriteFrame(a, Frame{Cmd: 0x21, Seq: 9, Payload: []byte("over the wire")})
+	}()
+	f, err := ReadFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Payload) != "over the wire" {
+		t.Errorf("payload = %q", f.Payload)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("CRC16 = %#04x, want 0x29B1", got)
+	}
+}
+
+func TestPayloadWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(7).U16(65000).F64(3.14159).Str("EnergyMax-8000").F64(-2.5)
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U16(); got != 65000 {
+		t.Errorf("U16 = %d", got)
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %g", got)
+	}
+	if got := r.Str(); got != "EnergyMax-8000" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := r.F64(); got != -2.5 {
+		t.Errorf("F64 = %g", got)
+	}
+	if r.Err() != nil {
+		t.Errorf("reader err = %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestPayloadReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.F64() // needs 8 bytes, only 2 available
+	if r.Err() == nil {
+		t.Fatal("short read not flagged")
+	}
+	if got := r.U8(); got != 0 {
+		t.Errorf("read after error = %d, want 0", got)
+	}
+}
+
+func TestPayloadSpecialFloats(t *testing.T) {
+	var w Writer
+	w.F64(math.Inf(1)).F64(math.NaN())
+	r := NewReader(w.Bytes())
+	if !math.IsInf(r.F64(), 1) {
+		t.Error("Inf did not round trip")
+	}
+	if !math.IsNaN(r.F64()) {
+		t.Error("NaN did not round trip")
+	}
+}
+
+// Property: every frame round trips through encode/decode.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(cmd, seq byte, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		raw, err := Encode(Frame{Cmd: cmd, Seq: seq, Payload: payload})
+		if err != nil {
+			return false
+		}
+		out, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			return false
+		}
+		return out.Cmd == cmd && out.Seq == seq && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any single corrupted byte in header or payload is detected
+// (CRC or structural error) or, if it hits the SOF, consumes the frame.
+func TestSingleByteCorruptionDetectedProperty(t *testing.T) {
+	f := func(idx int, bit uint8, payload []byte) bool {
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		raw, err := Encode(Frame{Cmd: 1, Seq: 2, Payload: payload})
+		if err != nil {
+			return false
+		}
+		i := ((idx % len(raw)) + len(raw)) % len(raw)
+		mask := byte(1 << (bit % 8))
+		raw[i] ^= mask
+		if raw[i] == raw[i]^mask {
+			return true // no-op flip
+		}
+		out, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			return true // detected
+		}
+		// An undetected change must have produced an identical frame
+		// (possible only if corruption hit redundant SOF-scan bytes).
+		return out.Cmd == 1 && out.Seq == 2 && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

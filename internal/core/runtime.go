@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"sdb/internal/pmic"
+)
+
+// Metrics summarizes the two key quantities SDB policies optimize
+// (Section 3.3).
+type Metrics struct {
+	// RBLJoules is the remaining battery lifetime proxy: the useful
+	// energy left across the pack assuming no further charging.
+	RBLJoules float64
+	// CCB is the cycle count balance: max wear ratio over min wear
+	// ratio (1 is perfectly balanced).
+	CCB float64
+	// MeanSoC is the capacity-weighted mean state of charge.
+	MeanSoC float64
+	// TotalCycles sums cycle counts across batteries.
+	TotalCycles float64
+}
+
+// ComputeMetrics derives Metrics from a status snapshot.
+func ComputeMetrics(sts []pmic.BatteryStatus) Metrics {
+	const eps = 1e-9
+	var m Metrics
+	minW, maxW := -1.0, 0.0
+	var capSum, socSum float64
+	for _, s := range sts {
+		m.RBLJoules += s.EnergyRemainingJ
+		m.TotalCycles += s.CycleCount
+		capSum += s.CapacityCoulombs
+		socSum += s.SoC * s.CapacityCoulombs
+		if minW < 0 || s.WearRatio < minW {
+			minW = s.WearRatio
+		}
+		if s.WearRatio > maxW {
+			maxW = s.WearRatio
+		}
+	}
+	if capSum > 0 {
+		m.MeanSoC = socSum / capSum
+	}
+	if maxW <= eps {
+		m.CCB = 1
+	} else {
+		if minW <= eps {
+			minW = eps
+		}
+		m.CCB = maxW / minW
+	}
+	return m
+}
+
+// Options configures a Runtime. Zero-value fields get defaults: the
+// blended CCB/RBL policies with directives 0.5.
+type Options struct {
+	// DischargePolicy overrides the default blended discharge policy.
+	DischargePolicy DischargePolicy
+	// ChargePolicy overrides the default blended charge policy.
+	ChargePolicy ChargePolicy
+	// ChargingDirective and DischargingDirective seed the directive
+	// parameters (each clamped to [0,1]).
+	ChargingDirective    float64
+	DischargingDirective float64
+}
+
+// Runtime is the SDB Runtime of Figure 5: it encapsulates the SDB
+// microcontroller from the rest of the OS and owns all scheduling
+// decisions affecting charging and discharging. Other OS components
+// set policies and directive parameters; the power manager calls
+// Update with the present load, and the runtime pushes fresh ratio
+// vectors to the firmware.
+type Runtime struct {
+	mu  sync.Mutex
+	api pmic.API
+	n   int
+
+	disPolicy DischargePolicy
+	chgPolicy ChargePolicy
+	chgDir    float64
+	disDir    float64
+
+	lastDis []float64
+	lastChg []float64
+}
+
+// NewRuntime connects a runtime to a controller (in-process or over
+// the bus — anything implementing pmic.API).
+func NewRuntime(api pmic.API, opts Options) (*Runtime, error) {
+	if api == nil {
+		return nil, errors.New("core: nil controller API")
+	}
+	if err := api.Ping(); err != nil {
+		return nil, fmt.Errorf("core: controller unreachable: %w", err)
+	}
+	n, err := api.BatteryCount()
+	if err != nil {
+		return nil, fmt.Errorf("core: battery count: %w", err)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: controller reports %d batteries", n)
+	}
+	r := &Runtime{
+		api:    api,
+		n:      n,
+		chgDir: clamp01(opts.ChargingDirective),
+		disDir: clamp01(opts.DischargingDirective),
+	}
+	if opts.DischargePolicy != nil {
+		r.disPolicy = opts.DischargePolicy
+	}
+	if opts.ChargePolicy != nil {
+		r.chgPolicy = opts.ChargePolicy
+	}
+	if r.disPolicy == nil || r.chgPolicy == nil {
+		blended := NewBlended(r.Directives)
+		if r.disPolicy == nil {
+			r.disPolicy = blended
+		}
+		if r.chgPolicy == nil {
+			r.chgPolicy = blended
+		}
+	}
+	return r, nil
+}
+
+// Directives returns the current charging and discharging directive
+// parameters.
+func (r *Runtime) Directives() (chg, dis float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.chgDir, r.disDir
+}
+
+// SetDirectives updates the directive parameters (clamped to [0,1]).
+// High values prioritize RBL (immediate useful charge), low values
+// prioritize CCB (longevity).
+func (r *Runtime) SetDirectives(chg, dis float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.chgDir = clamp01(chg)
+	r.disDir = clamp01(dis)
+}
+
+// SetDischargePolicy swaps the discharge policy at runtime — the
+// paper's "policies upgraded with a software update" property.
+func (r *Runtime) SetDischargePolicy(p DischargePolicy) error {
+	if p == nil {
+		return errors.New("core: nil discharge policy")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.disPolicy = p
+	return nil
+}
+
+// SetChargePolicy swaps the charge policy at runtime.
+func (r *Runtime) SetChargePolicy(p ChargePolicy) error {
+	if p == nil {
+		return errors.New("core: nil charge policy")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.chgPolicy = p
+	return nil
+}
+
+// PolicyNames reports the active policy names (discharge, charge).
+func (r *Runtime) PolicyNames() (dis, chg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.disPolicy.Name(), r.chgPolicy.Name()
+}
+
+// BatteryCount returns the number of batteries under management.
+func (r *Runtime) BatteryCount() int { return r.n }
+
+// QueryBatteryStatus proxies the firmware status query.
+func (r *Runtime) QueryBatteryStatus() ([]pmic.BatteryStatus, error) {
+	return r.api.QueryBatteryStatus()
+}
+
+// Metrics returns the pack-level CCB/RBL metrics.
+func (r *Runtime) Metrics() (Metrics, error) {
+	sts, err := r.api.QueryBatteryStatus()
+	if err != nil {
+		return Metrics{}, err
+	}
+	return ComputeMetrics(sts), nil
+}
+
+// UpdateResult reports what an Update pushed to the firmware.
+type UpdateResult struct {
+	Discharge []float64
+	Charge    []float64
+	Status    []pmic.BatteryStatus
+}
+
+// Update is the runtime's periodic tick (the paper computes ratios "at
+// coarse granular time steps"): it queries battery status, runs the
+// active policies for the present load and charging power, and pushes
+// both ratio vectors to the firmware.
+func (r *Runtime) Update(loadW, chargeW float64) (UpdateResult, error) {
+	sts, err := r.api.QueryBatteryStatus()
+	if err != nil {
+		return UpdateResult{}, fmt.Errorf("core: update status query: %w", err)
+	}
+	r.mu.Lock()
+	disPolicy, chgPolicy := r.disPolicy, r.chgPolicy
+	r.mu.Unlock()
+
+	dis, err := disPolicy.DischargeRatios(sts, loadW)
+	if err != nil {
+		return UpdateResult{}, fmt.Errorf("core: %s: %w", disPolicy.Name(), err)
+	}
+	chg, err := chgPolicy.ChargeRatios(sts, chargeW)
+	if err != nil {
+		return UpdateResult{}, fmt.Errorf("core: %s: %w", chgPolicy.Name(), err)
+	}
+	if err := r.api.Discharge(dis); err != nil {
+		return UpdateResult{}, fmt.Errorf("core: push discharge ratios: %w", err)
+	}
+	if err := r.api.Charge(chg); err != nil {
+		return UpdateResult{}, fmt.Errorf("core: push charge ratios: %w", err)
+	}
+	r.mu.Lock()
+	r.lastDis = dis
+	r.lastChg = chg
+	r.mu.Unlock()
+	return UpdateResult{Discharge: dis, Charge: chg, Status: sts}, nil
+}
+
+// LastRatios returns the ratio vectors most recently pushed (nil
+// before the first Update).
+func (r *Runtime) LastRatios() (dis, chg []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.lastDis...), append([]float64(nil), r.lastChg...)
+}
+
+// RequestTransfer proxies ChargeOneFromAnother.
+func (r *Runtime) RequestTransfer(from, to int, powerW, seconds float64) error {
+	return r.api.ChargeOneFromAnother(from, to, powerW, seconds)
+}
+
+// SetChargeProfile proxies the firmware profile selection.
+func (r *Runtime) SetChargeProfile(batt int, profile string) error {
+	return r.api.SetChargeProfile(batt, profile)
+}
+
+func clamp01(x float64) float64 {
+	return math.Max(0, math.Min(1, x))
+}

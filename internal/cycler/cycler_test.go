@@ -1,0 +1,257 @@
+package cycler
+
+import (
+	"math"
+	"testing"
+
+	"sdb/internal/battery"
+)
+
+func rig(t *testing.T, name string, dt float64) *Cycler {
+	t.Helper()
+	cy, err := New(battery.MustNew(battery.MustByName(name)), dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cy
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Error("nil cell accepted")
+	}
+	if _, err := New(battery.MustNew(battery.MustByName("Watch-200")), 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+}
+
+func TestCapacityTestMatchesDesign(t *testing.T) {
+	cy := rig(t, "Standard-2000", 10)
+	res, err := cy.CapacityTest(0.4) // 0.2C on 2 Ah
+	if err != nil {
+		t.Fatal(err)
+	}
+	design := 2.0 * 3600
+	if math.Abs(res.Coulombs-design) > 0.02*design {
+		t.Errorf("measured capacity %g C, want ~%g", res.Coulombs, design)
+	}
+	if res.EnergyJ <= 0 {
+		t.Error("no energy recorded")
+	}
+}
+
+func TestCapacityTestValidation(t *testing.T) {
+	cy := rig(t, "Watch-200", 10)
+	if _, err := cy.CapacityTest(-1); err == nil {
+		t.Error("negative current accepted")
+	}
+}
+
+func TestDischargeCurveMonotoneVoltage(t *testing.T) {
+	cy := rig(t, "Standard-2000", 10)
+	pts, err := cy.DischargeCurve(1.0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 15 {
+		t.Fatalf("only %d curve points", len(pts))
+	}
+	// SoC strictly decreasing along the sweep; voltage broadly
+	// decreasing (small RC transients allowed).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SoC >= pts[i-1].SoC {
+			t.Fatalf("SoC not decreasing at %d", i)
+		}
+	}
+	if pts[len(pts)-1].Voltage >= pts[0].Voltage {
+		t.Error("terminal voltage did not fall over the discharge")
+	}
+}
+
+func TestDischargeCurveHigherCurrentLowerVoltage(t *testing.T) {
+	low, err := rig(t, "Standard-2000", 10).DischargeCurve(0.2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := rig(t, "Standard-2000", 10).DischargeCurve(0.7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare mid-curve points: higher current sags more (Figure 10).
+	if high[5].Voltage >= low[5].Voltage {
+		t.Errorf("0.7 A curve (%g V) not below 0.2 A curve (%g V)", high[5].Voltage, low[5].Voltage)
+	}
+}
+
+func TestDCIRSweepRecoversShape(t *testing.T) {
+	cy := rig(t, "Standard-2000", 1)
+	pts, err := cy.DCIRSweep(8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("got %d DCIR points", len(pts))
+	}
+	// Resistance must rise toward empty (Figure 8(c)). Compare the
+	// lowest-SoC point against the highest-SoC point.
+	lowSoC, highSoC := pts[len(pts)-1], pts[0]
+	if lowSoC.Ohm <= highSoC.Ohm {
+		t.Errorf("DCIR at SoC %.2f (%g) not above DCIR at SoC %.2f (%g)",
+			lowSoC.SoC, lowSoC.Ohm, highSoC.SoC, highSoC.Ohm)
+	}
+	// Absolute scale: mid-SoC measurement within 25% of the design.
+	design := battery.MustByName("Standard-2000")
+	mid := pts[len(pts)/2]
+	want := design.DCIR.At(mid.SoC)
+	if math.Abs(mid.Ohm-want) > 0.25*want {
+		t.Errorf("measured DCIR %g at SoC %.2f, design %g", mid.Ohm, mid.SoC, want)
+	}
+}
+
+func TestOCVSweepTracksDesignCurve(t *testing.T) {
+	cy := rig(t, "Standard-2000", 10)
+	pts, err := cy.OCVSweep(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design := battery.MustByName("Standard-2000")
+	for _, p := range pts {
+		want := design.OCV.At(p.SoC)
+		if math.Abs(p.OCV-want) > 0.06 {
+			t.Errorf("OCV at SoC %.2f = %g, design %g", p.SoC, p.OCV, want)
+		}
+	}
+}
+
+func TestMeasureRelaxationRecoversRC(t *testing.T) {
+	cy := rig(t, "Standard-2000", 1)
+	rel, err := cy.MeasureRelaxation(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design := battery.MustByName("Standard-2000")
+	if rel.R0 <= 0 || rel.Rc <= 0 || rel.Cp <= 0 {
+		t.Fatalf("non-positive RC fit: %+v", rel)
+	}
+	if math.Abs(rel.Rc-design.ConcentrationR) > 0.4*design.ConcentrationR {
+		t.Errorf("fitted Rc %g, design %g", rel.Rc, design.ConcentrationR)
+	}
+	tauWant := design.ConcentrationR * design.PlateC
+	if math.Abs(rel.Tau-tauWant) > 0.5*tauWant {
+		t.Errorf("fitted tau %g, design %g", rel.Tau, tauWant)
+	}
+}
+
+func TestCycleLifeFadesWithRate(t *testing.T) {
+	slow, err := rig(t, "Standard-2000", 30).CycleLife(20, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := rig(t, "Standard-2000", 30).CycleLife(20, 1.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endSlow := slow[len(slow)-1].CapacityFraction
+	endFast := fast[len(fast)-1].CapacityFraction
+	if endFast >= endSlow {
+		t.Errorf("fast charging retention %g not below slow %g", endFast, endSlow)
+	}
+	// Retention decreases monotonically.
+	for i := 1; i < len(slow); i++ {
+		if slow[i].CapacityFraction > slow[i-1].CapacityFraction {
+			t.Error("capacity retention increased between cycles")
+		}
+	}
+}
+
+func TestHeatLossSweepGrowsWithRate(t *testing.T) {
+	cy := rig(t, "Standard-2000", 10)
+	pts, err := cy.HeatLossSweep([]float64{0.25, 1.0, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pts[0].LossPercent < pts[1].LossPercent && pts[1].LossPercent < pts[2].LossPercent) {
+		t.Errorf("heat loss not increasing with C rate: %+v", pts)
+	}
+	if pts[2].LossPercent < 1 || pts[2].LossPercent > 40 {
+		t.Errorf("2C heat loss = %g%%, outside the plausible Figure 1(c) range", pts[2].LossPercent)
+	}
+}
+
+func TestHeatLossBendableWorst(t *testing.T) {
+	rigid, err := rig(t, "Watch-200", 10).HeatLossSweep([]float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bendable watch cell: same capacity class, solid separator.
+	bend, err := rig(t, "BendStrap-200", 10).HeatLossSweep([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bend[0].LossPercent <= rigid[0].LossPercent {
+		t.Errorf("bendable loss %g%% at 0.5C not above rigid %g%% at 1C",
+			bend[0].LossPercent, rigid[0].LossPercent)
+	}
+}
+
+func TestFitModelReproducesCell(t *testing.T) {
+	design := battery.MustByName("Standard-2000")
+	fit, err := FitModel(design, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fit.Params
+	if math.Abs(p.CapacityAh-design.CapacityAh) > 0.05*design.CapacityAh {
+		t.Errorf("fitted capacity %g Ah, design %g", p.CapacityAh, design.CapacityAh)
+	}
+	for _, soc := range []float64{0.2, 0.5, 0.8} {
+		if dv := math.Abs(p.OCV.At(soc) - design.OCV.At(soc)); dv > 0.08 {
+			t.Errorf("fitted OCV at %.1f off by %g V", soc, dv)
+		}
+		want := design.DCIR.At(soc)
+		if dr := math.Abs(p.DCIR.At(soc) - want); dr > 0.35*want {
+			t.Errorf("fitted DCIR at %.1f = %g, design %g", soc, p.DCIR.At(soc), want)
+		}
+	}
+}
+
+// TestValidateModelPaperAccuracy reproduces Figure 10's claim: the
+// fitted Thevenin model predicts terminal voltage within ~97.5%
+// accuracy across the paper's three test currents.
+func TestValidateModelPaperAccuracy(t *testing.T) {
+	design := battery.MustByName("Standard-2000")
+	fit, err := FitModel(design, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, amps := range []float64{0.2, 0.5, 0.7} {
+		val, err := ValidateModel(design, fit.Params, amps, 5)
+		if err != nil {
+			t.Fatalf("validate at %g A: %v", amps, err)
+		}
+		if val.Accuracy < 0.97 {
+			t.Errorf("model accuracy at %g A = %.3f, want >= 0.97 (paper: 0.975)", amps, val.Accuracy)
+		}
+		if len(val.Points) < 10 {
+			t.Errorf("only %d validation points at %g A", len(val.Points), amps)
+		}
+	}
+}
+
+func TestValidateModelDetectsBadModel(t *testing.T) {
+	design := battery.MustByName("Standard-2000")
+	bogus := design
+	bogus.Name = "bogus"
+	bogus.DCIR = battery.DCIRCurve(2.0) // 20x the real resistance
+	val, err := ValidateModel(design, bogus, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := ValidateModel(design, design, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.Accuracy >= good.Accuracy {
+		t.Errorf("bogus model accuracy %.3f not below true model %.3f", val.Accuracy, good.Accuracy)
+	}
+}

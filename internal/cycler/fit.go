@@ -1,0 +1,210 @@
+package cycler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sdb/internal/battery"
+)
+
+// FitResult carries a model fitted purely from rig measurements.
+type FitResult struct {
+	Params battery.Params
+	// Measurements kept for inspection.
+	OCV  []OCVPoint
+	DCIR []RPoint
+	RC   Relaxation
+}
+
+// FitModel characterizes a fresh clone of the given cell design on the
+// virtual rig and builds a Thevenin model from the measurements alone
+// — the paper's model-construction pipeline (Section 4.3). The clone
+// means fitting does not age the original cell.
+func FitModel(design battery.Params, dt float64) (FitResult, error) {
+	mk := func() (*Cycler, error) {
+		cell, err := battery.New(design)
+		if err != nil {
+			return nil, err
+		}
+		return New(cell, dt)
+	}
+
+	cyOCV, err := mk()
+	if err != nil {
+		return FitResult{}, err
+	}
+	ocv, err := cyOCV.OCVSweep(12)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("cycler: fit OCV: %w", err)
+	}
+
+	cyR, err := mk()
+	if err != nil {
+		return FitResult{}, err
+	}
+	pulseA := 0.5 * design.CapacityCoulombs() / 3600
+	dcir, err := cyR.DCIRSweep(10, pulseA)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("cycler: fit DCIR: %w", err)
+	}
+
+	cyRC, err := mk()
+	if err != nil {
+		return FitResult{}, err
+	}
+	rc, err := cyRC.MeasureRelaxation(pulseA)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("cycler: fit relaxation: %w", err)
+	}
+
+	cyCap, err := mk()
+	if err != nil {
+		return FitResult{}, err
+	}
+	capRes, err := cyCap.CapacityTest(0.2 * design.CapacityCoulombs() / 3600)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("cycler: fit capacity: %w", err)
+	}
+
+	ocvCurve, err := curveFromOCV(ocv)
+	if err != nil {
+		return FitResult{}, err
+	}
+	dcirCurve, err := curveFromDCIR(dcir)
+	if err != nil {
+		return FitResult{}, err
+	}
+
+	fitted := battery.Params{
+		Name:           design.Name + "-fitted",
+		Chem:           design.Chem,
+		CapacityAh:     capRes.Coulombs / 3600,
+		OCV:            ocvCurve,
+		DCIR:           dcirCurve,
+		ConcentrationR: math.Max(0, rc.Rc),
+		PlateC:         math.Max(0, rc.Cp),
+		MaxChargeC:     design.MaxChargeC,
+		MaxDischargeC:  design.MaxDischargeC,
+		RatedCycles:    design.RatedCycles,
+		FadePerCycle:   design.FadePerCycle,
+		FadeRefC:       design.FadeRefC,
+		FadeExponent:   design.FadeExponent,
+		VolumeL:        design.VolumeL,
+		MassKg:         design.MassKg,
+	}
+	if err := fitted.Validate(); err != nil {
+		return FitResult{}, fmt.Errorf("cycler: fitted model invalid: %w", err)
+	}
+	return FitResult{Params: fitted, OCV: ocv, DCIR: dcir, RC: rc}, nil
+}
+
+func curveFromOCV(pts []OCVPoint) (battery.Curve, error) {
+	if len(pts) < 2 {
+		return battery.Curve{}, errors.New("cycler: too few OCV points")
+	}
+	sorted := append([]OCVPoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SoC < sorted[j].SoC })
+	xs := make([]float64, 0, len(sorted))
+	ys := make([]float64, 0, len(sorted))
+	for _, p := range sorted {
+		if len(xs) > 0 && p.SoC <= xs[len(xs)-1] {
+			continue
+		}
+		xs = append(xs, p.SoC)
+		ys = append(ys, p.OCV)
+	}
+	return battery.NewCurve(xs, ys)
+}
+
+func curveFromDCIR(pts []RPoint) (battery.Curve, error) {
+	if len(pts) < 2 {
+		return battery.Curve{}, errors.New("cycler: too few DCIR points")
+	}
+	sorted := append([]RPoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SoC < sorted[j].SoC })
+	xs := make([]float64, 0, len(sorted))
+	ys := make([]float64, 0, len(sorted))
+	for _, p := range sorted {
+		if len(xs) > 0 && p.SoC <= xs[len(xs)-1] {
+			continue
+		}
+		if p.Ohm <= 0 {
+			continue
+		}
+		xs = append(xs, p.SoC)
+		ys = append(ys, p.Ohm)
+	}
+	if len(xs) < 2 {
+		return battery.Curve{}, errors.New("cycler: DCIR sweep produced no usable points")
+	}
+	return battery.NewCurve(xs, ys)
+}
+
+// ValidationResult compares a fitted model against rig measurements of
+// the real cell (Figure 10).
+type ValidationResult struct {
+	CurrentA float64
+	// Accuracy is 1 - mean relative voltage error, as the paper
+	// reports ("our model is 97.5% accurate").
+	Accuracy float64
+	// Points pairs measured and predicted voltages.
+	Points []ValidationPoint
+}
+
+// ValidationPoint is one comparison sample.
+type ValidationPoint struct {
+	SoC       float64
+	Measured  float64
+	Predicted float64
+}
+
+// ValidateModel discharges a fresh instance of the true design at the
+// given current on the rig, predicts the same curve with the fitted
+// model, and reports accuracy.
+func ValidateModel(design, fitted battery.Params, currentA, dt float64) (ValidationResult, error) {
+	truthCell, err := battery.New(design)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	rig, err := New(truthCell, dt)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	measured, err := rig.DischargeCurve(currentA, 20)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+
+	modelCell, err := battery.New(fitted)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	// Step the model at the same current, sampling at the measured SoC
+	// points.
+	out := ValidationResult{CurrentA: currentA}
+	idx := 0
+	var sumRelErr float64
+	for !modelCell.Empty() && idx < len(measured) {
+		res := modelCell.StepCurrent(currentA, dt)
+		if modelCell.SoC() <= measured[idx].SoC {
+			m := measured[idx]
+			out.Points = append(out.Points, ValidationPoint{
+				SoC:       m.SoC,
+				Measured:  m.Voltage,
+				Predicted: res.TerminalV,
+			})
+			sumRelErr += math.Abs(res.TerminalV-m.Voltage) / m.Voltage
+			idx++
+		}
+		if res.ChargeMoved == 0 {
+			break
+		}
+	}
+	if len(out.Points) == 0 {
+		return ValidationResult{}, errors.New("cycler: validation produced no comparison points")
+	}
+	out.Accuracy = 1 - sumRelErr/float64(len(out.Points))
+	return out, nil
+}

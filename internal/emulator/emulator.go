@@ -1,0 +1,205 @@
+// Package emulator is the multi-battery emulator of Section 4.3: it
+// steps a workload trace through the full SDB stack — the OS-side
+// runtime recomputing ratios at coarse time steps, the microcontroller
+// enforcing them every step, and the Thevenin cells integrating the
+// resulting currents — and records the time series the Section 5
+// experiments plot.
+package emulator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sdb/internal/battery"
+	"sdb/internal/core"
+	"sdb/internal/pmic"
+	"sdb/internal/workload"
+)
+
+// Config describes one emulation run.
+type Config struct {
+	// Controller is the firmware under test.
+	Controller *pmic.Controller
+	// Runtime is the policy stack; nil runs firmware-only with its
+	// latched ratios (the "hardcoded" configuration of Section 7).
+	Runtime *core.Runtime
+	// Trace drives the load and external supply.
+	Trace *workload.Trace
+	// PolicyEveryS is how often the runtime recomputes ratios (the
+	// paper's coarse-grained policy step). Default 60 s.
+	PolicyEveryS float64
+	// StopWhenDrained ends the run at the first brownout (daily
+	// battery-life experiments measure time to empty).
+	StopWhenDrained bool
+	// RecordEveryS throttles series recording. Default: every step.
+	RecordEveryS float64
+	// DirectiveFn, when set, is consulted at every policy step with
+	// the current simulation time and may adjust runtime directives or
+	// policies — the hook the paper's schedule-aware OS logic uses.
+	DirectiveFn func(tS float64, rt *core.Runtime)
+}
+
+// Series holds the recorded waveforms.
+type Series struct {
+	T            []float64
+	LoadW        []float64
+	DeliveredW   []float64
+	CircuitLossW []float64
+	BatteryLossW []float64
+	SoC          [][]float64 // [cell][sample]
+}
+
+// Result summarizes a run.
+type Result struct {
+	Series *Series
+	// DrainedAtS is when the pack first failed to meet the load
+	// (negative if it never did).
+	DrainedAtS float64
+	// CellDrainedAtS records when each cell first hit empty (negative
+	// if never).
+	CellDrainedAtS []float64
+	// Energy totals over the run (joules).
+	DeliveredJ    float64
+	CircuitLossJ  float64
+	BatteryLossJ  float64
+	ChargedJ      float64
+	BrownoutSteps int
+	// FinalMetrics is the pack metric snapshot at the end.
+	FinalMetrics core.Metrics
+	// Elapsed is the simulated time covered (may be shorter than the
+	// trace with StopWhenDrained).
+	ElapsedS float64
+}
+
+// Run executes the emulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Controller == nil {
+		return nil, errors.New("emulator: config needs a controller")
+	}
+	if cfg.Trace == nil {
+		return nil, errors.New("emulator: config needs a trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
+	if cfg.PolicyEveryS <= 0 {
+		cfg.PolicyEveryS = 60
+	}
+	dt := cfg.Trace.DT
+	recordEvery := 1
+	if cfg.RecordEveryS > dt {
+		recordEvery = int(math.Round(cfg.RecordEveryS / dt))
+	}
+
+	n := cfg.Controller.Pack().N()
+	res := &Result{
+		DrainedAtS:     -1,
+		CellDrainedAtS: make([]float64, n),
+		Series: &Series{
+			SoC: make([][]float64, n),
+		},
+	}
+	for i := range res.CellDrainedAtS {
+		res.CellDrainedAtS[i] = -1
+	}
+
+	nextPolicy := 0.0
+	for k := 0; k < cfg.Trace.Len(); k++ {
+		t := float64(k) * dt
+		loadW, extW := cfg.Trace.At(t)
+
+		if cfg.Runtime != nil && t >= nextPolicy {
+			if cfg.DirectiveFn != nil {
+				cfg.DirectiveFn(t, cfg.Runtime)
+			}
+			if _, err := cfg.Runtime.Update(loadW, extW); err != nil {
+				return nil, fmt.Errorf("emulator: policy update at t=%g: %w", t, err)
+			}
+			nextPolicy = t + cfg.PolicyEveryS
+		}
+
+		rep, err := cfg.Controller.Step(loadW, extW, dt)
+		if err != nil {
+			return nil, fmt.Errorf("emulator: step at t=%g: %w", t, err)
+		}
+
+		res.DeliveredJ += rep.DeliveredW * dt
+		res.CircuitLossJ += rep.CircuitLossW * dt
+		res.BatteryLossJ += rep.BatteryLossW * dt
+		res.ChargedJ += rep.ChargedW * dt
+		res.ElapsedS = t + dt
+
+		for i := 0; i < n; i++ {
+			if res.CellDrainedAtS[i] < 0 && cfg.Controller.Pack().Cell(i).Empty() {
+				res.CellDrainedAtS[i] = t
+			}
+		}
+		if rep.Faults&pmic.FaultBrownout != 0 {
+			res.BrownoutSteps++
+			if res.DrainedAtS < 0 {
+				res.DrainedAtS = t
+			}
+			if cfg.StopWhenDrained {
+				break
+			}
+		}
+
+		if k%recordEvery == 0 {
+			s := res.Series
+			s.T = append(s.T, t)
+			s.LoadW = append(s.LoadW, loadW)
+			s.DeliveredW = append(s.DeliveredW, rep.DeliveredW)
+			s.CircuitLossW = append(s.CircuitLossW, rep.CircuitLossW)
+			s.BatteryLossW = append(s.BatteryLossW, rep.BatteryLossW)
+			for i := 0; i < n; i++ {
+				s.SoC[i] = append(s.SoC[i], cfg.Controller.Pack().Cell(i).SoC())
+			}
+		}
+	}
+
+	sts, err := cfg.Controller.QueryBatteryStatus()
+	if err != nil {
+		return nil, err
+	}
+	res.FinalMetrics = core.ComputeMetrics(sts)
+	return res, nil
+}
+
+// Stack bundles a freshly wired controller + runtime for scenario code.
+type Stack struct {
+	Pack       *battery.Pack
+	Controller *pmic.Controller
+	Runtime    *core.Runtime
+}
+
+// NewStack builds a pack from cell parameters (all cells at the given
+// initial state of charge), a default-configured controller, and a
+// runtime with the given options.
+func NewStack(initialSoC float64, opts core.Options, cellParams ...battery.Params) (*Stack, error) {
+	if len(cellParams) == 0 {
+		return nil, errors.New("emulator: stack needs at least one cell")
+	}
+	cells := make([]*battery.Cell, 0, len(cellParams))
+	for _, p := range cellParams {
+		c, err := battery.New(p)
+		if err != nil {
+			return nil, err
+		}
+		c.SetSoC(initialSoC)
+		cells = append(cells, c)
+	}
+	pack, err := battery.NewPack(cells...)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := pmic.NewController(pmic.DefaultConfig(pack))
+	if err != nil {
+		return nil, err
+	}
+	rt, err := core.NewRuntime(ctrl, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{Pack: pack, Controller: ctrl, Runtime: rt}, nil
+}

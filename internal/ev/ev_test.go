@@ -1,0 +1,258 @@
+package ev
+
+import (
+	"math"
+	"testing"
+
+	"sdb/internal/core"
+)
+
+func TestSegmentValidation(t *testing.T) {
+	good := Segment{DurationS: 60, GradePct: 2, SpeedKmh: 80}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid segment rejected: %v", err)
+	}
+	bad := []Segment{
+		{DurationS: 0, SpeedKmh: 80},
+		{DurationS: 60, SpeedKmh: -1},
+		{DurationS: 60, GradePct: 45, SpeedKmh: 80},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad segment %d accepted", i)
+		}
+	}
+}
+
+func TestVehicleValidation(t *testing.T) {
+	if err := DefaultVehicle().Validate(); err != nil {
+		t.Fatalf("default vehicle invalid: %v", err)
+	}
+	v := DefaultVehicle()
+	v.DrivetrainEff = 1.5
+	if err := v.Validate(); err == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+	v = DefaultVehicle()
+	v.MassKg = 0
+	if err := v.Validate(); err == nil {
+		t.Error("zero mass accepted")
+	}
+}
+
+func TestWheelPowerPhysics(t *testing.T) {
+	v := DefaultVehicle()
+	flat := v.WheelPowerW(Segment{DurationS: 1, GradePct: 0, SpeedKmh: 100})
+	// Mid-size EV cruising at 100 km/h: 10-16 kW at the wheels.
+	if flat < 8e3 || flat > 18e3 {
+		t.Errorf("100 km/h cruise = %.0f W, want 8-18 kW", flat)
+	}
+	climb := v.WheelPowerW(Segment{DurationS: 1, GradePct: 6, SpeedKmh: 70})
+	if climb <= flat {
+		t.Error("climbing should cost more than cruising")
+	}
+	descent := v.WheelPowerW(Segment{DurationS: 1, GradePct: -6, SpeedKmh: 70})
+	if descent >= 0 {
+		t.Errorf("6%% descent should offer regen, got %.0f W", descent)
+	}
+	if v.WheelPowerW(Segment{SpeedKmh: 0, DurationS: 1}) != 0 {
+		t.Error("standing still should cost nothing at the wheels")
+	}
+}
+
+func TestBatteryPowerConversions(t *testing.T) {
+	v := DefaultVehicle()
+	loadW, regenW := v.BatteryPowerW(Segment{DurationS: 1, GradePct: 0, SpeedKmh: 90})
+	if regenW != 0 {
+		t.Error("flat cruise offered regen")
+	}
+	wheel := v.WheelPowerW(Segment{DurationS: 1, GradePct: 0, SpeedKmh: 90})
+	if want := wheel/v.DrivetrainEff + v.AuxW; math.Abs(loadW-want) > 1 {
+		t.Errorf("battery load = %.0f, want %.0f", loadW, want)
+	}
+	loadW, regenW = v.BatteryPowerW(Segment{DurationS: 1, GradePct: -6, SpeedKmh: 70})
+	if loadW != v.AuxW {
+		t.Errorf("descent load = %.0f, want aux only", loadW)
+	}
+	if regenW <= 0 {
+		t.Error("descent offered no regen")
+	}
+}
+
+func TestRouteTrace(t *testing.T) {
+	tr, err := RouteTrace("pass", DefaultVehicle(), MountainPass(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Duration()-1680) > 2 {
+		t.Errorf("mountain pass duration = %.0f s", tr.Duration())
+	}
+	// Regen channel present only on the descent.
+	_, regenFlat := tr.At(100)
+	if regenFlat != 0 {
+		t.Error("regen on the flat")
+	}
+	_, regenDescent := tr.At(300 + 480 + 100)
+	if regenDescent <= 0 {
+		t.Error("no regen on the descent")
+	}
+	if _, err := RouteTrace("x", DefaultVehicle(), nil, 1); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, err := RouteTrace("x", DefaultVehicle(), MountainPass(), 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+}
+
+func TestRouteRegenMountainVsCity(t *testing.T) {
+	v := DefaultVehicle()
+	mountain := RouteRegenJ(v, MountainPass())
+	if mountain <= 0 {
+		t.Fatal("mountain pass offers no regen")
+	}
+	city := RouteRegenJ(v, CityLoop())
+	if city <= 0 {
+		t.Fatal("city loop offers no regen")
+	}
+}
+
+func TestEVPacksValid(t *testing.T) {
+	for _, p := range []func() (interface{ Validate() error }, string){
+		func() (interface{ Validate() error }, string) { pp := EnergyPackParams(); return pp, "energy" },
+		func() (interface{ Validate() error }, string) { pp := PowerPackParams(); return pp, "power" },
+	} {
+		params, name := p()
+		if err := params.Validate(); err != nil {
+			t.Errorf("%s pack invalid: %v", name, err)
+		}
+	}
+	e, w := EnergyPackParams(), PowerPackParams()
+	if e.MaxChargeC >= w.MaxChargeC {
+		t.Error("energy pack should accept charge far slower than the buffer")
+	}
+	if e.EnergyWh() <= w.EnergyWh() {
+		t.Error("energy pack should store more than the buffer")
+	}
+	// Pack voltages are EV-scale.
+	if e.NominalVoltage() < 250 || w.NominalVoltage() < 250 {
+		t.Errorf("pack voltages %g / %g V, want hundreds", e.NominalVoltage(), w.NominalVoltage())
+	}
+}
+
+func TestNavigatorHorizon(t *testing.T) {
+	v := DefaultVehicle()
+	nav, err := NewNavigator(v, MountainPass(), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Just before the descent (starts at 780 s) the horizon is full of
+	// regen; on the closing flat it is not.
+	preDescent := nav.UpcomingRegenJ(700)
+	late := nav.UpcomingRegenJ(1400)
+	if preDescent <= late {
+		t.Errorf("regen lookahead: pre-descent %.0f, closing flat %.0f", preDescent, late)
+	}
+	// The climb (starting at 300 s) dominates the peak seen from the
+	// approach; the closing flat sees only cruise power.
+	climbPeak := nav.UpcomingPeakLoadW(250)
+	flatPeak := nav.UpcomingPeakLoadW(1400)
+	if climbPeak <= flatPeak {
+		t.Errorf("peak lookahead: pre-climb %.0f, closing flat %.0f", climbPeak, flatPeak)
+	}
+}
+
+func TestNavigatorValidation(t *testing.T) {
+	if _, err := NewNavigator(DefaultVehicle(), nil, 600); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, err := NewNavigator(DefaultVehicle(), MountainPass(), 0); err == nil {
+		t.Error("zero lookahead accepted")
+	}
+	v := DefaultVehicle()
+	v.MassKg = -1
+	if _, err := NewNavigator(v, MountainPass(), 600); err == nil {
+		t.Error("invalid vehicle accepted")
+	}
+}
+
+// TestNavBeatsEitherOrBaseline is the scenario's headline: the
+// route-aware navigator captures far more regenerative energy than the
+// either-or baseline (energy pack only, buffer held as a static
+// reserve) and finishes the route with less chemical energy consumed.
+func TestNavBeatsEitherOrBaseline(t *testing.T) {
+	v := DefaultVehicle()
+	route := MountainPass()
+
+	baseStack, err := NewStack(0.98, core.Options{
+		DischargePolicy: core.FixedRatios{Label: "either-or", Ratios: []float64{1, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Drive(baseStack, v, route, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blindStack, err := NewStack(0.98, core.Options{
+		DischargePolicy: core.RBLDischarge{DerivativeAware: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := Drive(blindStack, v, route, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	navStack, err := NewStack(0.98, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nav, err := NewNavigator(v, route, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := Drive(navStack, v, route, nav)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if base.RegenOfferedJ <= 0 {
+		t.Fatal("route offered no regen")
+	}
+	if aware.CaptureFraction() < base.CaptureFraction()+0.2 {
+		t.Errorf("nav capture %.2f not clearly above baseline %.2f",
+			aware.CaptureFraction(), base.CaptureFraction())
+	}
+	// Section 3.3's caveat, quantified: the instantaneously-optimal
+	// RBL policy avoids the lossy buffer and so has no headroom when
+	// the descent arrives.
+	if aware.CaptureFraction() < blind.CaptureFraction()+0.1 {
+		t.Errorf("nav capture %.2f not clearly above route-blind RBL %.2f",
+			aware.CaptureFraction(), blind.CaptureFraction())
+	}
+	if aware.NetBatteryJ >= base.NetBatteryJ {
+		t.Errorf("nav consumed %.0f J, baseline %.0f J — route awareness should save energy",
+			aware.NetBatteryJ, base.NetBatteryJ)
+	}
+}
+
+func TestDriveDeliversTractionEnergy(t *testing.T) {
+	st, err := NewStack(0.95, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := DefaultVehicle()
+	res, err := Drive(st, v, MountainPass(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RouteTrace("check", v, MountainPass(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DeliveredJ-tr.EnergyJ()) > 0.05*tr.EnergyJ() {
+		t.Errorf("delivered %.0f J, route demands %.0f J", res.DeliveredJ, tr.EnergyJ())
+	}
+}

@@ -1,0 +1,177 @@
+package ev
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sdb/internal/core"
+)
+
+// Navigator turns route knowledge into SDB policy, the paper's NAV
+// hint. Looking a few minutes ahead it answers two questions:
+//
+//  1. Is regenerative energy coming? Then the buffer needs headroom
+//     now: bias discharge onto the buffer so braking energy has
+//     somewhere to go when the descent arrives.
+//  2. Is a climb coming? Then the buffer should be preserved so it can
+//     assist with peak power.
+//
+// Otherwise the navigator defers to loss-minimizing RBL.
+type Navigator struct {
+	vehicle Vehicle
+	route   []Segment
+	// cumulative start time of each segment
+	starts []float64
+	// LookaheadS is the planning horizon.
+	LookaheadS float64
+}
+
+// NewNavigator builds a navigator for a fixed route.
+func NewNavigator(v Vehicle, route []Segment, lookaheadS float64) (*Navigator, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if len(route) == 0 {
+		return nil, errors.New("ev: navigator needs a route")
+	}
+	if lookaheadS <= 0 {
+		return nil, fmt.Errorf("ev: lookahead %g must be positive", lookaheadS)
+	}
+	n := &Navigator{vehicle: v, route: route, LookaheadS: lookaheadS}
+	t := 0.0
+	for i, seg := range route {
+		if err := seg.Validate(); err != nil {
+			return nil, fmt.Errorf("ev: segment %d: %w", i, err)
+		}
+		n.starts = append(n.starts, t)
+		t += seg.DurationS
+	}
+	return n, nil
+}
+
+// UpcomingRegenJ integrates the regenerative energy available in
+// [tS, tS+LookaheadS].
+func (n *Navigator) UpcomingRegenJ(tS float64) float64 {
+	return n.integrate(tS, func(regenW float64) float64 { return regenW })
+}
+
+// UpcomingPeakLoadW returns the highest battery power demand in the
+// horizon.
+func (n *Navigator) UpcomingPeakLoadW(tS float64) float64 {
+	var peak float64
+	n.forEach(tS, func(seg Segment, overlapS float64) {
+		loadW, _ := n.vehicle.BatteryPowerW(seg)
+		peak = math.Max(peak, loadW)
+	})
+	return peak
+}
+
+func (n *Navigator) integrate(tS float64, f func(regenW float64) float64) float64 {
+	var sum float64
+	n.forEach(tS, func(seg Segment, overlapS float64) {
+		_, regenW := n.vehicle.BatteryPowerW(seg)
+		sum += f(regenW) * overlapS
+	})
+	return sum
+}
+
+// forEach visits route segments overlapping [tS, tS+LookaheadS] with
+// the overlap duration.
+func (n *Navigator) forEach(tS float64, visit func(seg Segment, overlapS float64)) {
+	end := tS + n.LookaheadS
+	for i, seg := range n.route {
+		s0 := n.starts[i]
+		s1 := s0 + seg.DurationS
+		lo := math.Max(tS, s0)
+		hi := math.Min(end, s1)
+		if hi > lo {
+			visit(seg, hi-lo)
+		}
+	}
+}
+
+// Tick is the per-policy-step hook: it inspects the horizon and
+// reconfigures the runtime. bufferHeadroomJ is how much regen the
+// buffer can still absorb.
+func (n *Navigator) Tick(tS float64, rt *core.Runtime, bufferHeadroomJ, bufferMaxW float64) {
+	regen := n.UpcomingRegenJ(tS)
+	peak := n.UpcomingPeakLoadW(tS)
+	switch {
+	case regen > bufferHeadroomJ*1.05:
+		// A descent is coming and the buffer cannot swallow it: spend
+		// the buffer now. Bias discharge strongly onto the buffer.
+		_ = rt.SetDischargePolicy(core.FixedRatios{
+			Label:  "nav-predrain",
+			Ratios: []float64{0.1, 0.9},
+		})
+	case peak > bufferMaxW*0.8:
+		// A climb is coming: preserve the buffer so it can assist at
+		// the peak (reserve semantics, spill to the buffer only at
+		// high power).
+		_ = rt.SetDischargePolicy(core.Reserve{ReserveIdx: PowerIdx, HighPowerW: peak * 0.8})
+	default:
+		_ = rt.SetDischargePolicy(core.RBLDischarge{DerivativeAware: true})
+	}
+	// Regen always prefers the buffer; overflow goes to the energy
+	// pack at whatever trickle it accepts.
+	_ = rt.SetChargePolicy(core.FixedRatios{Label: "nav-regen", Ratios: []float64{0.15, 0.85}})
+}
+
+// Drive runs the route on the stack. If nav is nil the run is the
+// route-blind baseline (the runtime keeps its configured policies).
+// It returns the run summary.
+func Drive(st *Stack, v Vehicle, route []Segment, nav *Navigator) (DriveResult, error) {
+	tr, err := RouteTrace("ev-route", v, route, 1)
+	if err != nil {
+		return DriveResult{}, err
+	}
+	var res DriveResult
+	res.RegenOfferedJ = RouteRegenJ(v, route)
+	chemBefore := st.Pack.EnergyRemainingJ()
+
+	var nextPolicy float64
+	for k := 0; k < tr.Len(); k++ {
+		tS := float64(k) * tr.DT
+		loadW, regenW := tr.At(tS)
+		if tS >= nextPolicy {
+			if nav != nil {
+				buffer := st.Pack.Cell(PowerIdx)
+				headroom := (1 - buffer.SoC()) * buffer.Capacity() * buffer.OCV()
+				nav.Tick(tS, st.Runtime, headroom, buffer.MaxDischargePower())
+			}
+			if _, err := st.Runtime.Update(loadW, regenW); err != nil {
+				return DriveResult{}, err
+			}
+			nextPolicy = tS + 10
+		}
+		rep, err := st.Controller.Step(loadW, regenW, tr.DT)
+		if err != nil {
+			return DriveResult{}, err
+		}
+		res.RegenCapturedJ += rep.ChargedW * tr.DT
+		res.DeliveredJ += rep.DeliveredW * tr.DT
+	}
+	res.NetBatteryJ = chemBefore - st.Pack.EnergyRemainingJ()
+	return res, nil
+}
+
+// DriveResult summarizes a route run.
+type DriveResult struct {
+	// RegenOfferedJ is the braking energy the route made available.
+	RegenOfferedJ float64
+	// RegenCapturedJ is what the pack actually absorbed.
+	RegenCapturedJ float64
+	// DeliveredJ is traction+aux energy served.
+	DeliveredJ float64
+	// NetBatteryJ is chemical energy consumed from the packs.
+	NetBatteryJ float64
+}
+
+// CaptureFraction is captured / offered regen.
+func (r DriveResult) CaptureFraction() float64 {
+	if r.RegenOfferedJ <= 0 {
+		return 0
+	}
+	return r.RegenCapturedJ / r.RegenOfferedJ
+}

@@ -1,0 +1,173 @@
+// Package ev carries SDB to electric vehicles, the paper's Section 8
+// direction: "an EV's NAV system could provide the vehicle's route as
+// a hint to the SDB Runtime, which could then decide the appropriate
+// batteries based on traffic, hills, temperature, and other factors."
+//
+// The package models a two-pack EV — a large high-energy pack that
+// accepts regenerative charge only slowly, plus a smaller high-power
+// buffer pack that absorbs regen at high rates — and a Navigator that
+// uses the route ahead to pre-drain the buffer before descents (so
+// braking energy has somewhere to go) and reserve it before climbs.
+package ev
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sdb/internal/workload"
+)
+
+// Segment is one leg of a route.
+type Segment struct {
+	// DurationS is how long the vehicle spends on the leg.
+	DurationS float64
+	// GradePct is the road grade in percent (positive uphill).
+	GradePct float64
+	// SpeedKmh is the average speed on the leg.
+	SpeedKmh float64
+}
+
+// Validate checks segment sanity.
+func (s Segment) Validate() error {
+	switch {
+	case s.DurationS <= 0:
+		return errors.New("ev: segment needs positive duration")
+	case s.SpeedKmh < 0:
+		return errors.New("ev: negative speed")
+	case math.Abs(s.GradePct) > 30:
+		return fmt.Errorf("ev: grade %g%% implausible", s.GradePct)
+	}
+	return nil
+}
+
+// Vehicle is the longitudinal-dynamics parameter set.
+type Vehicle struct {
+	MassKg        float64
+	CdA           float64 // drag area, m^2
+	Crr           float64 // rolling resistance coefficient
+	DrivetrainEff float64 // battery-to-wheel efficiency while driving
+	RegenEff      float64 // wheel-to-battery efficiency while braking
+	AuxW          float64 // HVAC, electronics
+}
+
+// DefaultVehicle returns a mid-size EV.
+func DefaultVehicle() Vehicle {
+	return Vehicle{
+		MassKg:        1800,
+		CdA:           0.60,
+		Crr:           0.010,
+		DrivetrainEff: 0.90,
+		RegenEff:      0.65,
+		AuxW:          800,
+	}
+}
+
+// Validate checks vehicle sanity.
+func (v Vehicle) Validate() error {
+	switch {
+	case v.MassKg <= 0 || v.CdA <= 0 || v.Crr < 0:
+		return errors.New("ev: vehicle needs positive mass and drag area")
+	case v.DrivetrainEff <= 0 || v.DrivetrainEff > 1:
+		return fmt.Errorf("ev: drivetrain efficiency %g out of (0,1]", v.DrivetrainEff)
+	case v.RegenEff < 0 || v.RegenEff > 1:
+		return fmt.Errorf("ev: regen efficiency %g out of [0,1]", v.RegenEff)
+	case v.AuxW < 0:
+		return errors.New("ev: negative auxiliary load")
+	}
+	return nil
+}
+
+const (
+	gravity    = 9.81
+	airDensity = 1.20
+)
+
+// WheelPowerW returns the signed power at the wheels for a segment:
+// positive means the motor drives, negative means braking energy is
+// available.
+func (v Vehicle) WheelPowerW(s Segment) float64 {
+	ms := s.SpeedKmh / 3.6
+	rolling := v.MassKg * gravity * v.Crr
+	aero := 0.5 * airDensity * v.CdA * ms * ms
+	grade := v.MassKg * gravity * s.GradePct / 100
+	return (rolling + aero + grade) * ms
+}
+
+// BatteryPowerW converts wheel power to battery-terminal power: drive
+// power is divided by drivetrain efficiency (plus auxiliaries);
+// available regen is multiplied by the regen efficiency (auxiliaries
+// still drain).
+func (v Vehicle) BatteryPowerW(s Segment) (loadW, regenW float64) {
+	wheel := v.WheelPowerW(s)
+	if wheel >= 0 {
+		return wheel/v.DrivetrainEff + v.AuxW, 0
+	}
+	return v.AuxW, -wheel * v.RegenEff
+}
+
+// RouteTrace renders a route as a workload trace: Load is the battery
+// power demand and External the regenerative supply.
+func RouteTrace(name string, v Vehicle, route []Segment, dt float64) (*workload.Trace, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if len(route) == 0 {
+		return nil, errors.New("ev: empty route")
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("ev: dt %g must be positive", dt)
+	}
+	tr := &workload.Trace{Name: name, DT: dt}
+	for i, seg := range route {
+		if err := seg.Validate(); err != nil {
+			return nil, fmt.Errorf("ev: segment %d: %w", i, err)
+		}
+		loadW, regenW := v.BatteryPowerW(seg)
+		n := int(math.Round(seg.DurationS / dt))
+		for k := 0; k < n; k++ {
+			tr.Load = append(tr.Load, loadW)
+			tr.External = append(tr.External, regenW)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// MountainPass is the scenario route: a short flat approach, a climb,
+// then a fast steep descent whose regenerative power far exceeds what
+// the traction pack alone can accept — the buffer must have headroom
+// ready, which is exactly what route awareness buys.
+func MountainPass() []Segment {
+	return []Segment{
+		{DurationS: 300, GradePct: 0, SpeedKmh: 90},
+		{DurationS: 480, GradePct: 6, SpeedKmh: 70},
+		{DurationS: 600, GradePct: -8, SpeedKmh: 90},
+		{DurationS: 300, GradePct: 0, SpeedKmh: 90},
+	}
+}
+
+// CityLoop alternates moderate cruising with frequent short
+// deceleration (stop-and-go regen).
+func CityLoop() []Segment {
+	var route []Segment
+	for i := 0; i < 12; i++ {
+		route = append(route,
+			Segment{DurationS: 120, GradePct: 0, SpeedKmh: 50},
+			Segment{DurationS: 30, GradePct: -4, SpeedKmh: 35},
+		)
+	}
+	return route
+}
+
+// RouteRegenJ sums the regenerative energy a route offers.
+func RouteRegenJ(v Vehicle, route []Segment) float64 {
+	var sum float64
+	for _, seg := range route {
+		_, regenW := v.BatteryPowerW(seg)
+		sum += regenW * seg.DurationS
+	}
+	return sum
+}

@@ -1,0 +1,185 @@
+package pmic
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sdb/internal/bus"
+)
+
+// Client speaks the SDB control protocol to a remote controller over
+// any stream transport (the prototype's Bluetooth link, a TCP socket,
+// or an in-process pipe). It implements API, so the SDB Runtime can
+// run against a remote microcontroller exactly as it runs against an
+// in-process one.
+//
+// The protocol is strictly request/response; Client serializes calls
+// with a mutex and matches responses by sequence number.
+type Client struct {
+	mu  sync.Mutex
+	rw  io.ReadWriter
+	seq byte
+
+	// Timeout bounds each round trip when the transport supports
+	// deadlines (net.Conn does). Zero means wait forever — fine for
+	// in-process pipes to a live server, essential to change when the
+	// link can drop frames (the firmware never answers a request it
+	// never received intact).
+	Timeout time.Duration
+}
+
+// deadliner is the optional transport capability Timeout needs.
+type deadliner interface {
+	SetDeadline(time.Time) error
+}
+
+var _ API = (*Client)(nil)
+
+// NewClient wraps a transport.
+func NewClient(rw io.ReadWriter) *Client { return &Client{rw: rw} }
+
+// call performs one round trip.
+func (c *Client) call(cmd byte, payload []byte) (*bus.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Timeout > 0 {
+		if d, ok := c.rw.(deadliner); ok {
+			if err := d.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+				return nil, fmt.Errorf("pmic: client deadline: %w", err)
+			}
+		}
+	}
+	c.seq++
+	seq := c.seq
+	if err := bus.WriteFrame(c.rw, bus.Frame{Cmd: cmd, Seq: seq, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("pmic: client write: %w", err)
+	}
+	for {
+		resp, err := bus.ReadFrame(c.rw)
+		if err != nil {
+			return nil, fmt.Errorf("pmic: client read: %w", err)
+		}
+		if resp.Seq != seq || resp.Cmd != cmd|RespFlag {
+			continue // stale response from a timed-out earlier call
+		}
+		r := bus.NewReader(resp.Payload)
+		if status := r.U8(); status != StatusOK {
+			return nil, statusToError(cmd, status)
+		}
+		return r, nil
+	}
+}
+
+func statusToError(cmd byte, status byte) error {
+	var what string
+	switch status {
+	case StatusBadArgs:
+		what = "bad arguments"
+	case StatusBadIndex:
+		what = "bad battery index"
+	case StatusInternal:
+		what = "internal controller error"
+	case StatusBadCmd:
+		what = "unknown command"
+	default:
+		what = fmt.Sprintf("status %#02x", status)
+	}
+	return fmt.Errorf("pmic: command %#02x rejected: %s", cmd, what)
+}
+
+// Ping implements API.
+func (c *Client) Ping() error {
+	_, err := c.call(CmdPing, nil)
+	return err
+}
+
+func ratioPayload(ratios []float64) []byte {
+	var w bus.Writer
+	w.U8(byte(len(ratios)))
+	for _, r := range ratios {
+		w.F64(r)
+	}
+	return w.Bytes()
+}
+
+// Discharge implements API.
+func (c *Client) Discharge(ratios []float64) error {
+	_, err := c.call(CmdSetDischg, ratioPayload(ratios))
+	return err
+}
+
+// Charge implements API.
+func (c *Client) Charge(ratios []float64) error {
+	_, err := c.call(CmdSetCharge, ratioPayload(ratios))
+	return err
+}
+
+// ChargeOneFromAnother implements API.
+func (c *Client) ChargeOneFromAnother(x, y int, w, t float64) error {
+	var p bus.Writer
+	p.U8(byte(x)).U8(byte(y)).F64(w).F64(t)
+	_, err := c.call(CmdTransfer, p.Bytes())
+	return err
+}
+
+// QueryBatteryStatus implements API.
+func (c *Client) QueryBatteryStatus() ([]BatteryStatus, error) {
+	r, err := c.call(CmdQueryStatus, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U8())
+	out := make([]BatteryStatus, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, decodeStatus(r))
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("pmic: malformed status response: %w", err)
+	}
+	return out, nil
+}
+
+// SetChargeProfile implements API.
+func (c *Client) SetChargeProfile(batt int, profile string) error {
+	var p bus.Writer
+	p.U8(byte(batt)).Str(profile)
+	_, err := c.call(CmdSetProfile, p.Bytes())
+	return err
+}
+
+// Ratios fetches the firmware's latched discharge and charge ratio
+// registers.
+func (c *Client) Ratios() (dis, chg []float64, err error) {
+	r, err := c.call(CmdGetRatios, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := int(r.U8())
+	dis = make([]float64, n)
+	chg = make([]float64, n)
+	for i := range dis {
+		dis[i] = r.F64()
+	}
+	for i := range chg {
+		chg[i] = r.F64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, fmt.Errorf("pmic: malformed ratios response: %w", err)
+	}
+	return dis, chg, nil
+}
+
+// BatteryCount implements API.
+func (c *Client) BatteryCount() (int, error) {
+	r, err := c.call(CmdBattCount, nil)
+	if err != nil {
+		return 0, err
+	}
+	n := int(r.U8())
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,590 @@
+// Package pmic emulates the SDB microcontroller firmware (Section 3.2,
+// Figure 4(c)): the mechanism half of the SDB split. The controller
+// owns the discharge path, one synchronous reversible buck channel per
+// battery, the per-battery fuel gauges, and a small register file of
+// charge/discharge ratios and charge-profile selections. It enforces
+// whatever ratios the OS last set; all policy lives above it in the
+// SDB Runtime (internal/core), mirroring the paper's
+// mechanism-in-hardware / policy-in-OS design.
+//
+// The controller exposes the same four operations the paper's API
+// defines — Charge, Discharge, ChargeOneFromAnother, and
+// QueryBatteryStatus — both as direct method calls and over the bus
+// protocol (protocol.go, client.go).
+package pmic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"sdb/internal/battery"
+	"sdb/internal/circuit"
+	"sdb/internal/fuelgauge"
+)
+
+// BatteryStatus is the per-battery record QueryBatteryStatus returns:
+// the paper names state of charge, terminal voltage, and cycle count;
+// the firmware also reports the capability numbers policies need.
+type BatteryStatus struct {
+	Index            int
+	Name             string
+	Chem             string
+	SoC              float64
+	TerminalV        float64
+	CycleCount       float64
+	WearRatio        float64
+	RatedCycles      float64
+	CapacityFraction float64
+	CapacityCoulombs float64
+	DCIR             float64
+	DCIRSlope        float64
+	MaxDischargeW    float64
+	MaxChargeW       float64
+	MaxChargeA       float64
+	EnergyRemainingJ float64
+	TemperatureC     float64
+	Bendable         bool
+}
+
+// API is the operation set the SDB Runtime needs from the controller.
+// Both the in-process Controller and the bus Client implement it, so a
+// policy stack can run against local hardware or a remote
+// microcontroller unchanged.
+type API interface {
+	// Ping verifies the control link.
+	Ping() error
+	// Charge sets the charging power ratios (must sum to 1).
+	Charge(ratios []float64) error
+	// Discharge sets the discharging power ratios (must sum to 1).
+	Discharge(ratios []float64) error
+	// ChargeOneFromAnother charges battery y from battery x with power
+	// w (watts) for t seconds.
+	ChargeOneFromAnother(x, y int, w, t float64) error
+	// QueryBatteryStatus reports per-battery state.
+	QueryBatteryStatus() ([]BatteryStatus, error)
+	// SetChargeProfile selects a stored charging profile for one
+	// battery.
+	SetChargeProfile(batt int, profile string) error
+	// BatteryCount returns the number of batteries in the pack.
+	BatteryCount() (int, error)
+}
+
+// Fault flags reported by Step.
+type Fault int
+
+const (
+	// FaultNone means the step met its demand.
+	FaultNone Fault = 0
+	// FaultBrownout means the pack could not supply the requested load
+	// even after redistribution.
+	FaultBrownout Fault = 1 << iota
+	// FaultTransferAborted means a battery-to-battery transfer stopped
+	// early (source empty or destination full).
+	FaultTransferAborted
+)
+
+// StepReport summarizes one firmware enforcement interval.
+type StepReport struct {
+	// DeliveredW is power actually delivered to the system load.
+	DeliveredW float64
+	// CircuitLossW is dissipation in the switching hardware.
+	CircuitLossW float64
+	// BatteryLossW is internal (I^2 R) dissipation inside the cells.
+	BatteryLossW float64
+	// ChargedW is net terminal power absorbed by all cells (positive
+	// while charging).
+	ChargedW float64
+	// PerCellW is the realized terminal power per cell (positive
+	// discharge).
+	PerCellW []float64
+	// PerCellA is the realized current per cell (positive discharge).
+	PerCellA []float64
+	// Faults carries fault flags raised during the step.
+	Faults Fault
+}
+
+type transfer struct {
+	from, to  int
+	powerW    float64
+	remaining float64 // seconds
+}
+
+// Config assembles a controller.
+type Config struct {
+	Pack          *battery.Pack
+	DischargePath circuit.DischargeConfig
+	Charger       circuit.ChargerConfig
+	Profiles      []circuit.ChargeProfile
+	Gauge         fuelgauge.Config
+	// DefaultProfile names the profile each battery starts with.
+	DefaultProfile string
+	// ReportGaugeState makes QueryBatteryStatus report the fuel
+	// gauges' estimates (state of charge, capacity, cycle count)
+	// instead of simulator ground truth — what a real PMIC would
+	// return. Ground truth remains the default so experiments stay
+	// reproducible independent of gauge error.
+	ReportGaugeState bool
+}
+
+// DefaultConfig returns a controller configuration with the calibrated
+// hardware models and standard profile table.
+func DefaultConfig(pack *battery.Pack) Config {
+	return Config{
+		Pack:           pack,
+		DischargePath:  circuit.DefaultDischargeConfig(),
+		Charger:        circuit.DefaultChargerConfig(),
+		Profiles:       circuit.StandardProfiles(),
+		Gauge:          fuelgauge.DefaultConfig(),
+		DefaultProfile: "standard",
+	}
+}
+
+// Controller is the firmware instance. All methods are safe for
+// concurrent use; Step must be called from a single simulation
+// goroutine but may race freely with API calls.
+type Controller struct {
+	mu sync.Mutex
+
+	pack     *battery.Pack
+	gauges   []*fuelgauge.Gauge
+	dpath    *circuit.DischargePath
+	chargers []*circuit.Charger
+	profiles map[string]circuit.ChargeProfile
+
+	dischargeRatios []float64
+	chargeRatios    []float64
+	profileSel      []string
+	xfer            *transfer
+	reportGauge     bool
+}
+
+// NewController builds the firmware around a pack.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Pack == nil {
+		return nil, errors.New("pmic: config needs a pack")
+	}
+	n := cfg.Pack.N()
+	dpath, err := circuit.NewDischargePath(cfg.DischargePath)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Profiles) == 0 {
+		return nil, errors.New("pmic: config needs at least one charge profile")
+	}
+	profiles := make(map[string]circuit.ChargeProfile, len(cfg.Profiles))
+	for _, p := range cfg.Profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		profiles[p.Name] = p
+	}
+	if _, ok := profiles[cfg.DefaultProfile]; !ok {
+		return nil, fmt.Errorf("pmic: default profile %q not in profile table", cfg.DefaultProfile)
+	}
+
+	c := &Controller{
+		pack:            cfg.Pack,
+		dpath:           dpath,
+		profiles:        profiles,
+		dischargeRatios: uniform(n),
+		chargeRatios:    uniform(n),
+		profileSel:      make([]string, n),
+		reportGauge:     cfg.ReportGaugeState,
+	}
+	for i := 0; i < n; i++ {
+		ch, err := circuit.NewCharger(cfg.Charger)
+		if err != nil {
+			return nil, err
+		}
+		c.chargers = append(c.chargers, ch)
+		g, err := fuelgauge.New(cfg.Pack.Cell(i), cfg.Gauge)
+		if err != nil {
+			return nil, err
+		}
+		c.gauges = append(c.gauges, g)
+		c.profileSel[i] = cfg.DefaultProfile
+	}
+	return c, nil
+}
+
+func uniform(n int) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	return r
+}
+
+// Ping implements API.
+func (c *Controller) Ping() error { return nil }
+
+// BatteryCount implements API.
+func (c *Controller) BatteryCount() (int, error) { return c.pack.N(), nil }
+
+// Discharge implements API: it latches new discharge ratios.
+func (c *Controller) Discharge(ratios []float64) error {
+	if err := c.checkRatios(ratios); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	copy(c.dischargeRatios, ratios)
+	return nil
+}
+
+// Charge implements API: it latches new charge ratios.
+func (c *Controller) Charge(ratios []float64) error {
+	if err := c.checkRatios(ratios); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	copy(c.chargeRatios, ratios)
+	return nil
+}
+
+func (c *Controller) checkRatios(ratios []float64) error {
+	if len(ratios) != c.pack.N() {
+		return fmt.Errorf("pmic: got %d ratios for %d batteries", len(ratios), c.pack.N())
+	}
+	return circuit.ValidateRatios(ratios)
+}
+
+// ChargeOneFromAnother implements API.
+func (c *Controller) ChargeOneFromAnother(x, y int, w, t float64) error {
+	n := c.pack.N()
+	switch {
+	case x < 0 || x >= n || y < 0 || y >= n:
+		return fmt.Errorf("pmic: battery index out of range (x=%d y=%d n=%d)", x, y, n)
+	case x == y:
+		return errors.New("pmic: cannot charge a battery from itself")
+	case w <= 0:
+		return fmt.Errorf("pmic: transfer power %g must be positive", w)
+	case t <= 0:
+		return fmt.Errorf("pmic: transfer duration %g must be positive", t)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.xfer = &transfer{from: x, to: y, powerW: w, remaining: t}
+	return nil
+}
+
+// CancelTransfer aborts any active battery-to-battery transfer.
+func (c *Controller) CancelTransfer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.xfer = nil
+}
+
+// TransferActive reports whether a transfer is in progress.
+func (c *Controller) TransferActive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.xfer != nil
+}
+
+// SetChargeProfile implements API.
+func (c *Controller) SetChargeProfile(batt int, profile string) error {
+	if batt < 0 || batt >= c.pack.N() {
+		return fmt.Errorf("pmic: battery index %d out of range", batt)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.profiles[profile]
+	if !ok {
+		return fmt.Errorf("pmic: unknown charge profile %q", profile)
+	}
+	// A CV ceiling below the cell's mid-charge open-circuit potential
+	// could never charge the cell meaningfully: almost certainly a
+	// profile meant for a different pack voltage (e.g. a single-cell
+	// 4.2 V profile selected for a 350 V traction pack).
+	if floor := c.pack.Cell(batt).Params().OCV.At(0.2); p.CVVoltage > 0 && p.CVVoltage < floor {
+		return fmt.Errorf("pmic: profile %q CV ceiling %.3g V below battery %d's 20%%-charge potential %.3g V",
+			profile, p.CVVoltage, batt, floor)
+	}
+	c.profileSel[batt] = profile
+	return nil
+}
+
+// QueryBatteryStatus implements API.
+func (c *Controller) QueryBatteryStatus() ([]BatteryStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]BatteryStatus, c.pack.N())
+	for i := 0; i < c.pack.N(); i++ {
+		cell := c.pack.Cell(i)
+		s := cell.Snapshot()
+		if c.reportGauge {
+			// Report what the fuel gauge believes, as real firmware
+			// does; capability numbers derive from the estimates.
+			g := c.gauges[i]
+			ratio := 1.0
+			if s.SoC > 1e-9 {
+				ratio = g.SoC() / s.SoC
+			}
+			s.SoC = g.SoC()
+			s.CapacityCoulombs = g.EstimatedCapacity()
+			s.CycleCount = float64(g.CycleCount())
+			s.EnergyRemainingJ *= ratio
+		}
+		out[i] = BatteryStatus{
+			Index:            i,
+			Name:             s.Name,
+			Chem:             s.Chem.Short(),
+			SoC:              s.SoC,
+			TerminalV:        s.TerminalV,
+			CycleCount:       s.CycleCount,
+			WearRatio:        s.WearRatio,
+			RatedCycles:      s.RatedCycles,
+			CapacityFraction: s.CapacityFraction,
+			CapacityCoulombs: s.CapacityCoulombs,
+			DCIR:             s.DCIR,
+			DCIRSlope:        cell.DCIRSlope(),
+			MaxDischargeW:    s.MaxDischargeW,
+			MaxChargeW:       s.MaxChargeW,
+			MaxChargeA:       cell.MaxChargeCurrent(),
+			EnergyRemainingJ: s.EnergyRemainingJ,
+			TemperatureC:     s.TemperatureC,
+			Bendable:         s.Bendable,
+		}
+	}
+	return out, nil
+}
+
+// Ratios returns copies of the currently latched ratio registers.
+func (c *Controller) Ratios() (discharge, charge []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.dischargeRatios...), append([]float64(nil), c.chargeRatios...)
+}
+
+// Step advances the hardware by dt seconds with the given system load
+// (watts at the regulator output) and available external supply power
+// (watts; 0 when unplugged). This is the enforcement loop a real
+// microcontroller runs continuously.
+func (c *Controller) Step(loadW, externalW, dt float64) (StepReport, error) {
+	if dt <= 0 {
+		return StepReport{}, fmt.Errorf("pmic: step dt %g must be positive", dt)
+	}
+	if loadW < 0 || externalW < 0 {
+		return StepReport{}, fmt.Errorf("pmic: negative load (%g) or supply (%g)", loadW, externalW)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	rep := StepReport{
+		PerCellW: make([]float64, c.pack.N()),
+		PerCellA: make([]float64, c.pack.N()),
+	}
+	heatBefore := c.totalCellLoss()
+
+	if externalW > 0 {
+		c.stepCharging(loadW, externalW, dt, &rep)
+	} else {
+		c.stepDischarging(loadW, dt, &rep)
+		c.stepTransfer(dt, &rep)
+	}
+
+	rep.BatteryLossW = (c.totalCellLoss() - heatBefore) / dt
+	c.feedGauges(&rep, dt)
+	return rep, nil
+}
+
+// stepDischarging splits the load across cells per the latched ratios,
+// redistributing demand away from cells that cannot deliver.
+func (c *Controller) stepDischarging(loadW, dt float64, rep *StepReport) {
+	n := c.pack.N()
+	if loadW == 0 {
+		for i := 0; i < n; i++ {
+			res := c.pack.Cell(i).StepCurrent(0, dt)
+			rep.PerCellA[i] += res.Current
+		}
+		return
+	}
+	perCell, lossW, err := c.dpath.Split(c.dischargeRatios, loadW)
+	if err != nil {
+		// Ratio registers are validated on write; Split can only fail
+		// on internal inconsistency. Treat as brownout.
+		rep.Faults |= FaultBrownout
+		return
+	}
+	rep.CircuitLossW = lossW
+
+	// Redistribute demand exceeding a cell's capability to the others
+	// (a real regulator saturates a channel's duty and the control
+	// loop shifts the slack elsewhere). Up to three rounds.
+	caps := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cell := c.pack.Cell(i)
+		caps[i] = cell.MaxDischargePower()
+		// A nearly-empty cell may report a healthy instantaneous
+		// capability yet hold too little energy to sustain it through
+		// this step; bound by deliverable energy so the slack shifts
+		// to the other cells instead of browning out.
+		if eCap := 0.9 * cell.EnergyRemainingJ() / dt; eCap < caps[i] {
+			caps[i] = eCap
+		}
+	}
+	for round := 0; round < 3; round++ {
+		var excess float64
+		var headroom float64
+		for i := 0; i < n; i++ {
+			if perCell[i] > caps[i] {
+				excess += perCell[i] - caps[i]
+				perCell[i] = caps[i]
+			} else {
+				headroom += caps[i] - perCell[i]
+			}
+		}
+		if excess <= 1e-12 || headroom <= 1e-12 {
+			break
+		}
+		scale := math.Min(1, excess/headroom)
+		for i := 0; i < n; i++ {
+			if perCell[i] < caps[i] {
+				perCell[i] += (caps[i] - perCell[i]) * scale
+			}
+		}
+	}
+
+	var realized float64
+	for i := 0; i < n; i++ {
+		res := c.pack.Cell(i).StepPower(perCell[i], dt)
+		rep.PerCellW[i] += res.PowerW
+		rep.PerCellA[i] += res.Current
+		realized += res.PowerW
+	}
+	// A small one-step dip (a cell hitting empty mid-interval before
+	// the ratios shift) is absorbed by the output capacitor; only a
+	// substantial shortfall is a brownout.
+	const brownoutTolerance = 0.05
+	want := loadW + lossW
+	if realized < want*(1-brownoutTolerance)-1e-9 {
+		rep.Faults |= FaultBrownout
+	}
+	// Loss comes off the top; the load gets the rest.
+	rep.DeliveredW = math.Max(0, realized-lossW)
+}
+
+// stepCharging serves the load from external power and pushes the
+// remainder into the cells per the charge ratios, profiles, and
+// charger efficiency.
+func (c *Controller) stepCharging(loadW, externalW, dt float64, rep *StepReport) {
+	n := c.pack.N()
+	avail := externalW - loadW
+	if avail < 0 {
+		// Supply cannot cover the load: batteries make up the rest.
+		rep.DeliveredW = externalW
+		c.stepDischarging(-avail, dt, rep)
+		rep.DeliveredW += externalW
+		return
+	}
+	rep.DeliveredW = loadW
+
+	for i := 0; i < n; i++ {
+		cell := c.pack.Cell(i)
+		budget := c.chargeRatios[i] * avail
+		if budget <= 0 || cell.Full() {
+			res := cell.StepCurrent(0, dt)
+			rep.PerCellA[i] += res.Current
+			continue
+		}
+		prof := c.profiles[c.profileSel[i]]
+		rate := prof.RateAt(cell.SoC())       // C
+		maxA := rate * cell.Capacity() / 3600 // amperes
+		// CV phase: taper the current so the cell terminal voltage
+		// never exceeds the profile's constant-voltage ceiling.
+		if prof.CVVoltage > 0 {
+			if r := cell.DCIR(); r > 0 {
+				cvA := (prof.CVVoltage - cell.TerminalVoltage(0)) / r
+				if cvA < 0 {
+					cvA = 0
+				}
+				if cvA < maxA {
+					maxA = cvA
+				}
+			}
+		}
+		setA := math.Min(maxA, c.chargers[i].MaxCurrent())
+		actualA, err := c.chargers[i].RealizedCurrent(setA)
+		if err != nil || actualA <= 0 {
+			res := cell.StepCurrent(0, dt)
+			rep.PerCellA[i] += res.Current
+			continue
+		}
+		// Power needed at the cell terminals for actualA.
+		vterm := cell.TerminalVoltage(-actualA)
+		wantW := vterm * actualA
+		eff := c.chargers[i].Efficiency(actualA)
+		// The budget is measured at the charger input.
+		if wantW/eff > budget {
+			wantW = budget * eff
+		}
+		res := cell.StepPower(-wantW, dt)
+		rep.PerCellW[i] += res.PowerW
+		rep.PerCellA[i] += res.Current
+		rep.ChargedW += -res.PowerW
+		rep.CircuitLossW += -res.PowerW * (1/eff - 1)
+	}
+}
+
+// stepTransfer advances any active battery-to-battery transfer.
+func (c *Controller) stepTransfer(dt float64, rep *StepReport) {
+	if c.xfer == nil {
+		return
+	}
+	x := c.xfer
+	src := c.pack.Cell(x.from)
+	dst := c.pack.Cell(x.to)
+	if src.Empty() || dst.Full() || x.remaining <= 0 {
+		c.xfer = nil
+		rep.Faults |= FaultTransferAborted
+		return
+	}
+	step := math.Min(dt, x.remaining)
+	drawW := math.Min(x.powerW, src.MaxDischargePower())
+	// Both channels convert: source regulator in reverse buck, sink in
+	// buck (Section 3.2.2).
+	iGuess := drawW / dst.TerminalVoltage(0)
+	eff := circuit.TransferEfficiency(c.chargers[x.from], c.chargers[x.to], iGuess)
+	out := src.StepPower(drawW, step)
+	in := dst.StepPower(-out.PowerW*eff, step)
+	rep.PerCellW[x.from] += out.PowerW
+	rep.PerCellW[x.to] += in.PowerW
+	rep.PerCellA[x.from] += out.Current
+	rep.PerCellA[x.to] += in.Current
+	rep.ChargedW += -in.PowerW
+	rep.CircuitLossW += out.PowerW * (1 - eff)
+	x.remaining -= step
+	if x.remaining <= 0 {
+		c.xfer = nil
+	}
+}
+
+// feedGauges pushes each cell's realized current and terminal voltage
+// for the step into its fuel gauge.
+func (c *Controller) feedGauges(rep *StepReport, dt float64) {
+	for i, g := range c.gauges {
+		cell := c.pack.Cell(i)
+		g.Observe(rep.PerCellA[i], cell.TerminalVoltage(rep.PerCellA[i]), dt)
+	}
+}
+
+// Gauge returns the i-th fuel gauge (for inspection by tests and the
+// emulator).
+func (c *Controller) Gauge(i int) *fuelgauge.Gauge { return c.gauges[i] }
+
+// Pack returns the managed pack.
+func (c *Controller) Pack() *battery.Pack { return c.pack }
+
+func (c *Controller) totalCellLoss() float64 {
+	var sum float64
+	for i := 0; i < c.pack.N(); i++ {
+		sum += c.pack.Cell(i).TotalLoss()
+	}
+	return sum
+}
+
+var _ API = (*Controller)(nil)

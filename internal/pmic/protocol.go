@@ -1,0 +1,183 @@
+package pmic
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sdb/internal/bus"
+)
+
+// Command opcodes of the SDB control protocol. Responses echo the
+// request opcode with RespFlag set.
+const (
+	CmdPing        = 0x01
+	CmdSetDischg   = 0x02
+	CmdSetCharge   = 0x03
+	CmdTransfer    = 0x04
+	CmdQueryStatus = 0x05
+	CmdSetProfile  = 0x06
+	CmdBattCount   = 0x07
+	CmdGetRatios   = 0x08
+	RespFlag       = 0x80
+)
+
+// Protocol status codes (first payload byte of every response).
+const (
+	StatusOK       = 0x00
+	StatusBadArgs  = 0x01
+	StatusBadIndex = 0x02
+	StatusInternal = 0x03
+	StatusBadCmd   = 0x04
+)
+
+// statusErr converts a controller error into a protocol status code.
+func statusErr(err error) byte {
+	if err == nil {
+		return StatusOK
+	}
+	return StatusBadArgs
+}
+
+// Serve runs the firmware's command loop on one connection, reading
+// request frames and writing responses until the transport closes. A
+// real microcontroller runs exactly this loop on its serial interrupt;
+// like real firmware it survives line noise — corrupted frames are
+// dropped and the receiver resynchronizes on the next start byte.
+func (c *Controller) Serve(rw io.ReadWriter) error {
+	for {
+		req, err := bus.ReadFrame(rw)
+		switch {
+		case err == nil:
+		case errors.Is(err, bus.ErrBadCRC), errors.Is(err, bus.ErrBadVersion), errors.Is(err, bus.ErrTooLarge):
+			continue // line noise: drop and resync
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrClosedPipe):
+			return nil
+		default:
+			return fmt.Errorf("pmic: serve: %w", err)
+		}
+		resp := c.dispatch(req)
+		if err := bus.WriteFrame(rw, resp); err != nil {
+			return fmt.Errorf("pmic: serve write: %w", err)
+		}
+	}
+}
+
+// dispatch executes one request frame and builds the response.
+func (c *Controller) dispatch(req bus.Frame) bus.Frame {
+	var w bus.Writer
+	switch req.Cmd {
+	case CmdPing:
+		w.U8(StatusOK)
+
+	case CmdSetDischg, CmdSetCharge:
+		r := bus.NewReader(req.Payload)
+		n := int(r.U8())
+		ratios := make([]float64, n)
+		for i := range ratios {
+			ratios[i] = r.F64()
+		}
+		if r.Err() != nil {
+			w.U8(StatusBadArgs)
+			break
+		}
+		var err error
+		if req.Cmd == CmdSetDischg {
+			err = c.Discharge(ratios)
+		} else {
+			err = c.Charge(ratios)
+		}
+		w.U8(statusErr(err))
+
+	case CmdTransfer:
+		r := bus.NewReader(req.Payload)
+		x := int(r.U8())
+		y := int(r.U8())
+		pw := r.F64()
+		secs := r.F64()
+		if r.Err() != nil {
+			w.U8(StatusBadArgs)
+			break
+		}
+		w.U8(statusErr(c.ChargeOneFromAnother(x, y, pw, secs)))
+
+	case CmdQueryStatus:
+		sts, err := c.QueryBatteryStatus()
+		if err != nil {
+			w.U8(StatusInternal)
+			break
+		}
+		w.U8(StatusOK).U8(byte(len(sts)))
+		for _, s := range sts {
+			encodeStatus(&w, s)
+		}
+
+	case CmdSetProfile:
+		r := bus.NewReader(req.Payload)
+		batt := int(r.U8())
+		name := r.Str()
+		if r.Err() != nil {
+			w.U8(StatusBadArgs)
+			break
+		}
+		w.U8(statusErr(c.SetChargeProfile(batt, name)))
+
+	case CmdBattCount:
+		n, _ := c.BatteryCount()
+		w.U8(StatusOK).U8(byte(n))
+
+	case CmdGetRatios:
+		dis, chg := c.Ratios()
+		w.U8(StatusOK).U8(byte(len(dis)))
+		for _, r := range dis {
+			w.F64(r)
+		}
+		for _, r := range chg {
+			w.F64(r)
+		}
+
+	default:
+		w.U8(StatusBadCmd)
+	}
+	return bus.Frame{Cmd: req.Cmd | RespFlag, Seq: req.Seq, Payload: w.Bytes()}
+}
+
+// encodeStatus marshals one BatteryStatus record.
+func encodeStatus(w *bus.Writer, s BatteryStatus) {
+	w.U8(byte(s.Index)).Str(s.Name).Str(s.Chem)
+	w.F64(s.SoC).F64(s.TerminalV).F64(s.CycleCount).F64(s.WearRatio)
+	w.F64(s.RatedCycles).F64(s.CapacityFraction).F64(s.CapacityCoulombs)
+	w.F64(s.DCIR).F64(s.DCIRSlope)
+	w.F64(s.MaxDischargeW).F64(s.MaxChargeW).F64(s.MaxChargeA)
+	w.F64(s.EnergyRemainingJ).F64(s.TemperatureC)
+	if s.Bendable {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// decodeStatus unmarshals one BatteryStatus record.
+func decodeStatus(r *bus.Reader) BatteryStatus {
+	s := BatteryStatus{
+		Index: int(r.U8()),
+		Name:  r.Str(),
+		Chem:  r.Str(),
+	}
+	s.SoC = r.F64()
+	s.TerminalV = r.F64()
+	s.CycleCount = r.F64()
+	s.WearRatio = r.F64()
+	s.RatedCycles = r.F64()
+	s.CapacityFraction = r.F64()
+	s.CapacityCoulombs = r.F64()
+	s.DCIR = r.F64()
+	s.DCIRSlope = r.F64()
+	s.MaxDischargeW = r.F64()
+	s.MaxChargeW = r.F64()
+	s.MaxChargeA = r.F64()
+	s.EnergyRemainingJ = r.F64()
+	s.TemperatureC = r.F64()
+	s.Bendable = r.U8() == 1
+	return s
+}

@@ -1,0 +1,253 @@
+// Package predictor learns a user's daily power-usage rhythm and
+// predicts high-power windows, so the OS can configure SDB policies
+// ahead of anticipated workloads. The paper leaves this as the key
+// OS-side extension: Section 5.2 shows that the right policy depends
+// on whether the user will go for a run, Section 7 argues the OS (not
+// firmware) should hold this logic because it can see calendars and
+// assistants, and Section 8 names tying Siri/Cortana/Google Now to SDB
+// as ongoing work. This package is the trace-driven stand-in for that
+// assistant: it learns from observed days instead of a calendar.
+//
+// The model is deliberately simple and cheap enough for an embedded
+// power manager: per-hour-of-day exponentially weighted averages of
+// mean and peak power, plus an occurrence rate for "high-power" hours.
+package predictor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sdb/internal/workload"
+)
+
+// HoursPerDay buckets the profile.
+const HoursPerDay = 24
+
+type bucket struct {
+	meanW   float64
+	peakW   float64
+	highPr  float64 // EWMA of "this hour contained high power" indicator
+	samples int
+}
+
+// Profile is a learned daily usage pattern.
+type Profile struct {
+	alpha   float64 // EWMA weight for new observations
+	highW   float64 // threshold defining a high-power hour
+	buckets [HoursPerDay]bucket
+}
+
+// New creates a profile. alpha in (0,1] weights new days (0.3 adapts
+// in about a week); highW is the power level that counts as a
+// high-power workload for this device class.
+func New(alpha, highW float64) (*Profile, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("predictor: alpha %g out of (0,1]", alpha)
+	}
+	if highW <= 0 {
+		return nil, fmt.Errorf("predictor: high-power threshold %g must be positive", highW)
+	}
+	return &Profile{alpha: alpha, highW: highW}, nil
+}
+
+// Observe folds one hour's measurements into the profile.
+func (p *Profile) Observe(hour int, meanW, peakW float64) error {
+	if hour < 0 || hour >= HoursPerDay {
+		return fmt.Errorf("predictor: hour %d out of range", hour)
+	}
+	if meanW < 0 || peakW < 0 || math.IsNaN(meanW) || math.IsNaN(peakW) {
+		return fmt.Errorf("predictor: bad observation mean=%g peak=%g", meanW, peakW)
+	}
+	b := &p.buckets[hour]
+	high := 0.0
+	if peakW >= p.highW {
+		high = 1
+	}
+	if b.samples == 0 {
+		b.meanW, b.peakW, b.highPr = meanW, peakW, high
+	} else {
+		b.meanW += p.alpha * (meanW - b.meanW)
+		b.peakW += p.alpha * (peakW - b.peakW)
+		b.highPr += p.alpha * (high - b.highPr)
+	}
+	b.samples++
+	return nil
+}
+
+// ObserveDay folds a full day's power trace into the profile, bucketed
+// by hour. Traces shorter than a day update only the covered hours.
+func (p *Profile) ObserveDay(tr *workload.Trace) error {
+	if tr == nil {
+		return errors.New("predictor: nil trace")
+	}
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	perHour := int(math.Round(3600 / tr.DT))
+	if perHour < 1 {
+		perHour = 1
+	}
+	for h := 0; h < HoursPerDay; h++ {
+		start := h * perHour
+		if start >= tr.Len() {
+			break
+		}
+		end := start + perHour
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		var sum, peak float64
+		for _, w := range tr.Load[start:end] {
+			sum += w
+			if w > peak {
+				peak = w
+			}
+		}
+		if err := p.Observe(h, sum/float64(end-start), peak); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExpectedMean returns the learned mean power for the hour.
+func (p *Profile) ExpectedMean(hour int) float64 {
+	if hour < 0 || hour >= HoursPerDay {
+		return 0
+	}
+	return p.buckets[hour].meanW
+}
+
+// ExpectedPeak returns the learned peak power for the hour.
+func (p *Profile) ExpectedPeak(hour int) float64 {
+	if hour < 0 || hour >= HoursPerDay {
+		return 0
+	}
+	return p.buckets[hour].peakW
+}
+
+// HighPowerProbability returns the learned probability that the hour
+// contains a high-power workload.
+func (p *Profile) HighPowerProbability(hour int) float64 {
+	if hour < 0 || hour >= HoursPerDay {
+		return 0
+	}
+	return p.buckets[hour].highPr
+}
+
+// Trained reports whether every hour has at least n observations.
+func (p *Profile) Trained(n int) bool {
+	for _, b := range p.buckets {
+		if b.samples < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Window is a contiguous span of high-power hours.
+type Window struct {
+	StartHour int
+	EndHour   int // exclusive
+	// PeakW is the largest learned peak inside the window.
+	PeakW float64
+	// Probability is the largest high-power probability inside.
+	Probability float64
+}
+
+// Contains reports whether the (fractional) hour falls in the window.
+func (w Window) Contains(hour float64) bool {
+	return hour >= float64(w.StartHour) && hour < float64(w.EndHour)
+}
+
+// HighPowerWindows returns the learned high-power spans: maximal runs
+// of hours whose high-power probability is at least minProb.
+func (p *Profile) HighPowerWindows(minProb float64) []Window {
+	var out []Window
+	var cur *Window
+	for h := 0; h < HoursPerDay; h++ {
+		b := p.buckets[h]
+		if b.highPr >= minProb && b.samples > 0 {
+			if cur == nil {
+				out = append(out, Window{StartHour: h, EndHour: h + 1, PeakW: b.peakW, Probability: b.highPr})
+				cur = &out[len(out)-1]
+			} else {
+				cur.EndHour = h + 1
+				cur.PeakW = math.Max(cur.PeakW, b.peakW)
+				cur.Probability = math.Max(cur.Probability, b.highPr)
+			}
+		} else {
+			cur = nil
+		}
+	}
+	return out
+}
+
+// NextWindow returns the next high-power window at or after the given
+// fractional hour, wrapping past midnight. ok is false when the
+// profile has no high-power windows at that confidence.
+func (p *Profile) NextWindow(nowHour, minProb float64) (Window, bool) {
+	ws := p.HighPowerWindows(minProb)
+	if len(ws) == 0 {
+		return Window{}, false
+	}
+	for _, w := range ws {
+		if float64(w.EndHour) > nowHour {
+			return w, true
+		}
+	}
+	return ws[0], true // wraps to tomorrow
+}
+
+// Advice is the policy configuration the predictor recommends for the
+// current moment.
+type Advice struct {
+	// ReserveForWindow is true when a high-power window is imminent
+	// (or active) and a battery should be preserved for it.
+	ReserveForWindow bool
+	// Window is the window driving the recommendation.
+	Window Window
+	// HighPowerW is the load threshold to hand core.Reserve: loads at
+	// or above it belong to the reserved battery.
+	HighPowerW float64
+	// DischargingDirective trades CCB (0) against RBL (1) for loads
+	// outside the window.
+	DischargingDirective float64
+	// ChargingDirective: 1 = charge as fast as possible (window close,
+	// pack low), 0 = gentle.
+	ChargingDirective float64
+}
+
+// Advise recommends policy settings for the given fractional hour and
+// pack state of charge. horizonH is how far ahead the OS acts on a
+// predicted window; minProb is the confidence bar.
+func (p *Profile) Advise(nowHour, meanSoC, horizonH, minProb float64) Advice {
+	adv := Advice{DischargingDirective: 1, ChargingDirective: 0.2}
+	w, ok := p.NextWindow(nowHour, minProb)
+	if !ok {
+		return adv
+	}
+	hoursUntil := float64(w.StartHour) - nowHour
+	if hoursUntil < 0 && nowHour < float64(w.EndHour) {
+		hoursUntil = 0 // inside the window
+	}
+	if hoursUntil < 0 {
+		hoursUntil += HoursPerDay // wraps to tomorrow
+	}
+	if hoursUntil <= horizonH {
+		adv.ReserveForWindow = true
+		adv.Window = w
+		// Loads approaching the learned peak belong to the reserve.
+		adv.HighPowerW = 0.6 * w.PeakW
+		// Outside the window, spare the efficient battery: spending is
+		// fine, but prefer the expendable cells (low directive keeps
+		// the blend away from pure loss-minimization).
+		adv.DischargingDirective = 0.2
+		// If the pack is low with the window coming, charge fast.
+		if meanSoC < 0.5 {
+			adv.ChargingDirective = 1
+		}
+	}
+	return adv
+}

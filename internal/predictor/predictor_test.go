@@ -1,0 +1,265 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sdb/internal/workload"
+)
+
+func newProfile(t *testing.T) *Profile {
+	t.Helper()
+	p, err := New(0.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := New(1.5, 1); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, err := New(0.3, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	p := newProfile(t)
+	if err := p.Observe(-1, 1, 1); err == nil {
+		t.Error("negative hour accepted")
+	}
+	if err := p.Observe(24, 1, 1); err == nil {
+		t.Error("hour 24 accepted")
+	}
+	if err := p.Observe(5, -1, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if err := p.Observe(5, math.NaN(), 1); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestFirstObservationSetsBucket(t *testing.T) {
+	p := newProfile(t)
+	if err := p.Observe(9, 0.5, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExpectedMean(9) != 0.5 || p.ExpectedPeak(9) != 0.6 {
+		t.Errorf("first observation not taken verbatim: %g / %g", p.ExpectedMean(9), p.ExpectedPeak(9))
+	}
+	if p.HighPowerProbability(9) != 1 {
+		t.Errorf("peak above threshold should set probability 1, got %g", p.HighPowerProbability(9))
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	p := newProfile(t)
+	for day := 0; day < 30; day++ {
+		if err := p.Observe(12, 0.2, 0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(p.ExpectedMean(12)-0.2) > 1e-9 {
+		t.Errorf("EWMA of constant = %g", p.ExpectedMean(12))
+	}
+}
+
+func TestIntermittentHabitHasFractionalProbability(t *testing.T) {
+	p := newProfile(t)
+	// The user runs every other day.
+	for day := 0; day < 40; day++ {
+		peak := 0.1
+		if day%2 == 0 {
+			peak = 0.6
+		}
+		if err := p.Observe(9, 0.1, peak); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr := p.HighPowerProbability(9)
+	if pr < 0.3 || pr > 0.7 {
+		t.Errorf("every-other-day habit probability = %g, want ~0.5", pr)
+	}
+}
+
+func TestObserveDayLearnsWatchPattern(t *testing.T) {
+	p := newProfile(t)
+	cfg := workload.DefaultSmartwatchDay()
+	for day := int64(0); day < 7; day++ {
+		cfg.Seed = day
+		if err := p.ObserveDay(workload.SmartwatchDay(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Trained(7) {
+		t.Fatal("profile not trained after 7 full days")
+	}
+	// The run occupies hours 9-10.5 at GPS power: those hours must be
+	// learned as high power; sleeping hours must not.
+	if p.HighPowerProbability(9) < 0.9 {
+		t.Errorf("run hour probability = %g", p.HighPowerProbability(9))
+	}
+	if p.HighPowerProbability(3) > 0.05 {
+		t.Errorf("sleep hour probability = %g", p.HighPowerProbability(3))
+	}
+	if p.ExpectedPeak(9) < 0.3 {
+		t.Errorf("run hour peak = %g, want GPS-level", p.ExpectedPeak(9))
+	}
+}
+
+func TestHighPowerWindowsMergeAdjacentHours(t *testing.T) {
+	p := newProfile(t)
+	for _, h := range []int{9, 10} {
+		mustObserve(t, p, h, 0.4, 0.6)
+	}
+	for h := 0; h < 24; h++ {
+		if h != 9 && h != 10 {
+			mustObserve(t, p, h, 0.05, 0.1)
+		}
+	}
+	ws := p.HighPowerWindows(0.5)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %+v, want one merged window", ws)
+	}
+	if ws[0].StartHour != 9 || ws[0].EndHour != 11 {
+		t.Errorf("window = %+v, want [9,11)", ws[0])
+	}
+	if ws[0].PeakW != 0.6 {
+		t.Errorf("window peak = %g", ws[0].PeakW)
+	}
+}
+
+func TestNextWindowWrapsMidnight(t *testing.T) {
+	p := newProfile(t)
+	mustObserve(t, p, 8, 0.4, 0.6)
+	w, ok := p.NextWindow(22, 0.5)
+	if !ok {
+		t.Fatal("no window found")
+	}
+	if w.StartHour != 8 {
+		t.Errorf("wrapped window starts at %d", w.StartHour)
+	}
+	if _, ok := newProfile(t).NextWindow(0, 0.5); ok {
+		t.Error("empty profile produced a window")
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{StartHour: 9, EndHour: 11}
+	if !w.Contains(9.5) || !w.Contains(10.99) {
+		t.Error("Contains misses interior hours")
+	}
+	if w.Contains(8.99) || w.Contains(11) {
+		t.Error("Contains includes exterior hours")
+	}
+}
+
+func TestAdviseBeforeWindow(t *testing.T) {
+	p := newProfile(t)
+	mustObserve(t, p, 9, 0.4, 0.6)
+	adv := p.Advise(7.0, 0.9, 6, 0.5)
+	if !adv.ReserveForWindow {
+		t.Fatal("no reserve advice 2h before the learned window")
+	}
+	if adv.HighPowerW <= 0 || adv.HighPowerW >= 0.6 {
+		t.Errorf("HighPowerW = %g, want a fraction of the 0.6 peak", adv.HighPowerW)
+	}
+	if adv.DischargingDirective > 0.5 {
+		t.Errorf("directive = %g, want low (preserve) before the window", adv.DischargingDirective)
+	}
+	if adv.ChargingDirective != 0.2 {
+		t.Errorf("charging directive = %g with a healthy pack", adv.ChargingDirective)
+	}
+}
+
+func TestAdviseFastChargeWhenLowBeforeWindow(t *testing.T) {
+	p := newProfile(t)
+	mustObserve(t, p, 9, 0.4, 0.6)
+	adv := p.Advise(7.5, 0.2, 6, 0.5)
+	if adv.ChargingDirective != 1 {
+		t.Errorf("charging directive = %g, want 1 (low pack, window imminent)", adv.ChargingDirective)
+	}
+}
+
+func TestAdviseFarFromWindow(t *testing.T) {
+	p := newProfile(t)
+	mustObserve(t, p, 20, 0.4, 0.6)
+	adv := p.Advise(2.0, 0.9, 6, 0.5)
+	if adv.ReserveForWindow {
+		t.Error("reserve advice 18h ahead of the window")
+	}
+	if adv.DischargingDirective != 1 {
+		t.Errorf("directive = %g, want 1 (free to minimize losses)", adv.DischargingDirective)
+	}
+}
+
+func TestAdviseInsideWindow(t *testing.T) {
+	p := newProfile(t)
+	mustObserve(t, p, 9, 0.4, 0.6)
+	adv := p.Advise(9.5, 0.8, 2, 0.5)
+	if !adv.ReserveForWindow {
+		t.Error("no reserve advice inside the window")
+	}
+	if !adv.Window.Contains(9.5) {
+		t.Errorf("advised window %+v does not contain now", adv.Window)
+	}
+}
+
+func TestObserveDayValidation(t *testing.T) {
+	p := newProfile(t)
+	if err := p.ObserveDay(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	bad := &workload.Trace{Name: "", DT: 1, Load: []float64{1}}
+	if err := p.ObserveDay(bad); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestOutOfRangeAccessorsReturnZero(t *testing.T) {
+	p := newProfile(t)
+	if p.ExpectedMean(-1) != 0 || p.ExpectedPeak(30) != 0 || p.HighPowerProbability(99) != 0 {
+		t.Error("out-of-range hour not zero")
+	}
+}
+
+// Property: probabilities always stay in [0, 1] no matter the
+// observation sequence.
+func TestProbabilityBoundsProperty(t *testing.T) {
+	f := func(peaks []float64) bool {
+		p, err := New(0.3, 0.3)
+		if err != nil {
+			return false
+		}
+		for _, raw := range peaks {
+			peak := math.Mod(math.Abs(raw), 2)
+			if math.IsNaN(peak) {
+				continue
+			}
+			if err := p.Observe(9, peak/2, peak); err != nil {
+				return false
+			}
+			pr := p.HighPowerProbability(9)
+			if pr < 0 || pr > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustObserve(t *testing.T, p *Profile, hour int, mean, peak float64) {
+	t.Helper()
+	if err := p.Observe(hour, mean, peak); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Chart renders a Table's numeric columns as an ASCII line chart, so
+// cmd/sdbbench can draw the paper's figures in a terminal. The first
+// column is the x axis; every selected column becomes one series,
+// plotted with its own glyph.
+type Chart struct {
+	// Width and Height are the plot area in characters.
+	Width, Height int
+}
+
+// DefaultChart is sized for an 80-column terminal.
+func DefaultChart() Chart { return Chart{Width: 64, Height: 16} }
+
+// seriesGlyphs mark the successive series.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render plots the table. columns selects which columns to plot (nil
+// means every column after the first). Rows whose cells fail to parse
+// as numbers are skipped.
+func (c Chart) Render(t *Table, columns []string) (string, error) {
+	if c.Width < 16 || c.Height < 4 {
+		return "", fmt.Errorf("sim: chart too small (%dx%d)", c.Width, c.Height)
+	}
+	if len(t.Columns) < 2 {
+		return "", fmt.Errorf("sim: table %s has no series columns", t.ID)
+	}
+	if columns == nil {
+		columns = t.Columns[1:]
+	}
+	colIdx := make([]int, 0, len(columns))
+	for _, name := range columns {
+		found := -1
+		for i, col := range t.Columns {
+			if col == name {
+				found = i
+				break
+			}
+		}
+		if found <= 0 {
+			return "", fmt.Errorf("sim: table %s has no series column %q", t.ID, name)
+		}
+		colIdx = append(colIdx, found)
+	}
+
+	type point struct{ x, y float64 }
+	series := make([][]point, len(colIdx))
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, row := range t.Rows {
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			continue
+		}
+		for si, ci := range colIdx {
+			if ci >= len(row) {
+				continue
+			}
+			y, err := strconv.ParseFloat(row[ci], 64)
+			if err != nil || y < 0 && math.IsNaN(y) {
+				continue
+			}
+			series[si] = append(series[si], point{x, y})
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if first {
+		return "", fmt.Errorf("sim: table %s has no plottable points", t.ID)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	plot := func(p point, glyph byte) {
+		col := int(math.Round((p.x - xmin) / (xmax - xmin) * float64(c.Width-1)))
+		row := c.Height - 1 - int(math.Round((p.y-ymin)/(ymax-ymin)*float64(c.Height-1)))
+		if col >= 0 && col < c.Width && row >= 0 && row < c.Height {
+			grid[row][col] = glyph
+		}
+	}
+	// Plot in reverse so the first series wins overlaps.
+	for si := len(series) - 1; si >= 0; si-- {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		pts := append([]point(nil), series[si]...)
+		sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+		// Linear interpolation fills gaps between samples.
+		for k := 0; k+1 < len(pts); k++ {
+			a, b := pts[k], pts[k+1]
+			steps := int(math.Abs((b.x-a.x)/(xmax-xmin))*float64(c.Width)) + 1
+			for s := 0; s <= steps; s++ {
+				f := float64(s) / float64(steps)
+				plot(point{a.x + f*(b.x-a.x), a.y + f*(b.y-a.y)}, glyph)
+			}
+		}
+		if len(pts) == 1 {
+			plot(pts[0], glyph)
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	yLabelTop := fmt.Sprintf("%.4g", ymax)
+	yLabelBot := fmt.Sprintf("%.4g", ymin)
+	pad := len(yLabelTop)
+	if len(yLabelBot) > pad {
+		pad = len(yLabelBot)
+	}
+	for r := 0; r < c.Height; r++ {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yLabelTop)
+		case c.Height - 1:
+			label = fmt.Sprintf("%*s", pad, yLabelBot)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, strings.TrimRight(string(grid[r]), " "))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", c.Width))
+	fmt.Fprintf(&sb, "%s  %-10s%*s\n", strings.Repeat(" ", pad),
+		fmt.Sprintf("%.4g", xmin), c.Width-10, fmt.Sprintf("%.4g", xmax))
+	fmt.Fprintf(&sb, "%s  x: %s", strings.Repeat(" ", pad), t.Columns[0])
+	for si, name := range columns {
+		fmt.Fprintf(&sb, "   %c %s", seriesGlyphs[si%len(seriesGlyphs)], name)
+	}
+	sb.WriteByte('\n')
+	return sb.String(), nil
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"sdb/internal/battery"
+	"sdb/internal/workload"
+)
+
+// Figure12 reproduces Figure 12: latency and energy for network- and
+// compute-bottlenecked tasks at the three performance priority levels,
+// normalized to the low level. The power caps come from the Section
+// 5.1 battery configuration: the low level runs on the high-density
+// cell alone, medium allows equal peak draw from both cells, and high
+// allows the maximum from both.
+func Figure12() (*Table, error) {
+	t := &Table{
+		ID:    "figure-12",
+		Title: "Performance priority levels: latency and energy (paper Figure 12)",
+		Columns: []string{
+			"task", "level",
+			"latency (norm)", "energy (norm)",
+		},
+		Notes: "compute-bound gains ~26% latency at high; network-bound gains none and wastes up to ~20.6% energy",
+	}
+	hd := battery.MustNew(battery.MustByName("EnergyMax-4000"))
+	fc := battery.MustNew(battery.MustByName("QuickCharge-4000"))
+	hd.SetSoC(0.8)
+	fc.SetSoC(0.8)
+	model, err := workload.TabletTurboModel(workload.Tablet(), hd.MaxDischargePower(), fc.MaxDischargePower())
+	if err != nil {
+		return nil, err
+	}
+	for _, task := range []workload.Task{workload.NetworkTask(), workload.ComputeTask()} {
+		res, err := model.Sweep(task)
+		if err != nil {
+			return nil, err
+		}
+		base := res[0]
+		for _, r := range res {
+			t.AddRowf(task.Name, r.Level.String(), r.LatencyS/base.LatencyS, r.EnergyJ/base.EnergyJ)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,175 @@
+// Package sim implements one driver per table and figure of the SDB
+// paper's evaluation. Each driver runs the relevant stack (cycler,
+// circuit models, emulator, policies) and returns a Table whose rows
+// correspond to the points/series the paper plots. cmd/sdbbench prints
+// them all; the root bench_test.go wraps each as a benchmark; and the
+// package tests assert the paper's qualitative shapes (who wins, by
+// roughly what factor, where the crossovers fall).
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	// ID is the experiment identifier, e.g. "figure-11b".
+	ID string
+	// Title echoes the paper's caption.
+	Title string
+	// Columns names the fields of each row.
+	Columns []string
+	// Rows holds formatted values.
+	Rows [][]string
+	// Notes records interpretation hints (expected shape, units).
+	Notes string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row formatting each value with %v-style verbs:
+// floats get %.4g, everything else %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = pad(c, w)
+		}
+		_, err := fmt.Fprintln(w, " ", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := printRow(t.Columns); err != nil {
+		return err
+	}
+	if err := printRow(dashes(widths)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := printRow(row); err != nil {
+			return err
+		}
+	}
+	if t.Notes != "" {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", t.Notes); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// Cell looks up a value by column name in the given row index.
+func (t *Table) Cell(row int, column string) (string, bool) {
+	for i, c := range t.Columns {
+		if c == column && row >= 0 && row < len(t.Rows) && i < len(t.Rows[row]) {
+			return t.Rows[row][i], true
+		}
+	}
+	return "", false
+}
+
+// Experiment pairs an identifier with its driver for the registry the
+// bench harness iterates.
+type Experiment struct {
+	ID   string
+	Run  func() (*Table, error)
+	Slow bool // excluded from -short runs
+}
+
+// All returns the full experiment registry in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table-1", Run: Table1},
+		{ID: "table-2", Run: Table2},
+		{ID: "figure-1a", Run: Figure1a},
+		{ID: "figure-1b", Run: func() (*Table, error) { return Figure1b(DefaultFigure1bCycles) }, Slow: true},
+		{ID: "figure-1c", Run: Figure1c},
+		{ID: "figure-6a", Run: Figure6a},
+		{ID: "figure-6b", Run: Figure6b},
+		{ID: "figure-6c", Run: Figure6c},
+		{ID: "figure-6d", Run: Figure6d},
+		{ID: "figure-8b", Run: Figure8b},
+		{ID: "figure-8c", Run: Figure8c},
+		{ID: "figure-10", Run: Figure10, Slow: true},
+		{ID: "figure-11a", Run: Figure11a},
+		{ID: "figure-11b", Run: Figure11b, Slow: true},
+		{ID: "figure-11c", Run: func() (*Table, error) { return Figure11c(DefaultFigure11cCycles) }, Slow: true},
+		{ID: "figure-12", Run: Figure12},
+		{ID: "figure-13", Run: Figure13, Slow: true},
+		{ID: "figure-14", Run: Figure14, Slow: true},
+		{ID: "ext-predictor", Run: ExtPredictor, Slow: true},
+		{ID: "ext-thermal", Run: ExtThermal, Slow: true},
+		{ID: "ext-deadline", Run: ExtDeadline},
+		{ID: "ext-ev", Run: ExtEV, Slow: true},
+		{ID: "ext-year", Run: ExtYear, Slow: true},
+		{ID: "ext-quad", Run: ExtQuad},
+		{ID: "spice-buck", Run: SpiceBuck},
+		{ID: "ablation-split", Run: AblationSplit},
+		{ID: "ablation-directive", Run: AblationDirective, Slow: true},
+		{ID: "spice-ripple", Run: SpiceRipple},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,449 @@
+// Package spice is a small SPICE-style transient circuit simulator
+// based on modified nodal analysis (MNA) with backward-Euler companion
+// models. The SDB paper validated its switched-mode regulator designs
+// with LTSPICE simulations (Section 3.2.1); this package reproduces
+// that methodology so the repository can verify, from first principles,
+// that weighted round-robin battery switching plus a smoothing
+// capacitor presents a steady current to the load.
+//
+// Supported elements: resistors, capacitors, inductors, independent
+// voltage and current sources (time-varying), time-controlled switches,
+// and piecewise-linear diodes (solved by state iteration).
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a circuit node. Ground is node 0.
+type NodeID int
+
+// Ground is the reference node.
+const Ground NodeID = 0
+
+type elemKind int
+
+const (
+	kindResistor elemKind = iota
+	kindCapacitor
+	kindInductor
+	kindVSource
+	kindISource
+	kindSwitch
+	kindDiode
+)
+
+type element struct {
+	kind elemKind
+	name string
+	a, b NodeID // for sources: a = positive terminal
+
+	value float64                 // R ohms, C farads, L henries
+	fn    func(t float64) float64 // source waveform
+	ctl   func(t float64) bool    // switch control
+	ron   float64
+	roff  float64
+	vf    float64 // diode forward drop
+
+	// state
+	prevV  float64 // capacitor voltage (a-b)
+	prevI  float64 // inductor current (a->b)
+	on     bool    // diode conduction state
+	branch int     // MNA branch index for voltage sources / inductors
+}
+
+// Circuit is a netlist under construction. Add elements, then call
+// Transient. Node 0 is ground; create other nodes with Node.
+type Circuit struct {
+	nodes    int // count including ground
+	names    map[string]NodeID
+	elems    []*element
+	elemByNm map[string]*element
+}
+
+// New returns an empty circuit containing only the ground node.
+func New() *Circuit {
+	return &Circuit{nodes: 1, names: map[string]NodeID{"0": Ground}, elemByNm: map[string]*element{}}
+}
+
+// Node returns the node with the given name, creating it on first use.
+// The name "0" is ground.
+func (c *Circuit) Node(name string) NodeID {
+	if id, ok := c.names[name]; ok {
+		return id
+	}
+	id := NodeID(c.nodes)
+	c.nodes++
+	c.names[name] = id
+	return id
+}
+
+func (c *Circuit) add(e *element) error {
+	if e.name == "" {
+		return errors.New("spice: element needs a name")
+	}
+	if _, dup := c.elemByNm[e.name]; dup {
+		return fmt.Errorf("spice: duplicate element name %q", e.name)
+	}
+	if int(e.a) >= c.nodes || int(e.b) >= c.nodes || e.a < 0 || e.b < 0 {
+		return fmt.Errorf("spice: element %q references unknown node", e.name)
+	}
+	c.elems = append(c.elems, e)
+	c.elemByNm[e.name] = e
+	return nil
+}
+
+// AddResistor connects a resistor of the given ohms between a and b.
+func (c *Circuit) AddResistor(name string, a, b NodeID, ohms float64) error {
+	if ohms <= 0 {
+		return fmt.Errorf("spice: resistor %q must have positive resistance", name)
+	}
+	return c.add(&element{kind: kindResistor, name: name, a: a, b: b, value: ohms})
+}
+
+// AddCapacitor connects a capacitor with initial voltage v0 (a minus b).
+func (c *Circuit) AddCapacitor(name string, a, b NodeID, farads, v0 float64) error {
+	if farads <= 0 {
+		return fmt.Errorf("spice: capacitor %q must have positive capacitance", name)
+	}
+	return c.add(&element{kind: kindCapacitor, name: name, a: a, b: b, value: farads, prevV: v0})
+}
+
+// AddInductor connects an inductor with initial current i0 (a to b).
+func (c *Circuit) AddInductor(name string, a, b NodeID, henries, i0 float64) error {
+	if henries <= 0 {
+		return fmt.Errorf("spice: inductor %q must have positive inductance", name)
+	}
+	return c.add(&element{kind: kindInductor, name: name, a: a, b: b, value: henries, prevI: i0})
+}
+
+// AddVoltageSource connects an independent voltage source; v(t) = fn(t)
+// from b (minus) to a (plus).
+func (c *Circuit) AddVoltageSource(name string, plus, minus NodeID, fn func(t float64) float64) error {
+	if fn == nil {
+		return fmt.Errorf("spice: voltage source %q needs a waveform", name)
+	}
+	return c.add(&element{kind: kindVSource, name: name, a: plus, b: minus, fn: fn})
+}
+
+// AddDCVoltageSource connects a constant voltage source.
+func (c *Circuit) AddDCVoltageSource(name string, plus, minus NodeID, volts float64) error {
+	return c.AddVoltageSource(name, plus, minus, func(float64) float64 { return volts })
+}
+
+// AddCurrentSource connects an independent current source pushing fn(t)
+// amperes from a into b through the source (i.e. out of terminal b).
+func (c *Circuit) AddCurrentSource(name string, a, b NodeID, fn func(t float64) float64) error {
+	if fn == nil {
+		return fmt.Errorf("spice: current source %q needs a waveform", name)
+	}
+	return c.add(&element{kind: kindISource, name: name, a: a, b: b, fn: fn})
+}
+
+// AddSwitch connects a time-controlled switch: resistance ron when
+// ctl(t) is true, roff otherwise.
+func (c *Circuit) AddSwitch(name string, a, b NodeID, ron, roff float64, ctl func(t float64) bool) error {
+	if ron <= 0 || roff <= 0 || ron >= roff {
+		return fmt.Errorf("spice: switch %q needs 0 < ron < roff", name)
+	}
+	if ctl == nil {
+		return fmt.Errorf("spice: switch %q needs a control function", name)
+	}
+	return c.add(&element{kind: kindSwitch, name: name, a: a, b: b, ron: ron, roff: roff, ctl: ctl})
+}
+
+// AddDiode connects a piecewise-linear diode conducting from a to b
+// with forward drop vf and on-resistance ron; off it presents roff.
+func (c *Circuit) AddDiode(name string, a, b NodeID, vf, ron, roff float64) error {
+	if ron <= 0 || roff <= 0 || ron >= roff || vf < 0 {
+		return fmt.Errorf("spice: diode %q needs 0 < ron < roff and vf >= 0", name)
+	}
+	return c.add(&element{kind: kindDiode, name: name, a: a, b: b, vf: vf, ron: ron, roff: roff})
+}
+
+// Result holds a transient analysis: node voltages and source branch
+// currents sampled at each accepted time point.
+type Result struct {
+	Times   []float64
+	volts   [][]float64 // [step][node]
+	branchI map[string][]float64
+}
+
+// Voltage returns the waveform of the given node.
+func (r *Result) Voltage(n NodeID) []float64 {
+	out := make([]float64, len(r.Times))
+	for i, v := range r.volts {
+		out[i] = v[n]
+	}
+	return out
+}
+
+// BranchCurrent returns the current waveform through the named voltage
+// source or inductor (positive flowing plus -> minus internally, i.e.
+// a to b through the element).
+func (r *Result) BranchCurrent(name string) ([]float64, bool) {
+	w, ok := r.branchI[name]
+	return w, ok
+}
+
+// Final returns the node voltages at the last time point.
+func (r *Result) Final(n NodeID) float64 {
+	if len(r.volts) == 0 {
+		return 0
+	}
+	return r.volts[len(r.volts)-1][n]
+}
+
+const diodeMaxIters = 32
+
+// Transient runs backward-Euler integration from t=0 to tstop with
+// fixed step dt, returning the sampled waveforms.
+func (c *Circuit) Transient(tstop, dt float64) (*Result, error) {
+	if dt <= 0 || tstop <= 0 || tstop < dt {
+		return nil, fmt.Errorf("spice: bad transient bounds tstop=%g dt=%g", tstop, dt)
+	}
+	// Assign branch indices to elements that add MNA rows.
+	branches := 0
+	for _, e := range c.elems {
+		if e.kind == kindVSource || e.kind == kindInductor {
+			e.branch = branches
+			branches++
+		}
+	}
+	n := c.nodes - 1 // unknown node voltages (excluding ground)
+	dim := n + branches
+	if dim == 0 {
+		return nil, errors.New("spice: empty circuit")
+	}
+
+	steps := int(math.Round(tstop/dt)) + 1
+	res := &Result{
+		Times:   make([]float64, 0, steps),
+		volts:   make([][]float64, 0, steps),
+		branchI: map[string][]float64{},
+	}
+	for _, e := range c.elems {
+		if e.kind == kindVSource || e.kind == kindInductor {
+			res.branchI[e.name] = make([]float64, 0, steps)
+		}
+	}
+
+	a := make([][]float64, dim)
+	for i := range a {
+		a[i] = make([]float64, dim+1)
+	}
+	x := make([]float64, dim)
+
+	for s := 0; s < steps; s++ {
+		t := float64(s) * dt
+		if err := c.solveStep(t, dt, n, a, x); err != nil {
+			return nil, fmt.Errorf("spice: t=%g: %w", t, err)
+		}
+		// Record.
+		res.Times = append(res.Times, t)
+		row := make([]float64, c.nodes)
+		for i := 0; i < n; i++ {
+			row[i+1] = x[i]
+		}
+		res.volts = append(res.volts, row)
+		for _, e := range c.elems {
+			if e.kind == kindVSource || e.kind == kindInductor {
+				res.branchI[e.name] = append(res.branchI[e.name], x[n+e.branch])
+			}
+		}
+		// Commit state for the next step.
+		nodeV := func(id NodeID) float64 {
+			if id == Ground {
+				return 0
+			}
+			return x[int(id)-1]
+		}
+		for _, e := range c.elems {
+			switch e.kind {
+			case kindCapacitor:
+				e.prevV = nodeV(e.a) - nodeV(e.b)
+			case kindInductor:
+				e.prevI = x[n+e.branch]
+			}
+		}
+	}
+	return res, nil
+}
+
+// solveStep assembles and solves the MNA system at time t, iterating
+// diode states to consistency.
+func (c *Circuit) solveStep(t, dt float64, n int, a [][]float64, x []float64) error {
+	for iter := 0; ; iter++ {
+		c.assemble(t, dt, n, a)
+		if err := gauss(a, x); err != nil {
+			return err
+		}
+		if c.diodesConsistent(x, n) {
+			return nil
+		}
+		if iter >= diodeMaxIters {
+			return errors.New("diode state iteration did not converge")
+		}
+	}
+}
+
+// assemble builds the MNA matrix (dim x dim+1 augmented) for time t.
+func (c *Circuit) assemble(t, dt float64, n int, a [][]float64) {
+	dim := len(a)
+	for i := range a {
+		for j := 0; j <= dim; j++ {
+			a[i][j] = 0
+		}
+	}
+	rhs := dim // augmented column index
+
+	stampG := func(na, nb NodeID, g float64) {
+		i, j := int(na)-1, int(nb)-1
+		if i >= 0 {
+			a[i][i] += g
+		}
+		if j >= 0 {
+			a[j][j] += g
+		}
+		if i >= 0 && j >= 0 {
+			a[i][j] -= g
+			a[j][i] -= g
+		}
+	}
+	stampI := func(na, nb NodeID, amps float64) {
+		// Current amps flows out of na, into nb externally.
+		if i := int(na) - 1; i >= 0 {
+			a[i][rhs] -= amps
+		}
+		if j := int(nb) - 1; j >= 0 {
+			a[j][rhs] += amps
+		}
+	}
+
+	for _, e := range c.elems {
+		switch e.kind {
+		case kindResistor:
+			stampG(e.a, e.b, 1/e.value)
+		case kindSwitch:
+			r := e.roff
+			if e.ctl(t) {
+				r = e.ron
+			}
+			stampG(e.a, e.b, 1/r)
+		case kindDiode:
+			if e.on {
+				stampG(e.a, e.b, 1/e.ron)
+				// Forward drop modeled as a series voltage -> Norton
+				// equivalent: outflow from a is (v_ab - vf)/ron, so the
+				// constant term injects vf/ron into a (and out of b).
+				stampI(e.b, e.a, e.vf/e.ron)
+			} else {
+				stampG(e.a, e.b, 1/e.roff)
+			}
+		case kindCapacitor:
+			g := e.value / dt
+			stampG(e.a, e.b, g)
+			stampI(e.b, e.a, g*e.prevV) // history source pushes into a
+		case kindISource:
+			stampI(e.a, e.b, e.fn(t))
+		case kindVSource:
+			k := n + e.branch
+			if i := int(e.a) - 1; i >= 0 {
+				a[i][k] += 1
+				a[k][i] += 1
+			}
+			if j := int(e.b) - 1; j >= 0 {
+				a[j][k] -= 1
+				a[k][j] -= 1
+			}
+			a[k][rhs] += e.fn(t)
+		case kindInductor:
+			// Branch current is an unknown: v_a - v_b = L di/dt
+			// => v_a - v_b - (L/dt) i = -(L/dt) i_prev.
+			k := n + e.branch
+			if i := int(e.a) - 1; i >= 0 {
+				a[i][k] += 1
+				a[k][i] += 1
+			}
+			if j := int(e.b) - 1; j >= 0 {
+				a[j][k] -= 1
+				a[k][j] -= 1
+			}
+			a[k][k] -= e.value / dt
+			a[k][rhs] += -e.value / dt * e.prevI
+		}
+	}
+}
+
+// diodesConsistent checks every diode's assumed state against the
+// solved voltages/currents, flipping inconsistent ones. It returns true
+// when no flips were needed.
+func (c *Circuit) diodesConsistent(x []float64, n int) bool {
+	nodeV := func(id NodeID) float64 {
+		if id == Ground {
+			return 0
+		}
+		return x[int(id)-1]
+	}
+	ok := true
+	for _, e := range c.elems {
+		if e.kind != kindDiode {
+			continue
+		}
+		v := nodeV(e.a) - nodeV(e.b)
+		if e.on {
+			// Conducting: forward current must be non-negative.
+			i := (v - e.vf) / e.ron
+			if i < 0 {
+				e.on = false
+				ok = false
+			}
+		} else {
+			// Blocking: voltage must stay below the forward drop.
+			if v > e.vf {
+				e.on = true
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// gauss solves the augmented system a (dim x dim+1) in place with
+// partial pivoting, writing the solution into x.
+func gauss(a [][]float64, x []float64) error {
+	dim := len(a)
+	for col := 0; col < dim; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < dim; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-14 {
+			return fmt.Errorf("singular matrix at column %d (floating node?)", col)
+		}
+		a[col], a[p] = a[p], a[col]
+		// Eliminate.
+		for r := col + 1; r < dim; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k <= dim; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	for i := dim - 1; i >= 0; i-- {
+		sum := a[i][dim]
+		for k := i + 1; k < dim; k++ {
+			sum -= a[i][k] * x[k]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return nil
+}

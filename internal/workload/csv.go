@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the trace file header: time offset, system load, and
+// external supply power.
+var csvHeader = []string{"t_s", "load_w", "external_w"}
+
+// WriteCSV serializes the trace in the repository's trace exchange
+// format (one row per sample).
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, 3)
+	for i, load := range tr.Load {
+		row[0] = strconv.FormatFloat(float64(i)*tr.DT, 'g', -1, 64)
+		row[1] = strconv.FormatFloat(load, 'g', -1, 64)
+		ext := 0.0
+		if tr.External != nil {
+			ext = tr.External[i]
+		}
+		row[2] = strconv.FormatFloat(ext, 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. The sample period is
+// inferred from the first two rows.
+func ReadCSV(r io.Reader, name string) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read csv: %w", err)
+	}
+	if len(rows) < 3 {
+		return nil, fmt.Errorf("workload: csv trace %s needs a header and at least two samples", name)
+	}
+	if rows[0][0] != csvHeader[0] || rows[0][1] != csvHeader[1] || rows[0][2] != csvHeader[2] {
+		return nil, fmt.Errorf("workload: csv trace %s has unexpected header %v", name, rows[0])
+	}
+	rows = rows[1:]
+	tr := &Trace{Name: name, Load: make([]float64, 0, len(rows)), External: make([]float64, 0, len(rows))}
+	var t0, t1 float64
+	anyExternal := false
+	for i, row := range rows {
+		t, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv row %d: bad time %q", i+1, row[0])
+		}
+		load, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv row %d: bad load %q", i+1, row[1])
+		}
+		ext, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv row %d: bad external %q", i+1, row[2])
+		}
+		switch i {
+		case 0:
+			t0 = t
+		case 1:
+			t1 = t
+		}
+		tr.Load = append(tr.Load, load)
+		tr.External = append(tr.External, ext)
+		if ext != 0 {
+			anyExternal = true
+		}
+	}
+	tr.DT = t1 - t0
+	if !anyExternal {
+		tr.External = nil
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,73 @@
+package workload
+
+// Device is a component-level power profile for the three hardware
+// platforms the paper instruments (Section 4.3): a Core i5 2-in-1
+// tablet, a Snapdragon 800 phone, and a Snapdragon 200-class watch.
+// Component draws are representative published figures for that class
+// of hardware.
+type Device struct {
+	Name string
+	// IdleW is the floor draw with the screen off.
+	IdleW float64
+	// DisplayW is the additional draw with the screen on.
+	DisplayW float64
+	// CPUBaseW is the sustained CPU draw under normal load (the
+	// long-term system limit of Section 5.1).
+	CPUBaseW float64
+	// CPUBurstW is the short-burst turbo draw (up to three minutes).
+	CPUBurstW float64
+	// CPUPeakW is the highest (battery-protection-limited) draw.
+	CPUPeakW float64
+	// RadioW is the network radio draw when active.
+	RadioW float64
+	// GPSW is the GPS receiver draw when tracking.
+	GPSW float64
+	// ChargerW is the external supply power when docked.
+	ChargerW float64
+}
+
+// Tablet returns the 2-in-1 development tablet profile (Intel Core i5,
+// 12" display).
+func Tablet() Device {
+	return Device{
+		Name:      "tablet",
+		IdleW:     1.2,
+		DisplayW:  2.8,
+		CPUBaseW:  4.0,
+		CPUBurstW: 8.0,
+		CPUPeakW:  11.0,
+		RadioW:    0.9,
+		GPSW:      0,
+		ChargerW:  30,
+	}
+}
+
+// Phone returns the Snapdragon 800 development phone profile.
+func Phone() Device {
+	return Device{
+		Name:      "phone",
+		IdleW:     0.15,
+		DisplayW:  0.8,
+		CPUBaseW:  1.2,
+		CPUBurstW: 2.6,
+		CPUPeakW:  3.5,
+		RadioW:    0.7,
+		GPSW:      0.35,
+		ChargerW:  10,
+	}
+}
+
+// Watch returns the Snapdragon 200-class smart-watch profile.
+func Watch() Device {
+	return Device{
+		Name:      "watch",
+		IdleW:     0.015,
+		DisplayW:  0.08,
+		CPUBaseW:  0.12,
+		CPUBurstW: 0.3,
+		CPUPeakW:  0.45,
+		RadioW:    0.10,
+		GPSW:      0.28,
+		ChargerW:  2.5,
+	}
+}

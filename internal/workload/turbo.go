@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PowerLevel is the Section 5.1 performance-priority parameter the OS
+// hands the SDB runtime and CPU firmware.
+type PowerLevel int
+
+const (
+	// LevelLow disables the high power-density battery and informs the
+	// CPU of the reduced power capacity.
+	LevelLow PowerLevel = iota
+	// LevelMedium enables both batteries but caps the CPU at twice the
+	// high energy-density battery's peak power.
+	LevelMedium
+	// LevelHigh lets the CPU draw the maximum possible power from both
+	// batteries.
+	LevelHigh
+)
+
+// String names the level.
+func (l PowerLevel) String() string {
+	switch l {
+	case LevelLow:
+		return "low"
+	case LevelMedium:
+		return "medium"
+	case LevelHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("PowerLevel(%d)", int(l))
+	}
+}
+
+// Levels lists the three levels in order.
+func Levels() []PowerLevel { return []PowerLevel{LevelLow, LevelMedium, LevelHigh} }
+
+// Task is a unit of work characterized by how much of its critical
+// path is compute versus network: the two extreme users of Section 5.1
+// are ComputeFraction 1 (gaming/development) and 0 (email, browsing,
+// calls).
+type Task struct {
+	Name string
+	// BaseLatencyS is the task latency at LevelLow.
+	BaseLatencyS float64
+	// ComputeFraction in [0,1] is the share of the critical path that
+	// scales with CPU frequency; the rest is network-bound.
+	ComputeFraction float64
+}
+
+// Validate checks task sanity.
+func (t Task) Validate() error {
+	switch {
+	case t.Name == "":
+		return errors.New("workload: task needs a name")
+	case t.BaseLatencyS <= 0:
+		return fmt.Errorf("workload: task %s: BaseLatencyS must be positive", t.Name)
+	case t.ComputeFraction < 0 || t.ComputeFraction > 1:
+		return fmt.Errorf("workload: task %s: ComputeFraction out of [0,1]", t.Name)
+	}
+	return nil
+}
+
+// NetworkTask returns the network-bottlenecked extreme.
+func NetworkTask() Task {
+	return Task{Name: "network-bound", BaseLatencyS: 10, ComputeFraction: 0.05}
+}
+
+// ComputeTask returns the CPU/GPU-bottlenecked extreme.
+func ComputeTask() Task {
+	return Task{Name: "compute-bound", BaseLatencyS: 10, ComputeFraction: 0.97}
+}
+
+// TurboModel maps power availability to latency and energy, calibrated
+// to the paper's measurements: compute-bound benchmarks score up to
+// ~26% better at the highest level, while network-bound tasks gain no
+// latency and spend up to ~20.6% more energy (turbo entry overhead plus
+// higher battery losses at higher draw).
+type TurboModel struct {
+	// LowCapW/MediumCapW/HighCapW are the CPU power caps per level,
+	// derived from the battery configuration.
+	LowCapW    float64
+	MediumCapW float64
+	HighCapW   float64
+	// SpeedupExp is the exponent of speedup vs power ratio.
+	SpeedupExp float64
+	// ComputeEnergyExp shapes compute-task energy growth with power.
+	ComputeEnergyExp float64
+	// NetworkOverheadPerX is the fractional energy overhead per unit
+	// of power-cap ratio above 1 for network-bound work.
+	NetworkOverheadPerX float64
+	// BaseActiveW is the mean platform draw of the task at LevelLow.
+	BaseActiveW float64
+}
+
+// TabletTurboModel derives the model from a device profile and the
+// battery configuration of Section 5.1: LevelLow caps at the
+// high-density battery's burst power, LevelMedium at twice it (equal
+// peak draw from both batteries), LevelHigh at the sum of both
+// batteries' peaks.
+func TabletTurboModel(d Device, hdPeakW, fcPeakW float64) (TurboModel, error) {
+	if hdPeakW <= 0 || fcPeakW <= 0 {
+		return TurboModel{}, fmt.Errorf("workload: battery peaks must be positive (hd=%g fc=%g)", hdPeakW, fcPeakW)
+	}
+	m := TurboModel{
+		LowCapW:             math.Min(d.CPUBaseW, hdPeakW),
+		MediumCapW:          math.Min(d.CPUBurstW, 2*math.Min(hdPeakW, fcPeakW)),
+		HighCapW:            math.Min(d.CPUPeakW, hdPeakW+fcPeakW),
+		SpeedupExp:          0.23,
+		ComputeEnergyExp:    0.35,
+		NetworkOverheadPerX: 0.118,
+		BaseActiveW:         d.CPUBaseW + d.DisplayW + d.IdleW,
+	}
+	if m.MediumCapW < m.LowCapW {
+		m.MediumCapW = m.LowCapW
+	}
+	if m.HighCapW < m.MediumCapW {
+		m.HighCapW = m.MediumCapW
+	}
+	return m, nil
+}
+
+// Cap returns the CPU power cap at a level.
+func (m TurboModel) Cap(l PowerLevel) float64 {
+	switch l {
+	case LevelMedium:
+		return m.MediumCapW
+	case LevelHigh:
+		return m.HighCapW
+	default:
+		return m.LowCapW
+	}
+}
+
+// RunResult reports one task execution.
+type RunResult struct {
+	Task       string
+	Level      PowerLevel
+	LatencyS   float64
+	EnergyJ    float64
+	MeanPowerW float64
+}
+
+// Run evaluates the task at the level. Latency: the compute part of
+// the critical path shrinks with (cap/lowCap)^SpeedupExp; the network
+// part is fixed. Energy: compute work costs more at higher power
+// (voltage/frequency scaling outpaces the time saved); network work
+// pays the turbo-entry overhead with no benefit.
+func (m TurboModel) Run(t Task, l PowerLevel) (RunResult, error) {
+	if err := t.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if m.LowCapW <= 0 {
+		return RunResult{}, errors.New("workload: turbo model has no low cap")
+	}
+	x := m.Cap(l) / m.LowCapW // power-cap ratio >= 1
+	speedup := math.Pow(x, m.SpeedupExp)
+
+	computeLat := t.BaseLatencyS * t.ComputeFraction / speedup
+	networkLat := t.BaseLatencyS * (1 - t.ComputeFraction)
+	lat := computeLat + networkLat
+
+	baseE := m.BaseActiveW * t.BaseLatencyS
+	computeE := baseE * t.ComputeFraction * math.Pow(x, m.ComputeEnergyExp) / speedup
+	networkE := baseE * (1 - t.ComputeFraction) * (1 + m.NetworkOverheadPerX*(x-1))
+	e := computeE + networkE
+
+	return RunResult{
+		Task:       t.Name,
+		Level:      l,
+		LatencyS:   lat,
+		EnergyJ:    e,
+		MeanPowerW: e / lat,
+	}, nil
+}
+
+// Sweep runs the task at all three levels.
+func (m TurboModel) Sweep(t Task) ([]RunResult, error) {
+	out := make([]RunResult, 0, 3)
+	for _, l := range Levels() {
+		r, err := m.Run(t, l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

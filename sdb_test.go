@@ -1,0 +1,146 @@
+package sdb
+
+import (
+	"math"
+	"testing"
+
+	"sdb/internal/workload"
+)
+
+func TestCellLibraryExposed(t *testing.T) {
+	lib := CellLibrary()
+	if len(lib) != 15 {
+		t.Fatalf("library size = %d", len(lib))
+	}
+	p, err := CellByName("Watch-200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SoC() != 1 {
+		t.Error("new cell not full")
+	}
+	if _, err := CellByName("missing"); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestNewSystemDuplicateCellNames(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Cells: []string{"Watch-200", "Watch-200"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Pack.N() != 2 {
+		t.Fatalf("pack size = %d", sys.Pack.N())
+	}
+	if sys.Pack.Cell(0).Name() == sys.Pack.Cell(1).Name() {
+		t.Error("duplicate names not disambiguated")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{}); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := NewSystem(SystemConfig{Cells: []string{"bogus"}}); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestNewSystemInitialSoC(t *testing.T) {
+	soc := 0.4
+	sys, err := NewSystem(SystemConfig{
+		Cells:      []string{"QuickCharge-2000", "EnergyMax-4000"},
+		InitialSoC: &soc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sys.Pack.N(); i++ {
+		if got := sys.Pack.Cell(i).SoC(); got != 0.4 {
+			t.Errorf("cell %d SoC = %g", i, got)
+		}
+	}
+}
+
+func TestSystemRunDischarges(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Cells: []string{"QuickCharge-2000", "EnergyMax-4000"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Constant("load", 3, 600, 1)
+	res, err := sys.Run(tr, 60, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DeliveredJ-1800) > 50 {
+		t.Errorf("delivered %g J for 3W x 600s", res.DeliveredJ)
+	}
+	sts, err := sys.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 {
+		t.Fatalf("status count %d", len(sts))
+	}
+	m, err := sys.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RBLJoules <= 0 {
+		t.Error("metrics empty")
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(Experiments()) < 18 {
+		t.Error("experiment registry too small")
+	}
+	if _, ok := ExperimentByID("figure-12"); !ok {
+		t.Error("figure-12 missing")
+	}
+}
+
+func TestFacadeDeadlinePlanner(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Cells: []string{"QuickCharge-2000", "EnergyMax-4000"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Pack.Cell(0).SetSoC(0.2)
+	sys.Pack.Cell(1).SetSoC(0.2)
+	sts, err := sys.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := CellByName("QuickCharge-2000")
+	hd, _ := CellByName("EnergyMax-4000")
+	plan, err := PlanDeadlineCharge(sts, []ChargeSpec{SpecFromParams(fc), SpecFromParams(hd)}, 0.6, 2*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Error("2h plan to 60% infeasible")
+	}
+}
+
+func TestFacadeThermalGuard(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Cells: []string{"QuickCharge-2000", "EnergyMax-4000"},
+		Runtime: RuntimeOptions{
+			DischargePolicy: ThermalGuard{
+				Inner:      RBLDischarge{},
+				SoftLimitC: 45,
+				HardLimitC: 58,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Runtime.Update(2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
