@@ -5,37 +5,51 @@ package sdb
 //
 //	go test -bench=. -benchmem
 //
-// Each benchmark executes the corresponding experiment driver from
-// internal/sim; the time per op is the cost of regenerating that
-// table/figure, and headline reproduction numbers are attached as
-// custom metrics where a single scalar captures the result.
+// The benchmark set is driven by the internal/sim registry, so adding
+// an experiment there automatically adds its benchmark here. The time
+// per op is the cost of regenerating that table/figure, and headline
+// reproduction numbers are attached as custom metrics where a single
+// scalar captures the result.
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
 	"sdb/internal/sim"
 )
 
-// runExperiment is the common driver: it regenerates the table b.N
-// times and reports its row count to ensure work isn't elided.
-func runExperiment(b *testing.B, run func() (*sim.Table, error)) *sim.Table {
-	b.Helper()
-	var tab *sim.Table
-	for i := 0; i < b.N; i++ {
-		var err error
-		tab, err = run()
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(len(tab.Rows)), "rows")
-	return tab
+// headlineMetric names the table cell that carries an experiment's
+// headline reproduction number. Row -1 means the last row.
+type headlineMetric struct {
+	row  int
+	col  string
+	name string
+}
+
+var headlineMetrics = map[string]headlineMetric{
+	"figure-1b":  {-1, "1.0A retention %", "retention1A%"},
+	"figure-1c":  {-1, "Type4 loss %", "type4loss2C%"},
+	"figure-6a":  {-1, "loss %", "loss10W%"},
+	"figure-6c":  {-1, "% of typical efficiency", "eff2.2A%"},
+	"figure-10":  {1, "accuracy %", "accuracy%"},
+	"figure-11a": {1, "energy density Wh/l", "sdbWhPerL"},
+	// Row 5 of figure-11b is the 40% target; the headline is SDB's
+	// time advantage.
+	"figure-11b": {5, "SDB min", "sdbTo40%min"},
+	"figure-11c": {1, "retention %", "sdbRetention%"},
+	"figure-12":  {5, "latency (norm)", "computeHighLatency"},
+	"figure-14":  {-1, "improvement %", "gamingGain%"},
+	"ext-ev":     {2, "capture %", "navCapture%"},
+	"ext-year":   {2, "capacity after 1y %", "awareRetention%"},
 }
 
 // metricFromCell attaches a named metric from a table cell.
 func metricFromCell(b *testing.B, tab *sim.Table, row int, col, name string) {
 	b.Helper()
+	if row < 0 {
+		row = len(tab.Rows) - 1
+	}
 	s, ok := tab.Cell(row, col)
 	if !ok {
 		b.Fatalf("no cell (%d, %s)", row, col)
@@ -47,129 +61,45 @@ func metricFromCell(b *testing.B, tab *sim.Table, row int, col, name string) {
 	b.ReportMetric(v, name)
 }
 
-func BenchmarkTable1Characteristics(b *testing.B) {
-	runExperiment(b, sim.Table1)
+// BenchmarkExperiment regenerates every registered experiment; filter
+// with -bench=Experiment/figure-13 etc.
+func BenchmarkExperiment(b *testing.B) {
+	ctx := context.Background()
+	for _, e := range sim.All() {
+		e := e
+		b.Run(e.ID, func(b *testing.B) {
+			var tab *sim.Table
+			for i := 0; i < b.N; i++ {
+				var err error
+				tab, err = e.Run(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(tab.Rows)), "rows")
+			if hm, ok := headlineMetrics[e.ID]; ok {
+				metricFromCell(b, tab, hm.row, hm.col, hm.name)
+			}
+		})
+	}
 }
 
-func BenchmarkFigure1aChemistryRadar(b *testing.B) {
-	runExperiment(b, sim.Figure1a)
-}
-
-func BenchmarkFigure1bLongevityVsRate(b *testing.B) {
-	tab := runExperiment(b, func() (*sim.Table, error) { return sim.Figure1b(sim.DefaultFigure1bCycles) })
-	metricFromCell(b, tab, len(tab.Rows)-1, "1.0A retention %", "retention1A%")
-}
-
-func BenchmarkFigure1cHeatLossVsRate(b *testing.B) {
-	tab := runExperiment(b, sim.Figure1c)
-	metricFromCell(b, tab, len(tab.Rows)-1, "Type4 loss %", "type4loss2C%")
-}
-
-func BenchmarkFigure6aDischargeLoss(b *testing.B) {
-	tab := runExperiment(b, sim.Figure6a)
-	metricFromCell(b, tab, len(tab.Rows)-1, "loss %", "loss10W%")
-}
-
-func BenchmarkFigure6bSharingError(b *testing.B) {
-	runExperiment(b, sim.Figure6b)
-}
-
-func BenchmarkFigure6cChargeEfficiency(b *testing.B) {
-	tab := runExperiment(b, sim.Figure6c)
-	metricFromCell(b, tab, len(tab.Rows)-1, "% of typical efficiency", "eff2.2A%")
-}
-
-func BenchmarkFigure6dChargeCurrentError(b *testing.B) {
-	runExperiment(b, sim.Figure6d)
-}
-
-func BenchmarkFigure8bOCPCurves(b *testing.B) {
-	runExperiment(b, sim.Figure8b)
-}
-
-func BenchmarkFigure8cResistanceCurves(b *testing.B) {
-	runExperiment(b, sim.Figure8c)
-}
-
-func BenchmarkFigure10ModelValidation(b *testing.B) {
-	tab := runExperiment(b, sim.Figure10)
-	metricFromCell(b, tab, 1, "accuracy %", "accuracy%")
-}
-
-func BenchmarkFigure11aEnergyDensity(b *testing.B) {
-	tab := runExperiment(b, sim.Figure11a)
-	metricFromCell(b, tab, 1, "energy density Wh/l", "sdbWhPerL")
-}
-
-func BenchmarkFigure11bChargeTime(b *testing.B) {
-	tab := runExperiment(b, sim.Figure11b)
-	// Row 5 is the 40% target; the headline is SDB's time advantage.
-	metricFromCell(b, tab, 5, "SDB min", "sdbTo40%min")
-}
-
-func BenchmarkFigure11cLongevity(b *testing.B) {
-	tab := runExperiment(b, func() (*sim.Table, error) { return sim.Figure11c(sim.DefaultFigure11cCycles) })
-	metricFromCell(b, tab, 1, "retention %", "sdbRetention%")
-}
-
-func BenchmarkFigure12TurboTradeoffs(b *testing.B) {
-	tab := runExperiment(b, sim.Figure12)
-	metricFromCell(b, tab, 5, "latency (norm)", "computeHighLatency")
-}
-
-func BenchmarkFigure13SmartwatchDay(b *testing.B) {
-	runExperiment(b, sim.Figure13)
-}
-
-func BenchmarkFigure14TwoInOne(b *testing.B) {
-	tab := runExperiment(b, sim.Figure14)
-	metricFromCell(b, tab, len(tab.Rows)-1, "improvement %", "gamingGain%")
-}
-
-func BenchmarkAblationSplit(b *testing.B) {
-	runExperiment(b, sim.AblationSplit)
-}
-
-func BenchmarkAblationDirective(b *testing.B) {
-	runExperiment(b, sim.AblationDirective)
-}
-
-func BenchmarkSpiceRegulatorRipple(b *testing.B) {
-	runExperiment(b, sim.SpiceRipple)
-}
-
-// Extension experiments (paper Sections 7-8 future work, implemented).
-
-func BenchmarkExtPredictor(b *testing.B) {
-	runExperiment(b, sim.ExtPredictor)
-}
-
-func BenchmarkExtThermal(b *testing.B) {
-	runExperiment(b, sim.ExtThermal)
-}
-
-func BenchmarkExtDeadline(b *testing.B) {
-	runExperiment(b, sim.ExtDeadline)
-}
-
-func BenchmarkExtEV(b *testing.B) {
-	tab := runExperiment(b, sim.ExtEV)
-	metricFromCell(b, tab, 2, "capture %", "navCapture%")
-}
-
-func BenchmarkExtYear(b *testing.B) {
-	tab := runExperiment(b, sim.ExtYear)
-	metricFromCell(b, tab, 2, "capacity after 1y %", "awareRetention%")
-}
-
-func BenchmarkSpiceBuck(b *testing.B) {
-	runExperiment(b, sim.SpiceBuck)
-}
-
-func BenchmarkExtQuad(b *testing.B) {
-	runExperiment(b, sim.ExtQuad)
-}
-
-func BenchmarkTable2Tradeoffs(b *testing.B) {
-	runExperiment(b, sim.Table2)
+// BenchmarkRunnerFastSubset measures the worker pool regenerating the
+// whole fast subset, at one worker and at the default pool size.
+func BenchmarkRunnerFastSubset(b *testing.B) {
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS default
+		r := &sim.Runner{Workers: workers}
+		name := "j=default"
+		if workers == 1 {
+			name = "j=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch := r.Run(context.Background(), sim.Fast())
+				if err := batch.FirstErr(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

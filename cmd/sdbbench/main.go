@@ -1,21 +1,29 @@
-// Command sdbbench regenerates the paper's tables and figures.
+// Command sdbbench regenerates the paper's tables and figures using
+// the concurrent experiment engine in internal/sim.
 //
 // Usage:
 //
 //	sdbbench              # run every experiment (slow ones included)
 //	sdbbench -fast        # skip the slow emulation/endurance runs
-//	sdbbench -list        # list experiment ids
+//	sdbbench -list        # list experiment ids with cost class
 //	sdbbench -run id,...  # run specific experiments
+//	sdbbench -j 4         # worker pool size (default GOMAXPROCS)
+//	sdbbench -timeout 2m  # cancel experiments not started by then
+//	sdbbench -compare     # time the fast subset at -j 1 vs -j N
 //	sdbbench -plot        # additionally render ASCII charts
+//	sdbbench -q           # suppress per-job progress lines
 //
-// Output is aligned text, one table per experiment, with a note line
-// stating the expected qualitative shape from the paper.
+// Experiments execute on a bounded worker pool; progress lines go to
+// stderr as jobs start and finish, and the tables print to stdout in
+// registry order — byte-identical to a serial (-j 1) run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,22 +32,33 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		fast = flag.Bool("fast", false, "skip slow experiments")
-		run  = flag.String("run", "", "comma-separated experiment ids to run")
-		plot = flag.Bool("plot", false, "render numeric experiments as ASCII charts too")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		fast    = flag.Bool("fast", false, "skip slow experiments")
+		run     = flag.String("run", "", "comma-separated experiment ids to run")
+		plot    = flag.Bool("plot", false, "render numeric experiments as ASCII charts too")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run in parallel")
+		timeout = flag.Duration("timeout", 0, "overall deadline (0 = none); pending jobs are canceled")
+		compare = flag.Bool("compare", false, "run the fast subset serially then with -j workers and report the speedup")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range sim.All() {
-			slow := ""
-			if e.Slow {
-				slow = " (slow)"
-			}
-			fmt.Printf("%s%s\n", e.ID, slow)
+			fmt.Printf("%-20s %-5s %s\n", e.ID, e.Cost, e.Title)
 		}
 		return
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *compare {
+		os.Exit(runCompare(ctx, *jobs))
 	}
 
 	var selected []sim.Experiment
@@ -52,36 +71,97 @@ func main() {
 			}
 			selected = append(selected, e)
 		}
+	} else if *fast {
+		selected = sim.Fast()
 	} else {
-		for _, e := range sim.All() {
-			if *fast && e.Slow {
-				continue
+		selected = sim.All()
+	}
+
+	runner := &sim.Runner{Workers: *jobs}
+	if !*quiet {
+		runner.Progress = func(ev sim.Event) {
+			switch {
+			case !ev.Done:
+				fmt.Fprintf(os.Stderr, "sdbbench: [%d/%d] %s started\n", ev.Completed, ev.Total, ev.ID)
+			case ev.Err != nil:
+				fmt.Fprintf(os.Stderr, "sdbbench: [%d/%d] %s FAILED after %v: %v\n",
+					ev.Completed, ev.Total, ev.ID, ev.Wall.Round(time.Millisecond), ev.Err)
+			default:
+				fmt.Fprintf(os.Stderr, "sdbbench: [%d/%d] %s done in %v\n",
+					ev.Completed, ev.Total, ev.ID, ev.Wall.Round(time.Millisecond))
 			}
-			selected = append(selected, e)
 		}
 	}
 
+	batch := runner.Run(ctx, selected)
 	failed := 0
-	for _, e := range selected {
-		start := time.Now()
-		tab, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sdbbench: %s: %v\n", e.ID, err)
+	for _, j := range batch.Jobs {
+		if j.Err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: %s: %v\n", j.Experiment.ID, j.Err)
 			failed++
 			continue
 		}
-		if err := tab.Fprint(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "sdbbench: print %s: %v\n", e.ID, err)
+		if err := j.Table.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: print %s: %v\n", j.Experiment.ID, err)
 			os.Exit(1)
 		}
 		if *plot {
-			if chart, err := sim.DefaultChart().Render(tab, nil); err == nil {
+			if chart, err := sim.DefaultChart().Render(j.Table, nil); err == nil {
 				fmt.Println(chart)
 			}
 		}
-		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
+	stepsPerSec := float64(batch.Steps) / batch.Wall.Seconds()
+	fmt.Fprintf(os.Stderr, "sdbbench: %d experiments in %v with %d workers (%d firmware steps, %.3g steps/s)\n",
+		len(batch.Jobs)-failed, batch.Wall.Round(time.Millisecond), batch.Workers, batch.Steps, stepsPerSec)
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runCompare times the fast experiment subset serially and with the
+// requested pool, verifies the outputs are byte-identical, and prints
+// the wall-clock comparison. Returns the process exit code.
+func runCompare(ctx context.Context, jobs int) int {
+	subset := sim.Fast()
+	render := func(b *sim.BatchResult) (string, error) {
+		var sb strings.Builder
+		err := b.Fprint(&sb)
+		return sb.String(), err
+	}
+
+	serialRunner := &sim.Runner{Workers: 1}
+	serial := serialRunner.Run(ctx, subset)
+	if err := serial.FirstErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "sdbbench: serial pass: %v\n", err)
+		return 1
+	}
+	parallelRunner := &sim.Runner{Workers: jobs}
+	parallel := parallelRunner.Run(ctx, subset)
+	if err := parallel.FirstErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "sdbbench: parallel pass: %v\n", err)
+		return 1
+	}
+
+	serialOut, err := render(serial)
+	if err == nil {
+		var parallelOut string
+		parallelOut, err = render(parallel)
+		if err == nil && serialOut != parallelOut {
+			fmt.Fprintln(os.Stderr, "sdbbench: parallel output DIFFERS from serial output")
+			return 1
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdbbench: render: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("fast subset: %d experiments\n", len(subset))
+	fmt.Printf("  -j 1  %v\n", serial.Wall.Round(time.Millisecond))
+	fmt.Printf("  -j %-2d %v\n", parallel.Workers, parallel.Wall.Round(time.Millisecond))
+	fmt.Printf("  speedup %.2fx, outputs byte-identical\n",
+		serial.Wall.Seconds()/parallel.Wall.Seconds())
+	return 0
 }

@@ -3,6 +3,7 @@ package battery
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Curve shape tables. OCV shapes are taken from typical published
@@ -18,17 +19,29 @@ var (
 	dcirShape = []float64{4.00, 2.40, 1.70, 1.40, 1.25, 1.12, 1.06, 1.02, 1.00, 0.97, 0.95, 0.94}
 )
 
+// The shape curves are built once and shared. A Curve's sample slices
+// are never written after construction (Scale and Points copy), so the
+// cached values are safe to hand out across goroutines — experiment
+// drivers now build packs concurrently, and rebuilding the spline
+// tables for every cell lookup was both wasteful and the kind of
+// hidden shared state a cache must get right under -race.
+var (
+	ocvCoO2Curve = sync.OnceValue(func() Curve { return MustCurve(socKnots, ocvCoO2Shape) })
+	ocvLFPCurve  = sync.OnceValue(func() Curve { return MustCurve(socKnots, ocvLFPShape) })
+	dcirBase     = sync.OnceValue(func() Curve { return MustCurve(socKnots, dcirShape) })
+)
+
 // OCVCoO2 returns the CoO2 cathode open-circuit-potential curve
 // (2.8-4.2 V over state of charge).
-func OCVCoO2() Curve { return MustCurve(socKnots, ocvCoO2Shape) }
+func OCVCoO2() Curve { return ocvCoO2Curve() }
 
 // OCVLiFePO4 returns the LiFePO4 open-circuit-potential curve (the
 // characteristically flat 3.2-3.3 V plateau).
-func OCVLiFePO4() Curve { return MustCurve(socKnots, ocvLFPShape) }
+func OCVLiFePO4() Curve { return ocvLFPCurve() }
 
 // DCIRCurve returns the internal-resistance curve with the Figure 8(c)
 // shape, scaled so DCIR at 70% state of charge equals r70 ohms.
-func DCIRCurve(r70 float64) Curve { return MustCurve(socKnots, dcirShape).Scale(r70) }
+func DCIRCurve(r70 float64) Curve { return dcirBase().Scale(r70) }
 
 // makeParams assembles a Params with chemistry-typical defaults,
 // overridden per cell below.
@@ -118,12 +131,30 @@ func pow23(x float64) float64 {
 	return cbrt * cbrt
 }
 
+// libCache memoizes the built cell library. Params are plain values
+// (the embedded Curves are immutable), so handing out copies of the
+// cached prototypes is race-free even when callers go on to mutate
+// their copy (drivers rename cells, bump rate limits, and so on).
+var libCache = sync.OnceValues(func() ([]Params, map[string]int) {
+	protos := buildLibrary()
+	index := make(map[string]int, len(protos))
+	for i, p := range protos {
+		index[p.Name] = i
+	}
+	return protos, index
+})
+
 // Library returns the 15 modeled cells, mirroring the paper's modeled
 // battery set: two Type 4 (bendable), two Type 3, eight from the Type 2
 // (CoO2, high-density separator) family including its fast-charging and
 // high energy-density variants, and one Type 1 power cell plus two more
 // fast-charge cells.
 func Library() []Params {
+	protos, _ := libCache()
+	return append([]Params(nil), protos...)
+}
+
+func buildLibrary() []Params {
 	return []Params{
 		// Type 4: bendable strap cells (high resistance, low power).
 		withVolume(makeParams("BendStrap-200", ChemType4, 0.200, 2.1), 260),
@@ -153,10 +184,9 @@ func Library() []Params {
 
 // ByName returns the library cell with the given model name.
 func ByName(name string) (Params, error) {
-	for _, p := range Library() {
-		if p.Name == name {
-			return p, nil
-		}
+	protos, index := libCache()
+	if i, ok := index[name]; ok {
+		return protos[i], nil
 	}
 	return Params{}, fmt.Errorf("battery: no library cell named %q", name)
 }

@@ -65,6 +65,8 @@ type Result struct {
 	BatteryLossJ  float64
 	ChargedJ      float64
 	BrownoutSteps int
+	// Steps is the number of firmware enforcement steps executed.
+	Steps int
 	// FinalMetrics is the pack metric snapshot at the end.
 	FinalMetrics core.Metrics
 	// Elapsed is the simulated time covered (may be shorter than the
@@ -123,6 +125,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("emulator: step at t=%g: %w", t, err)
 		}
+		res.Steps++
 
 		res.DeliveredJ += rep.DeliveredW * dt
 		res.CircuitLossJ += rep.CircuitLossW * dt

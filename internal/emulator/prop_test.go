@@ -1,0 +1,142 @@
+package emulator
+
+// Property-based tests over the full stack: for random packs and
+// random discharge traces, the energy the emulator accounts for
+// (delivered + circuit loss + battery loss) must match the chemical
+// energy the cells gave up, and every recorded state of charge must
+// stay within physical bounds.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdb/internal/battery"
+	"sdb/internal/core"
+	"sdb/internal/workload"
+)
+
+// randStack builds a 1-3 cell pack of random library chemistries at a
+// high initial state of charge.
+func randStack(t *testing.T, rng *rand.Rand) *Stack {
+	t.Helper()
+	lib := battery.Library()
+	n := 1 + rng.Intn(3)
+	params := make([]battery.Params, n)
+	for i := range params {
+		params[i] = lib[rng.Intn(len(lib))]
+		params[i].Name = fmt.Sprintf("%s#%d", params[i].Name, i)
+	}
+	st, err := NewStack(0.9, core.Options{DischargePolicy: core.RBLDischarge{}}, params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// randDischargeTrace draws a random load trace scaled to the pack's
+// capability, with no external supply.
+func randDischargeTrace(rng *rand.Rand, maxW float64, samples int) *workload.Trace {
+	tr := &workload.Trace{
+		Name: "prop-discharge",
+		DT:   1 + rng.Float64()*9,
+		Load: make([]float64, samples),
+	}
+	for i := range tr.Load {
+		tr.Load[i] = (0.05 + 0.45*rng.Float64()) * maxW
+	}
+	return tr
+}
+
+// packEnergyJ sums the cells' chemical energy.
+func packEnergyJ(st *Stack) float64 {
+	var sum float64
+	for i := 0; i < st.Pack.N(); i++ {
+		sum += st.Pack.Cell(i).EnergyRemainingJ()
+	}
+	return sum
+}
+
+// packRCStoredJ sums the energy parked in the cells' RC pairs at the
+// end of a run; a finite-window balance must credit it.
+func packRCStoredJ(st *Stack) float64 {
+	var sum float64
+	for i := 0; i < st.Pack.N(); i++ {
+		c := st.Pack.Cell(i)
+		v := c.RCVoltage()
+		sum += 0.5 * c.Params().PlateC * v * v
+	}
+	return sum
+}
+
+// TestPropRunConservation: energy drawn from the cells equals energy
+// delivered to the load plus circuit losses plus battery losses (up to
+// RC storage and the model's quadrature tolerance).
+func TestPropRunConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		st := randStack(t, rng)
+		tr := randDischargeTrace(rng, st.Pack.MaxDischargePower(), 300)
+		before := packEnergyJ(st)
+		res, err := Run(Config{
+			Controller:   st.Controller,
+			Runtime:      st.Runtime,
+			Trace:        tr,
+			PolicyEveryS: 60,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.ChargedJ != 0 {
+			t.Errorf("trial %d: discharge-only trace reported %g J charged", trial, res.ChargedJ)
+		}
+		drop := before - packEnergyJ(st)
+		accounted := res.DeliveredJ + res.CircuitLossJ + res.BatteryLossJ + packRCStoredJ(st)
+		tol := 0.03*drop + 1
+		if math.Abs(drop-accounted) > tol {
+			t.Errorf("trial %d: cells gave up %g J but delivered %g + circuit %g + battery %g + rc %g = %g (err %g > %g)",
+				trial, drop, res.DeliveredJ, res.CircuitLossJ, res.BatteryLossJ,
+				packRCStoredJ(st), accounted, math.Abs(drop-accounted), tol)
+		}
+		if res.DeliveredJ <= 0 {
+			t.Errorf("trial %d: nothing delivered", trial)
+		}
+		if res.Steps != tr.Len() {
+			t.Errorf("trial %d: %d steps for a %d-sample trace", trial, res.Steps, tr.Len())
+		}
+	}
+}
+
+// TestPropRunSoCBounds: every recorded state-of-charge sample of every
+// cell stays in [0, 1] for random traces, including runs that drain
+// cells to empty.
+func TestPropRunSoCBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		st := randStack(t, rng)
+		// Oversized load so some trials hit empty/brownout territory.
+		tr := randDischargeTrace(rng, st.Pack.MaxDischargePower()*1.5, 400)
+		res, err := Run(Config{
+			Controller:   st.Controller,
+			Runtime:      st.Runtime,
+			Trace:        tr,
+			PolicyEveryS: 120,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for ci, socs := range res.Series.SoC {
+			for k, soc := range socs {
+				if soc < 0 || soc > 1 || math.IsNaN(soc) {
+					t.Fatalf("trial %d cell %d sample %d: SoC = %g", trial, ci, k, soc)
+				}
+			}
+		}
+		for i := 0; i < st.Pack.N(); i++ {
+			if soc := st.Pack.Cell(i).SoC(); soc < 0 || soc > 1 || math.IsNaN(soc) {
+				t.Fatalf("trial %d cell %d final SoC = %g", trial, i, soc)
+			}
+		}
+	}
+}

@@ -18,11 +18,20 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"sdb/internal/battery"
 	"sdb/internal/circuit"
 	"sdb/internal/fuelgauge"
 )
+
+// totalSteps counts firmware enforcement steps across every controller
+// in the process. The experiment runner samples it to report simulation
+// throughput (steps/second) for a batch of concurrent jobs.
+var totalSteps atomic.Int64
+
+// TotalSteps returns the process-wide count of Controller.Step calls.
+func TotalSteps() int64 { return totalSteps.Load() }
 
 // BatteryStatus is the per-battery record QueryBatteryStatus returns:
 // the paper names state of charge, terminal voltage, and cycle count;
@@ -158,6 +167,8 @@ type Controller struct {
 	profileSel      []string
 	xfer            *transfer
 	reportGauge     bool
+
+	steps atomic.Int64
 }
 
 // NewController builds the firmware around a pack.
@@ -371,6 +382,8 @@ func (c *Controller) Step(loadW, externalW, dt float64) (StepReport, error) {
 	if loadW < 0 || externalW < 0 {
 		return StepReport{}, fmt.Errorf("pmic: negative load (%g) or supply (%g)", loadW, externalW)
 	}
+	c.steps.Add(1)
+	totalSteps.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -578,6 +591,9 @@ func (c *Controller) Gauge(i int) *fuelgauge.Gauge { return c.gauges[i] }
 
 // Pack returns the managed pack.
 func (c *Controller) Pack() *battery.Pack { return c.pack }
+
+// StepCount returns how many enforcement steps this controller has run.
+func (c *Controller) StepCount() int64 { return c.steps.Load() }
 
 func (c *Controller) totalCellLoss() float64 {
 	var sum float64

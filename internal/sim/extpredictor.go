@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"sdb/internal/battery"
 	"sdb/internal/core"
 	"sdb/internal/emulator"
@@ -14,7 +16,11 @@ import (
 // the reserve policy automatically. The learned policy should land
 // within reach of the hand-configured one and clearly beat the
 // schedule-blind loss minimizer.
-func ExtPredictor() (*Table, error) {
+func ExtPredictor() (*Table, error) { return extPredictor(context.Background()) }
+
+// extPredictor trains the profile, then emulates the three policies'
+// days in parallel.
+func extPredictor(ctx context.Context) (*Table, error) {
 	// Train on a week of observed days.
 	prof, err := predictor.New(0.3, 0.3)
 	if err != nil {
@@ -27,18 +33,27 @@ func ExtPredictor() (*Table, error) {
 		}
 	}
 
-	blind, err := RunFig13("rbl-blind", core.RBLDischarge{DerivativeAware: true}, true)
-	if err != nil {
+	runs := []func() (*Fig13Result, error){
+		func() (*Fig13Result, error) {
+			return RunFig13("rbl-blind", core.RBLDischarge{DerivativeAware: true}, true)
+		},
+		func() (*Fig13Result, error) {
+			return RunFig13("reserve-hand", core.Reserve{ReserveIdx: 0, HighPowerW: 0.4}, true)
+		},
+		func() (*Fig13Result, error) { return runLearnedDay(prof) },
+	}
+	results := make([]*Fig13Result, len(runs))
+	if err := forEach(ctx, len(runs), func(i int) error {
+		res, err := runs[i]()
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	hand, err := RunFig13("reserve-hand", core.Reserve{ReserveIdx: 0, HighPowerW: 0.4}, true)
-	if err != nil {
-		return nil, err
-	}
-	learned, err := runLearnedDay(prof)
-	if err != nil {
-		return nil, err
-	}
+	blind, hand, learned := results[0], results[1], results[2]
 
 	t := &Table{
 		ID:      "ext-predictor",

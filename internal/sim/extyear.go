@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"sdb/internal/battery"
 	"sdb/internal/core"
 	"sdb/internal/emulator"
@@ -14,7 +16,10 @@ import (
 // 365 days. The schedule-aware regime picks the firmware charge
 // profile per night the way the paper's OS would: fast only when the
 // pack actually ended the day low, gentle otherwise.
-func ExtYear() (*Table, error) {
+func ExtYear() (*Table, error) { return extYear(context.Background()) }
+
+// extYear simulates the three charging regimes' years in parallel.
+func extYear(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "ext-year",
 		Title:   "One year of daily cycling: charging regime vs. pack health (extension)",
@@ -34,12 +39,22 @@ func ExtYear() (*Table, error) {
 			return "gentle"
 		}},
 	}
-	for _, rg := range regimes {
-		retention, ccb, chargeMin, err := runYear(rg.profileFn)
+	type yearResult struct {
+		retention, ccb, chargeMin float64
+	}
+	results := make([]yearResult, len(regimes))
+	if err := forEach(ctx, len(regimes), func(i int) error {
+		retention, ccb, chargeMin, err := runYear(regimes[i].profileFn)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRowf(rg.name, retention*100, ccb, chargeMin)
+		results[i] = yearResult{retention, ccb, chargeMin}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, rg := range regimes {
+		t.AddRowf(rg.name, results[i].retention*100, results[i].ccb, results[i].chargeMin)
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"sdb/internal/battery"
@@ -78,7 +79,11 @@ func Figure11a() (*Table, error) {
 // Figure11b reproduces Figure 11(b): wall-clock charging time to reach
 // each capacity target, per configuration, charging as fast as the
 // chemistry allows (charging directive = 1).
-func Figure11b() (*Table, error) {
+func Figure11b() (*Table, error) { return figure11b(context.Background()) }
+
+// figure11b charges the three pack configurations in parallel; every
+// configuration's sweep owns its pack, controller, and runtime.
+func figure11b(ctx context.Context) (*Table, error) {
 	targets := []float64{0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85}
 	t := &Table{
 		ID:      "figure-11b",
@@ -86,68 +91,82 @@ func Figure11b() (*Table, error) {
 		Columns: []string{"% charged", "traditional min", "SDB min", "all-fast min"},
 		Notes:   "the SDB mix reaches ~40% roughly 3x faster than the traditional pack while giving up <10% density",
 	}
-	const supplyW = 45 // tablet fast charger
-	const dt = 5.0
 	times := make([][]float64, len(fig11Configs))
-	for ci, cfg := range fig11Configs {
-		pack, err := fig11Pack(cfg.Cells, 0)
+	if err := forEach(ctx, len(fig11Configs), func(ci int) error {
+		out, err := fig11ChargeSweep(fig11Configs[ci].Cells, targets)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ctrl, err := fig11Controller(pack)
-		if err != nil {
-			return nil, err
-		}
-		// The OS selects the boost profile for fast-charging cells —
-		// charging as quickly as possible per the scenario.
-		for i := 0; i < pack.N(); i++ {
-			if pack.Cell(i).Params().Chem == battery.ChemFastCharge {
-				if err := ctrl.SetChargeProfile(i, "boost"); err != nil {
-					return nil, err
-				}
-			}
-		}
-		rt, err := core.NewRuntime(ctrl, core.Options{ChargingDirective: 1})
-		if err != nil {
-			return nil, err
-		}
-		times[ci] = make([]float64, len(targets))
-		for i := range times[ci] {
-			times[ci][i] = -1
-		}
-		totalCap := 0.0
-		for i := 0; i < pack.N(); i++ {
-			totalCap += pack.Cell(i).Capacity()
-		}
-		for step := 0; step < int(4*3600/dt); step++ {
-			tS := float64(step) * dt
-			if step%12 == 0 {
-				if _, err := rt.Update(0, supplyW); err != nil {
-					return nil, err
-				}
-			}
-			if _, err := ctrl.Step(0, supplyW, dt); err != nil {
-				return nil, err
-			}
-			var charged float64
-			for i := 0; i < pack.N(); i++ {
-				charged += pack.Cell(i).SoC() * pack.Cell(i).Capacity()
-			}
-			frac := charged / totalCap
-			for k, target := range targets {
-				if times[ci][k] < 0 && frac >= target {
-					times[ci][k] = (tS + dt) / 60 // minutes
-				}
-			}
-			if frac >= targets[len(targets)-1] {
-				break
-			}
-		}
+		times[ci] = out
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for k, target := range targets {
 		t.AddRowf(target*100, times[0][k], times[1][k], times[2][k])
 	}
 	return t, nil
+}
+
+// fig11ChargeSweep charges one configuration from empty and records
+// the minutes needed to reach each capacity target (-1 if never).
+func fig11ChargeSweep(cells []string, targets []float64) ([]float64, error) {
+	const supplyW = 45 // tablet fast charger
+	const dt = 5.0
+	pack, err := fig11Pack(cells, 0)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := fig11Controller(pack)
+	if err != nil {
+		return nil, err
+	}
+	// The OS selects the boost profile for fast-charging cells —
+	// charging as quickly as possible per the scenario.
+	for i := 0; i < pack.N(); i++ {
+		if pack.Cell(i).Params().Chem == battery.ChemFastCharge {
+			if err := ctrl.SetChargeProfile(i, "boost"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rt, err := core.NewRuntime(ctrl, core.Options{ChargingDirective: 1})
+	if err != nil {
+		return nil, err
+	}
+	times := make([]float64, len(targets))
+	for i := range times {
+		times[i] = -1
+	}
+	totalCap := 0.0
+	for i := 0; i < pack.N(); i++ {
+		totalCap += pack.Cell(i).Capacity()
+	}
+	for step := 0; step < int(4*3600/dt); step++ {
+		tS := float64(step) * dt
+		if step%12 == 0 {
+			if _, err := rt.Update(0, supplyW); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := ctrl.Step(0, supplyW, dt); err != nil {
+			return nil, err
+		}
+		var charged float64
+		for i := 0; i < pack.N(); i++ {
+			charged += pack.Cell(i).SoC() * pack.Cell(i).Capacity()
+		}
+		frac := charged / totalCap
+		for k, target := range targets {
+			if times[k] < 0 && frac >= target {
+				times[k] = (tS + dt) / 60 // minutes
+			}
+		}
+		if frac >= targets[len(targets)-1] {
+			break
+		}
+	}
+	return times, nil
 }
 
 // DefaultFigure11cCycles is the endurance length of Figure 11(c).
@@ -158,6 +177,12 @@ const DefaultFigure11cCycles = 1000
 // its owner would: fast cells fast, high-density cells at their
 // standard rate.
 func Figure11c(cycles int) (*Table, error) {
+	return figure11c(context.Background(), cycles)
+}
+
+// figure11c flattens the endurance runs — every cell of every
+// configuration cycles independently — and fans them all out.
+func figure11c(ctx context.Context, cycles int) (*Table, error) {
 	t := &Table{
 		ID:      "figure-11c",
 		Title:   fmt.Sprintf("Longevity after %d cycles (paper Figure 11(c))", cycles),
@@ -172,24 +197,43 @@ func Figure11c(cycles int) (*Table, error) {
 		}
 		return 0.5 // standard charging
 	}
-	for _, cfg := range fig11Configs {
-		var capNow, capDesign float64
-		for _, name := range cfg.Cells {
-			cell := battery.MustNew(battery.MustByName(name))
-			chargeA := rateFor(cell.Params().Chem) * cell.Capacity() / 3600
-			disA := cell.Capacity() / 3600 // 1C
-			for k := 0; k < cycles; k++ {
-				for !cell.Empty() {
-					cell.StepCurrent(disA, 60)
-				}
-				for !cell.Full() {
-					cell.StepCurrent(-chargeA, 60)
-				}
-			}
-			capNow += cell.Capacity()
-			capDesign += cell.DesignCapacity()
+	type job struct{ cfg, cell int }
+	var jobs []job
+	for ci, cfg := range fig11Configs {
+		for k := range cfg.Cells {
+			jobs = append(jobs, job{ci, k})
 		}
-		t.AddRowf(cfg.Name, capNow/capDesign*100)
+	}
+	capNow := make([]float64, len(jobs))
+	capDesign := make([]float64, len(jobs))
+	if err := forEach(ctx, len(jobs), func(j int) error {
+		name := fig11Configs[jobs[j].cfg].Cells[jobs[j].cell]
+		cell := battery.MustNew(battery.MustByName(name))
+		chargeA := rateFor(cell.Params().Chem) * cell.Capacity() / 3600
+		disA := cell.Capacity() / 3600 // 1C
+		for k := 0; k < cycles; k++ {
+			for !cell.Empty() {
+				cell.StepCurrent(disA, 60)
+			}
+			for !cell.Full() {
+				cell.StepCurrent(-chargeA, 60)
+			}
+		}
+		capNow[j] = cell.Capacity()
+		capDesign[j] = cell.DesignCapacity()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for ci, cfg := range fig11Configs {
+		var now, design float64
+		for j, jb := range jobs {
+			if jb.cfg == ci {
+				now += capNow[j]
+				design += capDesign[j]
+			}
+		}
+		t.AddRowf(cfg.Name, now/design*100)
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"sdb/internal/battery"
@@ -115,15 +116,29 @@ func RunFig13(policyName string, policy core.DischargePolicy, includeRun bool) (
 // times for the two extreme parameter settings — Policy 1 minimizes
 // instantaneous losses (RBL), Policy 2 preserves the efficient Li-ion
 // cell for the anticipated run (Reserve).
-func Figure13() (*Table, error) {
-	p1, err := RunFig13("policy1-rbl", core.RBLDischarge{DerivativeAware: true}, true)
-	if err != nil {
+func Figure13() (*Table, error) { return figure13(context.Background()) }
+
+// figure13 emulates the two policies' days in parallel.
+func figure13(ctx context.Context) (*Table, error) {
+	days := []struct {
+		name   string
+		policy core.DischargePolicy
+	}{
+		{"policy1-rbl", core.RBLDischarge{DerivativeAware: true}},
+		{"policy2-reserve", core.Reserve{ReserveIdx: 0, HighPowerW: 0.4}},
+	}
+	results := make([]*Fig13Result, len(days))
+	if err := forEach(ctx, len(days), func(i int) error {
+		res, err := RunFig13(days[i].name, days[i].policy, true)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	p2, err := RunFig13("policy2-reserve", core.Reserve{ReserveIdx: 0, HighPowerW: 0.4}, true)
-	if err != nil {
-		return nil, err
-	}
+	p1, p2 := results[0], results[1]
 	t := &Table{
 		ID:      "figure-13",
 		Title:   "Smartwatch day: losses and depletion under two policies (paper Figure 13)",

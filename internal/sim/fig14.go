@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"sdb/internal/battery"
@@ -115,22 +116,40 @@ type Fig14Row struct {
 }
 
 // RunFig14 evaluates every Figure 14 workload.
-func RunFig14() ([]Fig14Row, error) {
-	rows := make([]Fig14Row, 0, 8)
-	for _, w := range workload.TwoInOneWorkloads() {
-		sdb, err := runFig14SDB(w)
-		if err != nil {
-			return nil, fmt.Errorf("sim: fig14 sdb %s: %w", w.Name, err)
+func RunFig14() ([]Fig14Row, error) { return runFig14(context.Background()) }
+
+// runFig14 fans out every (workload, design) emulation — eight
+// workloads, SDB and charge-through each — as an independent job.
+func runFig14(ctx context.Context) ([]Fig14Row, error) {
+	workloads := workload.TwoInOneWorkloads()
+	sdbHours := make([]float64, len(workloads))
+	baseHours := make([]float64, len(workloads))
+	if err := forEach(ctx, 2*len(workloads), func(j int) error {
+		w := workloads[j/2]
+		if j%2 == 0 {
+			h, err := runFig14SDB(w)
+			if err != nil {
+				return fmt.Errorf("sim: fig14 sdb %s: %w", w.Name, err)
+			}
+			sdbHours[j/2] = h
+			return nil
 		}
-		base, err := runFig14ChargeThrough(w)
+		h, err := runFig14ChargeThrough(w)
 		if err != nil {
-			return nil, fmt.Errorf("sim: fig14 baseline %s: %w", w.Name, err)
+			return fmt.Errorf("sim: fig14 baseline %s: %w", w.Name, err)
 		}
+		baseHours[j/2] = h
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := make([]Fig14Row, 0, len(workloads))
+	for i, w := range workloads {
 		rows = append(rows, Fig14Row{
 			Workload:       w.Name,
-			SDBHours:       sdb,
-			BaselineHours:  base,
-			ImprovementPct: (sdb/base - 1) * 100,
+			SDBHours:       sdbHours[i],
+			BaselineHours:  baseHours[i],
+			ImprovementPct: (sdbHours[i]/baseHours[i] - 1) * 100,
 		})
 	}
 	return rows, nil
@@ -139,8 +158,10 @@ func RunFig14() ([]Fig14Row, error) {
 // Figure14 reproduces Figure 14: battery-life improvement from
 // drawing power simultaneously from the internal and external
 // batteries instead of charging one from the other.
-func Figure14() (*Table, error) {
-	rows, err := RunFig14()
+func Figure14() (*Table, error) { return figure14(context.Background()) }
+
+func figure14(ctx context.Context) (*Table, error) {
+	rows, err := runFig14(ctx)
 	if err != nil {
 		return nil, err
 	}

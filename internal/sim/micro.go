@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"sdb/internal/battery"
 	"sdb/internal/circuit"
 	"sdb/internal/cycler"
@@ -44,6 +46,13 @@ const DefaultFigure1bCycles = 600
 // Figure1b reproduces Figure 1(b): capacity retention after N cycles
 // at three charging currents on a Type 2 cell.
 func Figure1b(cycles int) (*Table, error) {
+	return figure1b(context.Background(), cycles)
+}
+
+// figure1b runs the three charging-current endurance sweeps in
+// parallel; each sweep cycles its own cell, so the runs are
+// independent.
+func figure1b(ctx context.Context, cycles int) (*Table, error) {
 	t := &Table{
 		ID:      "figure-1b",
 		Title:   "Charging rate affects longevity (paper Figure 1(b))",
@@ -53,17 +62,20 @@ func Figure1b(cycles int) (*Table, error) {
 	currents := []float64{0.5, 0.7, 1.0}
 	const recordEvery = 50
 	series := make([][]cycler.CyclePoint, len(currents))
-	for i, amps := range currents {
+	if err := forEach(ctx, len(currents), func(i int) error {
 		cell := battery.MustNew(battery.MustByName("Standard-2000"))
 		cy, err := cycler.New(cell, 60)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pts, err := cy.CycleLife(cycles, amps, recordEvery)
+		pts, err := cy.CycleLife(cycles, currents[i], recordEvery)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		series[i] = pts
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for k := range series[0] {
 		row := []interface{}{series[0][k].Cycle}
@@ -77,7 +89,10 @@ func Figure1b(cycles int) (*Table, error) {
 
 // Figure1c reproduces Figure 1(c): internal heat loss versus discharge
 // C rate for Types 2, 3, and 4.
-func Figure1c() (*Table, error) {
+func Figure1c() (*Table, error) { return figure1c(context.Background()) }
+
+// figure1c sweeps the three chemistries in parallel.
+func figure1c(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "figure-1c",
 		Title:   "Discharging rate vs. lost energy (paper Figure 1(c))",
@@ -89,20 +104,23 @@ func Figure1c() (*Table, error) {
 	// separator chemistry, as in the paper.
 	cells := []string{"Standard-3000", "PowerPlus-3000", "BendStrap-200"}
 	losses := make([][]cycler.HeatLossPoint, len(cells))
-	for i, name := range cells {
-		p := battery.MustByName(name)
+	if err := forEach(ctx, len(cells), func(i int) error {
+		p := battery.MustByName(cells[i])
 		// Allow the sweep to reach 2C regardless of the cell's rated
 		// limit so the curve covers the paper's x-axis.
 		p.MaxDischargeC = 2.5
 		cy, err := cycler.New(battery.MustNew(p), 20)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pts, err := cy.HeatLossSweep(rates)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		losses[i] = pts
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for k, rate := range rates {
 		t.AddRowf(rate, losses[0][k].LossPercent, losses[1][k].LossPercent, losses[2][k].LossPercent)

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs f(0) … f(n-1) on a bounded worker pool (at most
+// GOMAXPROCS workers) and blocks until all started items finish. Item
+// results must be written into caller-owned slots indexed by i, which
+// keeps output ordering deterministic no matter how the items are
+// scheduled. The heaviest experiment drivers use this to fan their
+// per-configuration emulator sweeps out across cores.
+//
+// The returned error is the lowest-index failure, so a given input
+// fails the same way on every run. Once ctx is canceled, items not yet
+// started are skipped and recorded as ctx.Err().
+func forEach(ctx context.Context, n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

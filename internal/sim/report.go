@@ -122,54 +122,3 @@ func (t *Table) Cell(row int, column string) (string, bool) {
 	return "", false
 }
 
-// Experiment pairs an identifier with its driver for the registry the
-// bench harness iterates.
-type Experiment struct {
-	ID   string
-	Run  func() (*Table, error)
-	Slow bool // excluded from -short runs
-}
-
-// All returns the full experiment registry in paper order.
-func All() []Experiment {
-	return []Experiment{
-		{ID: "table-1", Run: Table1},
-		{ID: "table-2", Run: Table2},
-		{ID: "figure-1a", Run: Figure1a},
-		{ID: "figure-1b", Run: func() (*Table, error) { return Figure1b(DefaultFigure1bCycles) }, Slow: true},
-		{ID: "figure-1c", Run: Figure1c},
-		{ID: "figure-6a", Run: Figure6a},
-		{ID: "figure-6b", Run: Figure6b},
-		{ID: "figure-6c", Run: Figure6c},
-		{ID: "figure-6d", Run: Figure6d},
-		{ID: "figure-8b", Run: Figure8b},
-		{ID: "figure-8c", Run: Figure8c},
-		{ID: "figure-10", Run: Figure10, Slow: true},
-		{ID: "figure-11a", Run: Figure11a},
-		{ID: "figure-11b", Run: Figure11b, Slow: true},
-		{ID: "figure-11c", Run: func() (*Table, error) { return Figure11c(DefaultFigure11cCycles) }, Slow: true},
-		{ID: "figure-12", Run: Figure12},
-		{ID: "figure-13", Run: Figure13, Slow: true},
-		{ID: "figure-14", Run: Figure14, Slow: true},
-		{ID: "ext-predictor", Run: ExtPredictor, Slow: true},
-		{ID: "ext-thermal", Run: ExtThermal, Slow: true},
-		{ID: "ext-deadline", Run: ExtDeadline},
-		{ID: "ext-ev", Run: ExtEV, Slow: true},
-		{ID: "ext-year", Run: ExtYear, Slow: true},
-		{ID: "ext-quad", Run: ExtQuad},
-		{ID: "spice-buck", Run: SpiceBuck},
-		{ID: "ablation-split", Run: AblationSplit},
-		{ID: "ablation-directive", Run: AblationDirective, Slow: true},
-		{ID: "spice-ripple", Run: SpiceRipple},
-	}
-}
-
-// ByID finds an experiment.
-func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
-}

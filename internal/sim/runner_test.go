@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunnerGoldenAgainstSerial is the golden-output regression test:
+// the parallel runner's rendered tables must be byte-identical to
+// calling each driver directly, one after another.
+func TestRunnerGoldenAgainstSerial(t *testing.T) {
+	subset := Fast()
+
+	var golden bytes.Buffer
+	for _, e := range subset {
+		tab, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if err := tab.Fprint(&golden); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := &Runner{Workers: 4}
+	batch := r.Run(context.Background(), subset)
+	if err := batch.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := batch.Fprint(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden.Bytes(), got.Bytes()) {
+		t.Fatalf("parallel output differs from serial output:\nserial %d bytes, parallel %d bytes",
+			golden.Len(), got.Len())
+	}
+}
+
+// TestRunnerDeterministicAcrossPoolSizes: any pool size produces the
+// same bytes, and results come back in input order.
+func TestRunnerDeterministicAcrossPoolSizes(t *testing.T) {
+	subset := Fast()[:6]
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		r := &Runner{Workers: workers}
+		batch := r.Run(context.Background(), subset)
+		if err := batch.FirstErr(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, j := range batch.Jobs {
+			if j.Experiment.ID != subset[i].ID {
+				t.Fatalf("workers=%d: job %d is %s, want %s", workers, i, j.Experiment.ID, subset[i].ID)
+			}
+		}
+		var out bytes.Buffer
+		if err := batch.Fprint(&out); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = out.Bytes()
+		} else if !bytes.Equal(ref, out.Bytes()) {
+			t.Fatalf("workers=%d output differs from workers=1", workers)
+		}
+	}
+}
+
+// TestRunnerRecordsPerJobErrors: one failing experiment must not abort
+// the batch or poison its neighbors.
+func TestRunnerRecordsPerJobErrors(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []Experiment{
+		{ID: "ok-1", Run: serial(Table1)},
+		{ID: "bad", Run: func(context.Context) (*Table, error) { return nil, boom }},
+		{ID: "ok-2", Run: serial(Figure1a)},
+	}
+	r := &Runner{Workers: 2}
+	batch := r.Run(context.Background(), exps)
+	if !errors.Is(batch.FirstErr(), boom) {
+		t.Fatalf("FirstErr = %v, want boom", batch.FirstErr())
+	}
+	if batch.Jobs[0].Err != nil || batch.Jobs[0].Table == nil {
+		t.Errorf("job 0 poisoned: %+v", batch.Jobs[0].Err)
+	}
+	if !errors.Is(batch.Jobs[1].Err, boom) {
+		t.Errorf("job 1 err = %v", batch.Jobs[1].Err)
+	}
+	if batch.Jobs[2].Err != nil || batch.Jobs[2].Table == nil {
+		t.Errorf("job 2 poisoned: %+v", batch.Jobs[2].Err)
+	}
+	var out strings.Builder
+	if err := batch.Fprint(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("Fprint skipped everything")
+	}
+}
+
+// TestRunnerCancellation: a canceled context marks not-yet-started
+// jobs with the context error instead of running them.
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Workers: 2}
+	batch := r.Run(ctx, Fast()[:4])
+	for i, j := range batch.Jobs {
+		if !errors.Is(j.Err, context.Canceled) {
+			t.Errorf("job %d err = %v, want context.Canceled", i, j.Err)
+		}
+	}
+}
+
+// TestRunnerProgressEvents: every job emits a start and a done event,
+// and the completed counter reaches the batch size.
+func TestRunnerProgressEvents(t *testing.T) {
+	subset := Fast()[:5]
+	var starts, dones int
+	lastCompleted := 0
+	r := &Runner{
+		Workers: 3,
+		Progress: func(ev Event) {
+			if ev.Total != len(subset) {
+				t.Errorf("event total = %d, want %d", ev.Total, len(subset))
+			}
+			if ev.Done {
+				dones++
+				lastCompleted = ev.Completed
+			} else {
+				starts++
+			}
+		},
+	}
+	if err := r.Run(context.Background(), subset).FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if starts != len(subset) || dones != len(subset) {
+		t.Errorf("starts = %d, dones = %d, want %d each", starts, dones, len(subset))
+	}
+	if lastCompleted != len(subset) {
+		t.Errorf("final completed = %d, want %d", lastCompleted, len(subset))
+	}
+}
+
+// TestRunnerCountsSteps: emulator-backed experiments must report
+// firmware step activity through the batch counters.
+func TestRunnerCountsSteps(t *testing.T) {
+	e, ok := ByID("figure-13")
+	if !ok {
+		t.Fatal("figure-13 not registered")
+	}
+	r := &Runner{Workers: 1}
+	batch := r.Run(context.Background(), []Experiment{e})
+	if err := batch.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Steps <= 0 {
+		t.Errorf("batch steps = %d, want > 0", batch.Steps)
+	}
+	if batch.Jobs[0].Steps <= 0 {
+		t.Errorf("job steps = %d, want > 0", batch.Jobs[0].Steps)
+	}
+	if batch.Jobs[0].Wall <= 0 {
+		t.Errorf("job wall = %v, want > 0", batch.Jobs[0].Wall)
+	}
+}
+
+// TestForEachBoundsConcurrencyAndOrder: results land at their input
+// index and the first (lowest-index) error wins.
+func TestForEachBoundsConcurrencyAndOrder(t *testing.T) {
+	const n = 64
+	out := make([]int, n)
+	var inFlight, peak atomic.Int64
+	err := forEach(context.Background(), n, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		out[i] = i * i
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if p := peak.Load(); p < 2 {
+		t.Logf("peak concurrency %d (single-core runner?)", p)
+	}
+
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err = forEach(context.Background(), n, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 1:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("forEach err = %v, want lowest-index error %v", err, errA)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -55,12 +56,15 @@ func ReadCSV(r io.Reader, name string) (*Trace, error) {
 	}
 	rows = rows[1:]
 	tr := &Trace{Name: name, Load: make([]float64, 0, len(rows)), External: make([]float64, 0, len(rows))}
-	var t0, t1 float64
+	times := make([]float64, 0, len(rows))
 	anyExternal := false
 	for i, row := range rows {
 		t, err := strconv.ParseFloat(row[0], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(t) || math.IsInf(t, 0) {
 			return nil, fmt.Errorf("workload: csv row %d: bad time %q", i+1, row[0])
+		}
+		if i > 0 && t <= times[i-1] {
+			return nil, fmt.Errorf("workload: csv row %d: time %g not after %g", i+1, t, times[i-1])
 		}
 		load, err := strconv.ParseFloat(row[1], 64)
 		if err != nil {
@@ -70,19 +74,22 @@ func ReadCSV(r io.Reader, name string) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: csv row %d: bad external %q", i+1, row[2])
 		}
-		switch i {
-		case 0:
-			t0 = t
-		case 1:
-			t1 = t
-		}
+		times = append(times, t)
 		tr.Load = append(tr.Load, load)
 		tr.External = append(tr.External, ext)
 		if ext != 0 {
 			anyExternal = true
 		}
 	}
-	tr.DT = t1 - t0
+	tr.DT = times[1] - times[0]
+	// The format is uniformly sampled; a drifting or jumping time
+	// column would silently distort every energy integral downstream.
+	for i, t := range times {
+		want := times[0] + float64(i)*tr.DT
+		if math.Abs(t-want) > 1e-6*tr.DT*float64(i+1)+1e-9 {
+			return nil, fmt.Errorf("workload: csv row %d: time %g breaks uniform %g s sampling", i+1, t, tr.DT)
+		}
+	}
 	if !anyExternal {
 		tr.External = nil
 	}

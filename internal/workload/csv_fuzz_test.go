@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV throws arbitrary bytes at the trace parser. ReadCSV
+// must never panic, and any trace it accepts must satisfy the Trace
+// invariants and survive a write/read round trip.
+func FuzzParseCSV(f *testing.F) {
+	// Well-formed seeds.
+	f.Add("t_s,load_w,external_w\n0,1.5,0\n1,2.5,0\n")
+	f.Add("t_s,load_w,external_w\n0,0.5,10\n0.1,0.5,10\n0.2,0.5,0\n")
+	var buf bytes.Buffer
+	if err := Constant("seed", 2, 30, 10).WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	// Malformed seeds steering the fuzzer at known hazards.
+	f.Add("")
+	f.Add("t_s,load_w,external_w\n")
+	f.Add("t_s,load_w,external_w\n0,1,0\n")             // single sample
+	f.Add("t_s,load_w,external_w\nNaN,1,0\nNaN,1,0\n")  // NaN times
+	f.Add("t_s,load_w,external_w\n0,1,0\n0,1,0\n")      // zero DT
+	f.Add("t_s,load_w,external_w\n5,1,0\n3,1,0\n")      // backwards time
+	f.Add("t_s,load_w,external_w\n0,1,0\n1,1,0\n9,1,0") // non-uniform
+	f.Add("t_s,load_w,external_w\n0,-1,0\n1,-1,0\n")    // negative load
+	f.Add("t_s,load_w,external_w\n0,Inf,0\n1,1,0\n")    // infinite load
+	f.Add("t_s,load_w,external_w\n0,1\n1,1\n")          // short rows
+	f.Add("t_s,load_w,external_w\n\"0,1,0\n1,1,0\n")    // bare quote
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails Validate: %v", err)
+		}
+		if tr.DT <= 0 || math.IsNaN(tr.DT) || math.IsInf(tr.DT, 0) {
+			t.Fatalf("accepted trace has bad DT %g", tr.DT)
+		}
+		var out bytes.Buffer
+		if err := tr.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted trace fails WriteCSV: %v", err)
+		}
+		back, err := ReadCSV(&out, "fuzz")
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip %d samples, want %d", back.Len(), tr.Len())
+		}
+	})
+}
