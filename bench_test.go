@@ -16,7 +16,11 @@ import (
 	"strconv"
 	"testing"
 
+	"sdb/internal/battery"
+	"sdb/internal/emulator"
+	"sdb/internal/pmic"
 	"sdb/internal/sim"
+	"sdb/internal/workload"
 )
 
 // headlineMetric names the table cell that carries an experiment's
@@ -68,6 +72,11 @@ func BenchmarkExperiment(b *testing.B) {
 	for _, e := range sim.All() {
 		e := e
 		b.Run(e.ID, func(b *testing.B) {
+			if testing.Short() && e.Slow() {
+				// The CI bench smoke lane runs -short -benchtime=1x; the
+				// multi-second emulations stay out of it.
+				b.Skip("slow experiment skipped in -short mode")
+			}
 			var tab *sim.Table
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -82,6 +91,47 @@ func BenchmarkExperiment(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEmulatorDay is the headline hot-loop benchmark: one
+// simulated day (86400 one-second firmware steps) of a two-cell pack
+// under a constant load, firmware-only. ns/op divided by 86400 is the
+// end-to-end cost of one emulation step.
+func BenchmarkEmulatorDay(b *testing.B) {
+	cells := []*battery.Cell{
+		battery.MustNew(battery.MustByName("Slim-5000")),
+		battery.MustNew(battery.MustByName("EnergyMax-8000")),
+	}
+	pack, err := battery.NewPack(cells...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := pmic.NewController(pmic.DefaultConfig(pack))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const daySteps = 24 * 3600
+	tr := &workload.Trace{Name: "bench-day", DT: 1, Load: make([]float64, daySteps)}
+	for i := range tr.Load {
+		tr.Load[i] = 1.5 // survives the day on ~47 Wh of pack
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for _, c := range cells {
+			c.SetSoC(1)
+		}
+		b.StartTimer()
+		res, err := emulator.Run(emulator.Config{Controller: ctrl, Trace: tr, RecordEveryS: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Steps != daySteps {
+			b.Fatalf("ran %d steps, want %d", res.Steps, daySteps)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/daySteps, "ns/step")
 }
 
 // BenchmarkRunnerFastSubset measures the worker pool regenerating the

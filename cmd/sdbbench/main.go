@@ -13,6 +13,13 @@
 //	sdbbench -plot        # additionally render ASCII charts
 //	sdbbench -q           # suppress per-job progress lines
 //
+// Profiling and the perf trajectory:
+//
+//	sdbbench -cpuprofile cpu.pb.gz          # CPU profile of the run
+//	sdbbench -memprofile mem.pb.gz          # heap profile at exit
+//	sdbbench -benchjson BENCH.json          # per-experiment wall/steps/allocs, serial
+//	sdbbench -benchjson BENCH.json -baseline OLD.json  # adds speedup-vs-baseline fields
+//
 // Experiments execute on a bounded worker pool; progress lines go to
 // stderr as jobs start and finish, and the tables print to stdout in
 // registry order — byte-identical to a serial (-j 1) run.
@@ -20,10 +27,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,15 +40,26 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole CLI so profile-stopping defers execute before the
+// process exits (os.Exit in main would skip them).
+func run() int {
 	var (
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		fast    = flag.Bool("fast", false, "skip slow experiments")
-		run     = flag.String("run", "", "comma-separated experiment ids to run")
-		plot    = flag.Bool("plot", false, "render numeric experiments as ASCII charts too")
-		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run in parallel")
-		timeout = flag.Duration("timeout", 0, "overall deadline (0 = none); pending jobs are canceled")
-		compare = flag.Bool("compare", false, "run the fast subset serially then with -j workers and report the speedup")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		fast       = flag.Bool("fast", false, "skip slow experiments")
+		runIDs     = flag.String("run", "", "comma-separated experiment ids to run")
+		plot       = flag.Bool("plot", false, "render numeric experiments as ASCII charts too")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run in parallel")
+		timeout    = flag.Duration("timeout", 0, "overall deadline (0 = none); pending jobs are canceled")
+		compare    = flag.Bool("compare", false, "run the fast subset serially then with -j workers and report the speedup")
+		quiet      = flag.Bool("q", false, "suppress progress lines")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		benchjson  = flag.String("benchjson", "", "benchmark every experiment serially and write per-experiment JSON (wall ms, steps, ns/step, allocs/step) to this file")
+		baseline   = flag.String("baseline", "", "prior -benchjson file to compare against (adds baseline_wall_ms and speedup fields)")
+		benchreps  = flag.Int("benchreps", 3, "repetitions per experiment in -benchjson mode (best rep is reported)")
 	)
 	flag.Parse()
 
@@ -47,7 +67,37 @@ func main() {
 		for _, e := range sim.All() {
 			fmt.Printf("%-20s %-5s %s\n", e.ID, e.Cost, e.Title)
 		}
-		return
+		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdbbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sdbbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	ctx := context.Background()
@@ -57,17 +107,20 @@ func main() {
 		defer cancel()
 	}
 
+	if *benchjson != "" {
+		return runBenchJSON(ctx, *benchjson, *baseline, *benchreps, *quiet)
+	}
 	if *compare {
-		os.Exit(runCompare(ctx, *jobs))
+		return runCompare(ctx, *jobs)
 	}
 
 	var selected []sim.Experiment
-	if *run != "" {
-		for _, id := range strings.Split(*run, ",") {
+	if *runIDs != "" {
+		for _, id := range strings.Split(*runIDs, ",") {
 			e, ok := sim.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "sdbbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -103,7 +156,7 @@ func main() {
 		}
 		if err := j.Table.Fprint(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "sdbbench: print %s: %v\n", j.Experiment.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		if *plot {
 			if chart, err := sim.DefaultChart().Render(j.Table, nil); err == nil {
@@ -116,8 +169,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sdbbench: %d experiments in %v with %d workers (%d firmware steps, %.3g steps/s)\n",
 		len(batch.Jobs)-failed, batch.Wall.Round(time.Millisecond), batch.Workers, batch.Steps, stepsPerSec)
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runCompare times the fast experiment subset serially and with the
@@ -163,5 +217,112 @@ func runCompare(ctx context.Context, jobs int) int {
 	fmt.Printf("  -j %-2d %v\n", parallel.Workers, parallel.Wall.Round(time.Millisecond))
 	fmt.Printf("  speedup %.2fx, outputs byte-identical\n",
 		serial.Wall.Seconds()/parallel.Wall.Seconds())
+	return 0
+}
+
+// benchExperiment is one experiment's row in the -benchjson report.
+type benchExperiment struct {
+	ID     string  `json:"id"`
+	Cost   string  `json:"cost"`
+	WallMS float64 `json:"wall_ms"`
+	// Steps is the number of firmware enforcement steps the experiment
+	// drove (0 for analytic drivers that never step an emulator).
+	Steps         int64   `json:"steps"`
+	NsPerStep     float64 `json:"ns_per_step,omitempty"`
+	AllocsPerStep float64 `json:"allocs_per_step,omitempty"`
+	// BaselineWallMS and Speedup are present when -baseline was given
+	// and the baseline file carried this experiment.
+	BaselineWallMS float64 `json:"baseline_wall_ms,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+}
+
+// benchReport is the top-level -benchjson document.
+type benchReport struct {
+	Tool        string            `json:"tool"`
+	GoVersion   string            `json:"go_version"`
+	Reps        int               `json:"reps"`
+	TotalWallMS float64           `json:"total_wall_ms"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+// runBenchJSON benchmarks every registry experiment serially (reps
+// repetitions each, best rep reported), derives ns/step and allocs/step
+// for the emulation-driven ones, and writes the JSON report. Allocation
+// counts come from runtime.MemStats deltas around the run, which is why
+// this mode forces a single worker.
+func runBenchJSON(ctx context.Context, path, baselinePath string, reps int, quiet bool) int {
+	if reps < 1 {
+		reps = 1
+	}
+	baselineWall := map[string]float64{}
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: baseline: %v\n", err)
+			return 1
+		}
+		var prior benchReport
+		if err := json.Unmarshal(raw, &prior); err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: baseline %s: %v\n", baselinePath, err)
+			return 1
+		}
+		for _, e := range prior.Experiments {
+			baselineWall[e.ID] = e.WallMS
+		}
+	}
+
+	report := benchReport{
+		Tool:      "sdbbench -benchjson",
+		GoVersion: runtime.Version(),
+		Reps:      reps,
+	}
+	exps := sim.All()
+	for i, e := range exps {
+		best := benchExperiment{ID: e.ID, Cost: e.Cost.String()}
+		for rep := 0; rep < reps; rep++ {
+			runner := &sim.Runner{Workers: 1}
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			batch := runner.Run(ctx, []sim.Experiment{e})
+			runtime.ReadMemStats(&m1)
+			if err := batch.FirstErr(); err != nil {
+				fmt.Fprintf(os.Stderr, "sdbbench: %s: %v\n", e.ID, err)
+				return 1
+			}
+			wallMS := float64(batch.Wall.Nanoseconds()) / 1e6
+			if rep == 0 || wallMS < best.WallMS {
+				best.WallMS = wallMS
+				best.Steps = batch.Steps
+				if batch.Steps > 0 {
+					best.NsPerStep = float64(batch.Wall.Nanoseconds()) / float64(batch.Steps)
+					best.AllocsPerStep = float64(m1.Mallocs-m0.Mallocs) / float64(batch.Steps)
+				}
+			}
+		}
+		if base, ok := baselineWall[e.ID]; ok && best.WallMS > 0 {
+			best.BaselineWallMS = base
+			best.Speedup = base / best.WallMS
+		}
+		report.TotalWallMS += best.WallMS
+		report.Experiments = append(report.Experiments, best)
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "sdbbench: bench [%d/%d] %s %.1fms (%d steps)\n",
+				i+1, len(exps), e.ID, best.WallMS, best.Steps)
+		}
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdbbench: benchjson: %v\n", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sdbbench: benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "sdbbench: wrote %s (%d experiments, total %.1fms)\n",
+		path, len(report.Experiments), report.TotalWallMS)
 	return 0
 }

@@ -386,6 +386,21 @@ func (c *Cell) EnergyRemainingJ() float64 {
 	return sum / steps * c.soc * c.capacity
 }
 
+// EnergyRemainingLowerBoundJ returns a cheap O(1) lower bound on
+// EnergyRemainingJ: the OCV curve's floor times the remaining charge.
+// Every OCV sample the integral averages is at least the curve minimum
+// (linear interpolation cannot undershoot its endpoints), so the bound
+// holds exactly; the (1-1e-9) margin absorbs floating-point rounding in
+// the integral's summation. The firmware's discharge loop uses it to
+// skip the 50-point integral whenever the energy cap provably cannot
+// bind — everywhere except the bottom few percent of charge.
+func (c *Cell) EnergyRemainingLowerBoundJ() float64 {
+	if c.soc <= 0 {
+		return 0
+	}
+	return (1 - 1e-9) * c.p.OCV.Min() * c.soc * c.capacity
+}
+
 // StepResult reports what happened during one integration step.
 type StepResult struct {
 	// Current is the realized cell current (positive discharge).

@@ -23,9 +23,57 @@ import (
 // points with strictly increasing X. Evaluation outside the sampled
 // range clamps to the end values, which matches how OCV and DCIR tables
 // from battery characterization are used in practice.
+//
+// A curve may additionally carry a dense uniform-grid form (see Dense):
+// At and Slope then run in O(1) by index arithmetic instead of binary
+// search, which is what keeps the emulator's per-step loop cheap.
 type Curve struct {
 	xs []float64
 	ys []float64
+	// dense, when non-nil, is the uniform-grid acceleration table. It
+	// is immutable after construction, so sharing it across copies of
+	// the Curve value (and across goroutines) is safe.
+	dense *denseTable
+}
+
+// denseTable is the uniform resampling of a curve: ys[i] is the curve
+// evaluated at lo + i*(hi-lo)/cells for i in [0, cells]. Between grid
+// points the dense form interpolates linearly, so it is exact wherever
+// a grid cell lies inside one original segment and deviates only in
+// cells that straddle an original knot.
+type denseTable struct {
+	ys      []float64
+	lo, hi  float64
+	invStep float64 // cells / (hi - lo)
+	maxErr  float64 // max |dense - reference| over the domain
+}
+
+func (d *denseTable) at(x float64) float64 {
+	if x <= d.lo {
+		return d.ys[0]
+	}
+	if x >= d.hi {
+		return d.ys[len(d.ys)-1]
+	}
+	f := (x - d.lo) * d.invStep
+	i := int(f)
+	if i > len(d.ys)-2 {
+		i = len(d.ys) - 2
+	}
+	y0 := d.ys[i]
+	return y0 + (f-float64(i))*(d.ys[i+1]-y0)
+}
+
+func (d *denseTable) slope(x float64) float64 {
+	if x < d.lo || x > d.hi {
+		return 0
+	}
+	f := (x - d.lo) * d.invStep
+	i := int(f)
+	if i > len(d.ys)-2 {
+		i = len(d.ys) - 2
+	}
+	return (d.ys[i+1] - d.ys[i]) * d.invStep
 }
 
 // NewCurve builds a curve from parallel slices of sample coordinates.
@@ -76,7 +124,18 @@ func (c Curve) Domain() (lo, hi float64) {
 }
 
 // At evaluates the curve at x, clamping outside the sampled domain.
+// Dense curves evaluate in O(1); reference curves binary-search the
+// knot table.
 func (c Curve) At(x float64) float64 {
+	if c.dense != nil {
+		return c.dense.at(x)
+	}
+	return c.refAt(x)
+}
+
+// refAt is the piecewise-linear reference evaluation over the original
+// knots, regardless of any dense table.
+func (c Curve) refAt(x float64) float64 {
 	n := len(c.xs)
 	if n == 0 {
 		return 0
@@ -100,8 +159,18 @@ func (c Curve) At(x float64) float64 {
 
 // Slope returns the derivative dy/dx of the segment containing x. At a
 // knot it returns the slope of the right-hand segment; outside the
-// domain it returns 0 (the curve is clamped there).
+// domain it returns 0 (the curve is clamped there). Dense curves
+// return the slope of the grid cell containing x in O(1).
 func (c Curve) Slope(x float64) float64 {
+	if c.dense != nil {
+		return c.dense.slope(x)
+	}
+	return c.refSlope(x)
+}
+
+// refSlope is the piecewise-linear reference slope over the original
+// knots.
+func (c Curve) refSlope(x float64) float64 {
 	n := len(c.xs)
 	if n < 2 || x < c.xs[0] || x > c.xs[n-1] {
 		return 0
@@ -118,11 +187,117 @@ func (c Curve) Slope(x float64) float64 {
 	return (c.ys[i] - c.ys[i-1]) / (c.xs[i] - c.xs[i-1])
 }
 
-// Scale returns a new curve with every y multiplied by k.
+// Dense returns a copy of the curve carrying a uniform-grid dense form
+// with the given number of grid cells, making At and Slope O(1). The
+// grid spans the curve's domain; ys are resampled from the reference
+// piecewise-linear form at construction.
+//
+// Error bound: the dense form is exact (up to floating-point rounding,
+// a few ULPs) on every grid cell that lies inside one original
+// segment. A cell that straddles an original knot deviates by at most
+// |Δslope|·h/4 at the knot, where Δslope is the slope change across
+// the knot and h the grid-cell width. When every original knot lands
+// exactly on a grid point — true for the battery library, whose knots
+// are multiples of 1/20 resampled on a multiple-of-20 grid — the dense
+// form reproduces the reference within rounding everywhere. The exact
+// realized bound is measured at construction and reported by
+// DenseError.
+func (c Curve) Dense(cells int) (Curve, error) {
+	if c.IsZero() {
+		return Curve{}, errors.New("battery: cannot densify the zero curve")
+	}
+	if cells < 1 {
+		return Curve{}, fmt.Errorf("battery: dense grid needs at least one cell, got %d", cells)
+	}
+	lo, hi := c.Domain()
+	d := &denseTable{
+		ys:      make([]float64, cells+1),
+		lo:      lo,
+		hi:      hi,
+		invStep: float64(cells) / (hi - lo),
+	}
+	for i := 0; i <= cells; i++ {
+		x := lo + (hi-lo)*(float64(i)/float64(cells))
+		if i == cells {
+			x = hi
+		}
+		d.ys[i] = c.refAt(x)
+	}
+	// The difference dense-reference is piecewise linear with
+	// breakpoints only at original knots and grid points, and the dense
+	// form is exact at grid points by construction, so the maximum
+	// deviation is attained at an original knot.
+	for i, x := range c.xs {
+		if err := math.Abs(d.at(x) - c.ys[i]); err > d.maxErr {
+			d.maxErr = err
+		}
+	}
+	out := c.clone()
+	out.dense = d
+	return out, nil
+}
+
+// MustDense is Dense, panicking on error. For the static cell library.
+func (c Curve) MustDense(cells int) Curve {
+	out, err := c.Dense(cells)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// IsDense reports whether the curve carries a dense O(1) form.
+func (c Curve) IsDense() bool { return c.dense != nil }
+
+// DenseResolution returns the number of uniform grid cells of the
+// dense form, or 0 for a reference curve.
+func (c Curve) DenseResolution() int {
+	if c.dense == nil {
+		return 0
+	}
+	return len(c.dense.ys) - 1
+}
+
+// DenseError returns the maximum absolute deviation of the dense form
+// from the piecewise-linear reference over the domain, measured at
+// construction. It is 0 for reference curves.
+func (c Curve) DenseError() float64 {
+	if c.dense == nil {
+		return 0
+	}
+	return c.dense.maxErr
+}
+
+// clone copies the knot slices (but shares any dense table, which is
+// immutable).
+func (c Curve) clone() Curve {
+	return Curve{
+		xs:    append([]float64(nil), c.xs...),
+		ys:    append([]float64(nil), c.ys...),
+		dense: c.dense,
+	}
+}
+
+// Scale returns a new curve with every y multiplied by k. A dense
+// curve stays dense: the grid is scaled alongside the knots, so the
+// library's per-cell DCIR curves keep their O(1) form.
 func (c Curve) Scale(k float64) Curve {
 	out := Curve{xs: append([]float64(nil), c.xs...), ys: make([]float64, len(c.ys))}
 	for i, y := range c.ys {
 		out.ys[i] = y * k
+	}
+	if c.dense != nil {
+		d := &denseTable{
+			ys:      make([]float64, len(c.dense.ys)),
+			lo:      c.dense.lo,
+			hi:      c.dense.hi,
+			invStep: c.dense.invStep,
+			maxErr:  c.dense.maxErr * math.Abs(k),
+		}
+		for i, y := range c.dense.ys {
+			d.ys[i] = y * k
+		}
+		out.dense = d
 	}
 	return out
 }

@@ -19,16 +19,27 @@ var (
 	dcirShape = []float64{4.00, 2.40, 1.70, 1.40, 1.25, 1.12, 1.06, 1.02, 1.00, 0.97, 0.95, 0.94}
 )
 
-// The shape curves are built once and shared. A Curve's sample slices
-// are never written after construction (Scale and Points copy), so the
-// cached values are safe to hand out across goroutines — experiment
-// drivers now build packs concurrently, and rebuilding the spline
-// tables for every cell lookup was both wasteful and the kind of
-// hidden shared state a cache must get right under -race.
+// LibraryDenseCells is the uniform grid resolution of the library's
+// dense OCV/DCIR curves. Every knot in socKnots is a multiple of 1/20,
+// so any multiple-of-20 cell count puts each knot exactly on a grid
+// point and the dense form reproduces the piecewise-linear reference
+// within floating-point rounding (DenseError ~1e-16; the equivalence
+// test pins it below 1e-12).
+const LibraryDenseCells = 100
+
+// The shape curves are built once and shared, in dense O(1) form — the
+// emulator's per-step loop evaluates OCV/DCIR many times per cell, and
+// the uniform-grid lookup replaces a binary search on the hot path. A
+// Curve's sample slices are never written after construction (Scale and
+// Points copy), so the cached values are safe to hand out across
+// goroutines — experiment drivers build packs concurrently, and
+// rebuilding the spline tables for every cell lookup was both wasteful
+// and the kind of hidden shared state a cache must get right under
+// -race.
 var (
-	ocvCoO2Curve = sync.OnceValue(func() Curve { return MustCurve(socKnots, ocvCoO2Shape) })
-	ocvLFPCurve  = sync.OnceValue(func() Curve { return MustCurve(socKnots, ocvLFPShape) })
-	dcirBase     = sync.OnceValue(func() Curve { return MustCurve(socKnots, dcirShape) })
+	ocvCoO2Curve = sync.OnceValue(func() Curve { return MustCurve(socKnots, ocvCoO2Shape).MustDense(LibraryDenseCells) })
+	ocvLFPCurve  = sync.OnceValue(func() Curve { return MustCurve(socKnots, ocvLFPShape).MustDense(LibraryDenseCells) })
+	dcirBase     = sync.OnceValue(func() Curve { return MustCurve(socKnots, dcirShape).MustDense(LibraryDenseCells) })
 )
 
 // OCVCoO2 returns the CoO2 cathode open-circuit-potential curve

@@ -88,10 +88,23 @@ func (d *DischargePath) LossFraction(loadW float64) float64 {
 // switching period always sums to one). The commanded vector must be
 // non-negative and sum to 1 within 1e-6.
 func (d *DischargePath) RealizedRatios(ratios []float64) ([]float64, error) {
-	if err := ValidateRatios(ratios); err != nil {
+	out := make([]float64, len(ratios))
+	if err := d.RealizedRatiosInto(out, ratios); err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(ratios))
+	return out, nil
+}
+
+// RealizedRatiosInto is RealizedRatios writing into a caller-provided
+// buffer (len(dst) == len(ratios)) so per-step callers allocate
+// nothing. dst and ratios must not overlap.
+func (d *DischargePath) RealizedRatiosInto(dst, ratios []float64) error {
+	if err := ValidateRatios(ratios); err != nil {
+		return err
+	}
+	if len(dst) != len(ratios) {
+		return fmt.Errorf("circuit: ratio buffer has %d slots for %d ratios", len(dst), len(ratios))
+	}
 	var sum float64
 	for i, r := range ratios {
 		q := math.Round(r*float64(d.cfg.Resolution)) / float64(d.cfg.Resolution)
@@ -99,16 +112,16 @@ func (d *DischargePath) RealizedRatios(ratios []float64) ([]float64, error) {
 		if q < 0 {
 			q = 0
 		}
-		out[i] = q
+		dst[i] = q
 		sum += q
 	}
 	if sum <= 0 {
-		return nil, errors.New("circuit: quantized ratios vanished")
+		return errors.New("circuit: quantized ratios vanished")
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out, nil
+	return nil
 }
 
 // Split apportions a load among batteries: given the commanded ratios
@@ -116,20 +129,31 @@ func (d *DischargePath) RealizedRatios(ratios []float64) ([]float64, error) {
 // drawn from each battery terminal (including the path loss, which the
 // batteries must supply) and the total loss in watts.
 func (d *DischargePath) Split(ratios []float64, loadW float64) (perBattery []float64, lossW float64, err error) {
-	if loadW < 0 {
-		return nil, 0, fmt.Errorf("circuit: negative load %g W", loadW)
-	}
-	real, err := d.RealizedRatios(ratios)
+	perBattery = make([]float64, len(ratios))
+	lossW, err = d.SplitInto(perBattery, ratios, loadW)
 	if err != nil {
 		return nil, 0, err
 	}
+	return perBattery, lossW, nil
+}
+
+// SplitInto is Split writing the per-battery powers into a
+// caller-provided buffer (len(dst) == len(ratios)), allocating
+// nothing. This is the form the PMIC firmware calls every enforcement
+// step.
+func (d *DischargePath) SplitInto(dst []float64, ratios []float64, loadW float64) (lossW float64, err error) {
+	if loadW < 0 {
+		return 0, fmt.Errorf("circuit: negative load %g W", loadW)
+	}
+	if err := d.RealizedRatiosInto(dst, ratios); err != nil {
+		return 0, err
+	}
 	lossW = loadW * d.LossFraction(loadW)
 	total := loadW + lossW
-	perBattery = make([]float64, len(real))
-	for i, r := range real {
-		perBattery[i] = r * total
+	for i, r := range dst {
+		dst[i] = r * total
 	}
-	return perBattery, lossW, nil
+	return lossW, nil
 }
 
 // ChargerConfig parameterizes one synchronous reversible buck channel.
@@ -154,10 +178,13 @@ func DefaultChargerConfig() ChargerConfig {
 	return ChargerConfig{
 		MaxCurrentA: 2.5,
 		DACSteps:    2048,
+		// Dense form: the charger efficiency is evaluated per cell per
+		// charging step; knots are multiples of 0.2 over [0, 2.2], so a
+		// multiple-of-11 grid lands on every knot within rounding.
 		RelEfficiency: battery.MustCurve(
 			[]float64{0.0, 0.4, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2},
 			[]float64{1.0, 1.0, 0.998, 0.995, 0.990, 0.983, 0.973, 0.962, 0.951, 0.940},
-		),
+		).MustDense(110),
 		TypicalEfficiency: 0.92,
 		ToleranceFrac:     0.003,
 	}

@@ -93,32 +93,53 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.RecordEveryS > dt {
 		recordEvery = int(math.Round(cfg.RecordEveryS / dt))
 	}
+	// Policy ticks are derived from integer step counts, not an
+	// accumulated float time: t >= nextPolicy with t = k*dt drifts on
+	// long runs (a tick lands one step late whenever k*dt rounds below
+	// the target, shifting every later tick), while k%policyEvery
+	// cannot drift or double-fire.
+	policyEvery := int(math.Round(cfg.PolicyEveryS / dt))
+	if policyEvery < 1 {
+		policyEvery = 1
+	}
 
-	n := cfg.Controller.Pack().N()
+	// Hot-loop hoists: the pack topology is fixed for the run, so
+	// resolve the cell slice once instead of Pack().Cell(i) per cell
+	// per step.
+	steps := cfg.Trace.Len()
+	cells := cfg.Controller.Pack().Cells()
+	n := len(cells)
+	samples := steps/recordEvery + 1
 	res := &Result{
 		DrainedAtS:     -1,
 		CellDrainedAtS: make([]float64, n),
 		Series: &Series{
-			SoC: make([][]float64, n),
+			T:            make([]float64, 0, samples),
+			LoadW:        make([]float64, 0, samples),
+			DeliveredW:   make([]float64, 0, samples),
+			CircuitLossW: make([]float64, 0, samples),
+			BatteryLossW: make([]float64, 0, samples),
+			SoC:          make([][]float64, n),
 		},
+	}
+	for i := range res.Series.SoC {
+		res.Series.SoC[i] = make([]float64, 0, samples)
 	}
 	for i := range res.CellDrainedAtS {
 		res.CellDrainedAtS[i] = -1
 	}
 
-	nextPolicy := 0.0
-	for k := 0; k < cfg.Trace.Len(); k++ {
+	for k := 0; k < steps; k++ {
 		t := float64(k) * dt
-		loadW, extW := cfg.Trace.At(t)
+		loadW, extW := cfg.Trace.Sample(k)
 
-		if cfg.Runtime != nil && t >= nextPolicy {
+		if cfg.Runtime != nil && k%policyEvery == 0 {
 			if cfg.DirectiveFn != nil {
 				cfg.DirectiveFn(t, cfg.Runtime)
 			}
 			if _, err := cfg.Runtime.Update(loadW, extW); err != nil {
 				return nil, fmt.Errorf("emulator: policy update at t=%g: %w", t, err)
 			}
-			nextPolicy = t + cfg.PolicyEveryS
 		}
 
 		rep, err := cfg.Controller.Step(loadW, extW, dt)
@@ -134,7 +155,7 @@ func Run(cfg Config) (*Result, error) {
 		res.ElapsedS = t + dt
 
 		for i := 0; i < n; i++ {
-			if res.CellDrainedAtS[i] < 0 && cfg.Controller.Pack().Cell(i).Empty() {
+			if res.CellDrainedAtS[i] < 0 && cells[i].Empty() {
 				res.CellDrainedAtS[i] = t
 			}
 		}
@@ -156,7 +177,7 @@ func Run(cfg Config) (*Result, error) {
 			s.CircuitLossW = append(s.CircuitLossW, rep.CircuitLossW)
 			s.BatteryLossW = append(s.BatteryLossW, rep.BatteryLossW)
 			for i := 0; i < n; i++ {
-				s.SoC[i] = append(s.SoC[i], cfg.Controller.Pack().Cell(i).SoC())
+				s.SoC[i] = append(s.SoC[i], cells[i].SoC())
 			}
 		}
 	}

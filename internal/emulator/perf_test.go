@@ -1,0 +1,118 @@
+package emulator
+
+import (
+	"testing"
+
+	"sdb/internal/battery"
+	"sdb/internal/core"
+	"sdb/internal/workload"
+)
+
+// constantTrace builds a flat load trace of the given length.
+func constantTrace(name string, loadW, dt float64, steps int) *workload.Trace {
+	tr := &workload.Trace{Name: name, DT: dt, Load: make([]float64, steps)}
+	for i := range tr.Load {
+		tr.Load[i] = loadW
+	}
+	return tr
+}
+
+// TestPolicyTicksDoNotDrift pins the integer policy-tick schedule: at
+// dt=0.1 over an hour, the runtime must be consulted exactly once per
+// 60 s window, each time at a step index that is an exact multiple of
+// the window. The old float-time accumulator (t >= nextPolicy with
+// t = k*dt) fired one step late whenever k*dt rounded below the target
+// and the error compounded over the run.
+func TestPolicyTicksDoNotDrift(t *testing.T) {
+	st := twoCellStack(t, 0.9, core.Options{})
+	const (
+		dt     = 0.1
+		policy = 60.0
+		hourS  = 3600
+	)
+	steps := int(hourS / dt)
+	var tickSteps []int
+	cfg := Config{
+		Controller:   st.Controller,
+		Runtime:      st.Runtime,
+		Trace:        constantTrace("tick-drift", 1.0, dt, steps),
+		PolicyEveryS: policy,
+		RecordEveryS: 600,
+		DirectiveFn: func(tS float64, rt *core.Runtime) {
+			// tS = k*dt by construction; recover k without trusting
+			// float division to land exactly.
+			k := int(tS/dt + 0.5)
+			tickSteps = append(tickSteps, k)
+		},
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	wantTicks := hourS / int(policy)
+	if len(tickSteps) != wantTicks {
+		t.Fatalf("got %d policy ticks over %d s, want %d", len(tickSteps), hourS, wantTicks)
+	}
+	per := int(policy / dt)
+	for i, k := range tickSteps {
+		if k != i*per {
+			t.Fatalf("tick %d fired at step %d, want %d (drift)", i, k, i*per)
+		}
+	}
+}
+
+// TestRunAllocationsDoNotScaleWithSteps verifies the Series buffers are
+// preallocated from the trace length: a 10x longer run must cost the
+// same number of heap allocations (bigger, but not more), so
+// steady-state stepping itself is allocation-free.
+func TestRunAllocationsDoNotScaleWithSteps(t *testing.T) {
+	run := func(steps int) func() {
+		return func() {
+			st, err := NewStack(0.9, core.Options{},
+				battery.MustByName("Slim-5000"),
+				battery.MustByName("EnergyMax-8000"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{
+				Controller: st.Controller, // firmware-only: no policy allocations
+				Trace:      constantTrace("alloc-scale", 1.5, 1, steps),
+			}
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	short := testing.AllocsPerRun(5, run(500))
+	long := testing.AllocsPerRun(5, run(5000))
+	// Identical wiring, 10x the steps: any per-step allocation would
+	// show up as ~4500 extra objects. Allow a handful of slack for
+	// runtime noise.
+	if long > short+10 {
+		t.Errorf("allocations scale with steps: %g for 500 steps vs %g for 5000", short, long)
+	}
+}
+
+// BenchmarkEmulatorStep measures the full per-step cost of the
+// emulation loop (trace sampling, firmware step, series recording) on a
+// two-cell pack, firmware-only.
+func BenchmarkEmulatorStep(b *testing.B) {
+	st, err := NewStack(1, core.Options{},
+		battery.MustByName("Slim-5000"),
+		battery.MustByName("EnergyMax-8000"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 3600 // steps per Run call
+	tr := constantTrace("bench-step", 1.5, 1, chunk)
+	cells := st.Pack.Cells()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += chunk {
+		for _, c := range cells {
+			c.SetSoC(1)
+		}
+		if _, err := Run(Config{Controller: st.Controller, Trace: tr, RecordEveryS: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

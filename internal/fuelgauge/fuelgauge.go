@@ -43,7 +43,11 @@ func DefaultConfig() Config {
 // Gauge tracks one cell.
 type Gauge struct {
 	cell *battery.Cell
-	cfg  Config
+	// ocv caches the cell's OCV table: rest correction runs every step
+	// once the cell settles, and fetching the curve through Params()
+	// would copy the whole parameter struct each time.
+	ocv battery.Curve
+	cfg Config
 
 	estSoC    float64
 	estCapC   float64 // estimated capacity, coulombs
@@ -69,6 +73,7 @@ func New(cell *battery.Cell, cfg Config) (*Gauge, error) {
 	}
 	return &Gauge{
 		cell:    cell,
+		ocv:     cell.Params().OCV,
 		cfg:     cfg,
 		estSoC:  cell.SoC(),
 		estCapC: cell.Capacity(),
@@ -112,7 +117,7 @@ func (g *Gauge) Observe(i, v, dt float64) {
 // ocvCorrect snaps the SoC estimate toward the inverse OCV lookup of
 // the rest voltage, trimming coulomb-counting drift.
 func (g *Gauge) ocvCorrect(vrest float64) {
-	soc, ok := InvertOCV(g.cell.Params().OCV, vrest)
+	soc, ok := InvertOCV(g.ocv, vrest)
 	if !ok {
 		return
 	}

@@ -95,6 +95,11 @@ const (
 )
 
 // StepReport summarizes one firmware enforcement interval.
+//
+// PerCellW and PerCellA are owned by the controller and reused on the
+// next Step call (the enforcement loop runs millions of steps and must
+// not allocate); callers that retain a report across steps must copy
+// them.
 type StepReport struct {
 	// DeliveredW is power actually delivered to the system load.
 	DeliveredW float64
@@ -157,6 +162,7 @@ type Controller struct {
 	mu sync.Mutex
 
 	pack     *battery.Pack
+	cells    []*battery.Cell // pack.Cells(), hoisted once — the step loop must not re-fetch per cell
 	gauges   []*fuelgauge.Gauge
 	dpath    *circuit.DischargePath
 	chargers []*circuit.Charger
@@ -165,8 +171,18 @@ type Controller struct {
 	dischargeRatios []float64
 	chargeRatios    []float64
 	profileSel      []string
-	xfer            *transfer
-	reportGauge     bool
+	// profileByIdx mirrors profileSel with the resolved profiles so the
+	// per-step charging path avoids a map lookup per cell.
+	profileByIdx []circuit.ChargeProfile
+	xfer         *transfer
+	reportGauge  bool
+
+	// Step scratch, sized to the pack once at construction so
+	// steady-state stepping performs zero heap allocations. stepW and
+	// stepA back the PerCellW/PerCellA slices of the returned
+	// StepReport; caps and split are internal to stepDischarging.
+	stepW, stepA []float64
+	caps, split  []float64
 
 	steps atomic.Int64
 }
@@ -197,12 +213,18 @@ func NewController(cfg Config) (*Controller, error) {
 
 	c := &Controller{
 		pack:            cfg.Pack,
+		cells:           cfg.Pack.Cells(),
 		dpath:           dpath,
 		profiles:        profiles,
 		dischargeRatios: uniform(n),
 		chargeRatios:    uniform(n),
 		profileSel:      make([]string, n),
+		profileByIdx:    make([]circuit.ChargeProfile, n),
 		reportGauge:     cfg.ReportGaugeState,
+		stepW:           make([]float64, n),
+		stepA:           make([]float64, n),
+		caps:            make([]float64, n),
+		split:           make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
 		ch, err := circuit.NewCharger(cfg.Charger)
@@ -216,6 +238,7 @@ func NewController(cfg Config) (*Controller, error) {
 		}
 		c.gauges = append(c.gauges, g)
 		c.profileSel[i] = cfg.DefaultProfile
+		c.profileByIdx[i] = profiles[cfg.DefaultProfile]
 	}
 	return c, nil
 }
@@ -316,6 +339,7 @@ func (c *Controller) SetChargeProfile(batt int, profile string) error {
 			profile, p.CVVoltage, batt, floor)
 	}
 	c.profileSel[batt] = profile
+	c.profileByIdx[batt] = p
 	return nil
 }
 
@@ -387,9 +411,11 @@ func (c *Controller) Step(loadW, externalW, dt float64) (StepReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	clear(c.stepW)
+	clear(c.stepA)
 	rep := StepReport{
-		PerCellW: make([]float64, c.pack.N()),
-		PerCellA: make([]float64, c.pack.N()),
+		PerCellW: c.stepW,
+		PerCellA: c.stepA,
 	}
 	heatBefore := c.totalCellLoss()
 
@@ -408,18 +434,20 @@ func (c *Controller) Step(loadW, externalW, dt float64) (StepReport, error) {
 // stepDischarging splits the load across cells per the latched ratios,
 // redistributing demand away from cells that cannot deliver.
 func (c *Controller) stepDischarging(loadW, dt float64, rep *StepReport) {
-	n := c.pack.N()
+	cells := c.cells
+	n := len(cells)
 	if loadW == 0 {
 		for i := 0; i < n; i++ {
-			res := c.pack.Cell(i).StepCurrent(0, dt)
+			res := cells[i].StepCurrent(0, dt)
 			rep.PerCellA[i] += res.Current
 		}
 		return
 	}
-	perCell, lossW, err := c.dpath.Split(c.dischargeRatios, loadW)
+	perCell := c.split
+	lossW, err := c.dpath.SplitInto(perCell, c.dischargeRatios, loadW)
 	if err != nil {
-		// Ratio registers are validated on write; Split can only fail
-		// on internal inconsistency. Treat as brownout.
+		// Ratio registers are validated on write; SplitInto can only
+		// fail on internal inconsistency. Treat as brownout.
 		rep.Faults |= FaultBrownout
 		return
 	}
@@ -428,16 +456,22 @@ func (c *Controller) stepDischarging(loadW, dt float64, rep *StepReport) {
 	// Redistribute demand exceeding a cell's capability to the others
 	// (a real regulator saturates a channel's duty and the control
 	// loop shifts the slack elsewhere). Up to three rounds.
-	caps := make([]float64, n)
+	caps := c.caps
 	for i := 0; i < n; i++ {
-		cell := c.pack.Cell(i)
+		cell := cells[i]
 		caps[i] = cell.MaxDischargePower()
 		// A nearly-empty cell may report a healthy instantaneous
 		// capability yet hold too little energy to sustain it through
 		// this step; bound by deliverable energy so the slack shifts
-		// to the other cells instead of browning out.
-		if eCap := 0.9 * cell.EnergyRemainingJ() / dt; eCap < caps[i] {
-			caps[i] = eCap
+		// to the other cells instead of browning out. The exact bound
+		// integrates OCV over remaining charge — 50 curve lookups — so
+		// first test a cheap lower bound that can only under-estimate:
+		// when even the floor clears the capability, the exact value
+		// cannot lower the min and the integral is skipped.
+		if 0.9*cell.EnergyRemainingLowerBoundJ()/dt < caps[i] {
+			if eCap := 0.9 * cell.EnergyRemainingJ() / dt; eCap < caps[i] {
+				caps[i] = eCap
+			}
 		}
 	}
 	for round := 0; round < 3; round++ {
@@ -464,7 +498,7 @@ func (c *Controller) stepDischarging(loadW, dt float64, rep *StepReport) {
 
 	var realized float64
 	for i := 0; i < n; i++ {
-		res := c.pack.Cell(i).StepPower(perCell[i], dt)
+		res := cells[i].StepPower(perCell[i], dt)
 		rep.PerCellW[i] += res.PowerW
 		rep.PerCellA[i] += res.Current
 		realized += res.PowerW
@@ -485,7 +519,8 @@ func (c *Controller) stepDischarging(loadW, dt float64, rep *StepReport) {
 // remainder into the cells per the charge ratios, profiles, and
 // charger efficiency.
 func (c *Controller) stepCharging(loadW, externalW, dt float64, rep *StepReport) {
-	n := c.pack.N()
+	cells := c.cells
+	n := len(cells)
 	avail := externalW - loadW
 	if avail < 0 {
 		// Supply cannot cover the load: batteries make up the rest.
@@ -497,14 +532,14 @@ func (c *Controller) stepCharging(loadW, externalW, dt float64, rep *StepReport)
 	rep.DeliveredW = loadW
 
 	for i := 0; i < n; i++ {
-		cell := c.pack.Cell(i)
+		cell := cells[i]
 		budget := c.chargeRatios[i] * avail
 		if budget <= 0 || cell.Full() {
 			res := cell.StepCurrent(0, dt)
 			rep.PerCellA[i] += res.Current
 			continue
 		}
-		prof := c.profiles[c.profileSel[i]]
+		prof := c.profileByIdx[i]
 		rate := prof.RateAt(cell.SoC())       // C
 		maxA := rate * cell.Capacity() / 3600 // amperes
 		// CV phase: taper the current so the cell terminal voltage
@@ -549,8 +584,8 @@ func (c *Controller) stepTransfer(dt float64, rep *StepReport) {
 		return
 	}
 	x := c.xfer
-	src := c.pack.Cell(x.from)
-	dst := c.pack.Cell(x.to)
+	src := c.cells[x.from]
+	dst := c.cells[x.to]
 	if src.Empty() || dst.Full() || x.remaining <= 0 {
 		c.xfer = nil
 		rep.Faults |= FaultTransferAborted
@@ -580,7 +615,7 @@ func (c *Controller) stepTransfer(dt float64, rep *StepReport) {
 // for the step into its fuel gauge.
 func (c *Controller) feedGauges(rep *StepReport, dt float64) {
 	for i, g := range c.gauges {
-		cell := c.pack.Cell(i)
+		cell := c.cells[i]
 		g.Observe(rep.PerCellA[i], cell.TerminalVoltage(rep.PerCellA[i]), dt)
 	}
 }
@@ -597,8 +632,8 @@ func (c *Controller) StepCount() int64 { return c.steps.Load() }
 
 func (c *Controller) totalCellLoss() float64 {
 	var sum float64
-	for i := 0; i < c.pack.N(); i++ {
-		sum += c.pack.Cell(i).TotalLoss()
+	for _, cell := range c.cells {
+		sum += cell.TotalLoss()
 	}
 	return sum
 }

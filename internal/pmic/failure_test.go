@@ -93,19 +93,8 @@ func TestServeStopsCleanlyOnClose(t *testing.T) {
 	}
 }
 
-func BenchmarkControllerStep(b *testing.B) {
-	ctrl, err := NewController(DefaultConfig(benchPack(b)))
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := ctrl.Step(3.0, 0, 0.01); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkControllerStep lives in perf_test.go alongside the
+// zero-allocation regression tests.
 
 func BenchmarkQueryBatteryStatusDirect(b *testing.B) {
 	ctrl, err := NewController(DefaultConfig(benchPack(b)))

@@ -1,0 +1,125 @@
+package pmic
+
+import (
+	"testing"
+
+	"sdb/internal/battery"
+)
+
+// benchController wires a two-cell controller the way the emulator
+// experiments do.
+func benchController(tb testing.TB) *Controller {
+	tb.Helper()
+	cells := []*battery.Cell{
+		battery.MustNew(battery.MustByName("Standard-2000")),
+		battery.MustNew(battery.MustByName("EnergyMax-4000")),
+	}
+	pack, err := battery.NewPack(cells...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctrl, err := NewController(DefaultConfig(pack))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ctrl
+}
+
+// TestStepSteadyStateNoAllocs pins the zero-allocation contract of the
+// enforcement loop: after construction, steady-state discharging and
+// charging steps must not touch the heap (the per-step scratch lives in
+// the controller, and StepReport hands out views of it).
+func TestStepSteadyStateNoAllocs(t *testing.T) {
+	t.Run("discharge", func(t *testing.T) {
+		ctrl := benchController(t)
+		step := func() {
+			if _, err := ctrl.Step(3.0, 0, 1.0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step() // warm up
+		if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+			t.Errorf("discharge Step allocates %g objects/op, want 0", allocs)
+		}
+	})
+	t.Run("charge", func(t *testing.T) {
+		ctrl := benchController(t)
+		for _, c := range ctrl.Pack().Cells() {
+			c.SetSoC(0.5)
+		}
+		step := func() {
+			if _, err := ctrl.Step(1.0, 12.0, 1.0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step()
+		if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+			t.Errorf("charge Step allocates %g objects/op, want 0", allocs)
+		}
+	})
+	t.Run("idle", func(t *testing.T) {
+		ctrl := benchController(t)
+		step := func() {
+			if _, err := ctrl.Step(0, 0, 1.0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step()
+		if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+			t.Errorf("idle Step allocates %g objects/op, want 0", allocs)
+		}
+	})
+}
+
+// TestStepReportBuffersReused documents the scratch-buffer ownership:
+// consecutive Step calls return views of the same backing arrays, so a
+// caller retaining a report across steps must copy the slices.
+func TestStepReportBuffersReused(t *testing.T) {
+	ctrl := benchController(t)
+	r1, err := ctrl.Step(3.0, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r1.PerCellW[0]
+	r2, err := ctrl.Step(6.0, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &r1.PerCellW[0] != &r2.PerCellW[0] || &r1.PerCellA[0] != &r2.PerCellA[0] {
+		t.Error("PerCell buffers are not reused across steps (allocation crept back in)")
+	}
+	if r1.PerCellW[0] == first && r2.PerCellW[0] != first {
+		t.Error("impossible: aliased slices disagree")
+	}
+}
+
+// BenchmarkControllerStep measures one firmware enforcement step on a
+// two-cell pack. The acceptance bar for the allocation-free hot loop is
+// 0 allocs/op in steady state.
+func BenchmarkControllerStep(b *testing.B) {
+	bench := func(loadW, extW float64) func(*testing.B) {
+		return func(b *testing.B) {
+			ctrl := benchController(b)
+			cells := ctrl.Pack().Cells()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Long benchtimes would drain the pack; periodically top
+				// the cells back up to keep the step in steady state.
+				if i&0xFFFF == 0xFFFF {
+					b.StopTimer()
+					for _, c := range cells {
+						c.SetSoC(0.8)
+					}
+					b.StartTimer()
+				}
+				if _, err := ctrl.Step(loadW, extW, 1.0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("discharge", bench(3.0, 0))
+	b.Run("charge", bench(1.0, 12.0))
+	b.Run("idle", bench(0, 0))
+}

@@ -68,9 +68,16 @@ func (tr *Trace) At(t float64) (loadW, externalW float64) {
 	if i >= len(tr.Load) {
 		i = len(tr.Load) - 1
 	}
-	loadW = tr.Load[i]
+	return tr.Sample(i)
+}
+
+// Sample returns the load and external power of sample k by direct
+// index — the O(1) form the emulator's step loop uses instead of
+// float-time At. k must be in [0, Len()).
+func (tr *Trace) Sample(k int) (loadW, externalW float64) {
+	loadW = tr.Load[k]
 	if tr.External != nil {
-		externalW = tr.External[i]
+		externalW = tr.External[k]
 	}
 	return loadW, externalW
 }
