@@ -1,16 +1,21 @@
 #!/bin/sh
-# CI gate: build, tier-1 tests, the race lane, then a bench smoke lane.
-# The race pass runs the same suite under the race detector; the
-# concurrent experiment engine (internal/sim.Runner and the in-driver
-# sweeps) must stay race-clean. Fuzz seed corpora run as ordinary tests
-# in both lanes. The bench smoke lane executes every benchmark once
-# (-short skips the slow registry experiments) so the perf harness —
-# including the zero-allocation Step contract exercised by its tests —
-# cannot silently rot.
+# CI gate: build, tier-1 tests, the race lane, a chaos lane, then a
+# bench smoke lane. The race pass runs the same suite under the race
+# detector; the concurrent experiment engine (internal/sim.Runner and
+# the in-driver sweeps) must stay race-clean. Fuzz seed corpora run as
+# ordinary tests in both lanes. The chaos lane soaks the full stack —
+# runtime over the wire protocol over a seeded faulty link, cell faults
+# striking mid-run — under the race detector; it is deterministic per
+# seed, and a failure replays with SDB_CHAOS_SEED=<seed from the log>.
+# The bench smoke lane executes every benchmark once (-short skips the
+# slow registry experiments) so the perf harness — including the
+# zero-allocation Step contract exercised by its tests — cannot
+# silently rot.
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+go test -race -short -run 'Chaos' -v ./internal/emulator/
 go test -short -run '^$' -bench . -benchtime=1x ./...

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sdbctl serve -addr :7070 -cells QuickCharge-2000,EnergyMax-4000 -load 2
+//	sdbctl serve -addr :7070 -cells QuickCharge-2000,EnergyMax-4000 -load 2 -watchdog 300
 //	sdbctl -addr localhost:7070 status
 //	sdbctl -addr localhost:7070 ratios
 //	sdbctl -addr localhost:7070 discharge 0.7,0.3
@@ -12,11 +12,19 @@
 //	sdbctl -addr localhost:7070 transfer 1 0 2.5 600
 //	sdbctl -addr localhost:7070 profile 0 fast
 //	sdbctl -addr localhost:7070 ping
+//	sdbctl -addr localhost:7070 -retries 3 -timeout 500ms health
+//
+// The -timeout, -retries, and -backoff flags configure the resilient
+// bus client: each call retries retryable failures (lost or corrupted
+// frames) up to -retries times with exponentially growing -backoff,
+// while firmware rejections fail fast. The health command probes link
+// quality and reports any firmware-isolated cells.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strconv"
@@ -33,18 +41,28 @@ func main() {
 		return
 	}
 	addr := flag.String("addr", "localhost:7070", "controller address")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-attempt round-trip timeout")
+	retries := flag.Int("retries", 2, "retry attempts after a retryable failure")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fatalf("missing command (ping|status|ratios|discharge|charge|transfer|profile)")
+		fatalf("missing command (ping|status|ratios|discharge|charge|transfer|profile|health)")
 	}
 
-	conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+	dial := func() (io.ReadWriter, error) {
+		return net.DialTimeout("tcp", *addr, 5*time.Second)
+	}
+	conn, err := dial()
 	if err != nil {
 		fatalf("dial %s: %v", *addr, err)
 	}
-	defer conn.Close()
+	defer conn.(net.Conn).Close()
 	cl := pmic.NewClient(conn)
+	cl.Timeout = *timeout
+	cl.Retries = *retries
+	cl.Backoff = *backoff
+	cl.Dial = dial
 
 	switch args[0] {
 	case "ping":
@@ -97,9 +115,60 @@ func main() {
 		must(err)
 		must(cl.SetChargeProfile(batt, args[2]))
 		fmt.Println("ok")
+	case "health":
+		health(cl)
 	default:
 		fatalf("unknown command %q", args[0])
 	}
+}
+
+// health probes the control link and the pack: round-trip latency over
+// a burst of pings, then a status sweep flagging firmware-isolated
+// cells.
+func health(cl *pmic.Client) {
+	const probes = 10
+	var okCount int
+	var min, max, sum time.Duration
+	for i := 0; i < probes; i++ {
+		start := time.Now()
+		if err := cl.Ping(); err != nil {
+			continue
+		}
+		rtt := time.Since(start)
+		if okCount == 0 || rtt < min {
+			min = rtt
+		}
+		if rtt > max {
+			max = rtt
+		}
+		sum += rtt
+		okCount++
+	}
+	if okCount == 0 {
+		fatalf("health: link dead — %d/%d pings failed", probes, probes)
+	}
+	fmt.Printf("link:  %d/%d pings ok, rtt min/avg/max %s/%s/%s\n",
+		okCount, probes, min, sum/time.Duration(okCount), max)
+
+	sts, err := cl.QueryBatteryStatus()
+	must(err)
+	faulted := 0
+	for _, s := range sts {
+		if s.Faulted {
+			faulted++
+			fmt.Printf("cell %d (%s): FAULTED — isolated by firmware\n", s.Index, s.Name)
+		}
+	}
+	if faulted == 0 {
+		fmt.Printf("cells: %d healthy, 0 faulted\n", len(sts))
+	} else {
+		fmt.Printf("cells: %d healthy, %d faulted\n", len(sts)-faulted, faulted)
+	}
+	var energy float64
+	for _, s := range sts {
+		energy += s.EnergyRemainingJ
+	}
+	fmt.Printf("pack:  %.1f kJ remaining\n", energy/1000)
 }
 
 // serve hosts a demo controller: a system under a constant load whose
@@ -111,6 +180,7 @@ func serve(argv []string) {
 	cells := fs.String("cells", "QuickCharge-2000,EnergyMax-4000", "library cells")
 	loadW := fs.Float64("load", 2.0, "constant system load in watts")
 	speed := fs.Float64("speed", 60, "simulated seconds per wall second")
+	watchdog := fs.Float64("watchdog", 0, "revert to uniform ratios after this many simulated seconds of command silence (0 disables)")
 	if err := fs.Parse(argv); err != nil {
 		os.Exit(2)
 	}
@@ -118,6 +188,9 @@ func serve(argv []string) {
 	sys, err := sdb.NewSystem(sdb.SystemConfig{Cells: strings.Split(*cells, ",")})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *watchdog > 0 {
+		sys.Controller.SetWatchdog(*watchdog)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

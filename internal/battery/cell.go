@@ -639,6 +639,22 @@ func (c *Cell) Snapshot() Status {
 	}
 }
 
+// InjectCapacityFade applies a sudden capacity loss: the cell keeps
+// retain (clamped to [0,1]) of its current capacity, modeling abrupt
+// hardware degradation (internal short, crushed electrode) rather than
+// gradual cycle aging. Absolute stored charge is preserved, so state of
+// charge rises when capacity shrinks, exactly as in completeCycle.
+// Capacity never drops below 1% of design so the model stays solvable.
+func (c *Cell) InjectCapacityFade(retain float64) {
+	abs := c.soc * c.capacity
+	nc := c.capacity * clamp01(retain)
+	if min := 0.01 * c.p.CapacityCoulombs(); nc < min {
+		nc = min
+	}
+	c.capacity = nc
+	c.soc = clamp01(abs / c.capacity)
+}
+
 // Clone returns an independent copy of the cell including aging state.
 func (c *Cell) Clone() *Cell {
 	dup := *c

@@ -1,0 +1,64 @@
+package bus
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScanFrame throws arbitrary byte soup at the resynchronizing
+// scanner, FuzzParseCSV-style: whatever the line delivers, the scanner
+// must terminate without panicking, return only CRC-valid frames, and —
+// when the garbage contains no start-of-frame bytes — recover a valid
+// frame appended after it.
+func FuzzScanFrame(f *testing.F) {
+	good, err := Encode(Frame{Cmd: 0x05, Seq: 7, Payload: []byte{1, 2, 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{SOF, Version})
+	f.Add(good)
+	f.Add(append([]byte{0x00, SOF, 0xFF, 0x13, SOF}, good...))
+	f.Add(bytes.Repeat([]byte{SOF}, 64))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Property 1: arbitrary input never panics or loops forever, and
+		// every frame handed back re-encodes to a CRC-valid wire image.
+		sc := NewScanner(bytes.NewReader(raw))
+		for {
+			fr, err := sc.ReadFrame()
+			if err != nil {
+				break
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("oversized payload decoded: %d", len(fr.Payload))
+			}
+			if _, err := Encode(fr); err != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", err)
+			}
+		}
+
+		// Property 2: a valid frame behind an SOF-free garbage prefix is
+		// always recovered (no SOF in the prefix means no false
+		// candidate can overlap it).
+		prefix := append([]byte(nil), raw...)
+		for i := range prefix {
+			if prefix[i] == SOF {
+				prefix[i] = 0x00
+			}
+		}
+		want := Frame{Cmd: 0x02, Seq: 0xFE, Payload: []byte{0xAA, 0x55}}
+		wire, err := Encode(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc = NewScanner(bytes.NewReader(append(prefix, wire...)))
+		got, err := sc.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame behind %d-byte SOF-free prefix lost: %v", len(prefix), err)
+		}
+		if got.Cmd != want.Cmd || got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("recovered %+v, want %+v", got, want)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package bus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// Scanner is a resynchronizing frame reader. ReadFrame hard-fails on
+// the first malformed frame it meets — correct for trusted in-process
+// pipes, but a lossy serial link (the paper's Bluetooth transport)
+// delivers corrupted frames routinely, and a receiver that aborts on
+// every one of them turns single-byte noise into a dead link.
+//
+// Scanner instead treats malformed data as line noise: on a bad
+// version, an oversized length, or a CRC mismatch it discards only the
+// candidate start-of-frame byte and rescans from the next byte. Because
+// a failed candidate never consumes anything past its own SOF, a false
+// SOF inside garbage can never swallow a genuine frame that follows —
+// every valid frame present in the stream is eventually delivered.
+// Only transport errors (EOF, deadline expiry, closed pipe) surface to
+// the caller.
+type Scanner struct {
+	br *bufio.Reader
+}
+
+// NewScanner wraps a stream. The internal buffer is sized to hold one
+// maximum-size frame so a full candidate can be inspected without
+// consuming it.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{br: bufio.NewReaderSize(r, headerLen+MaxPayload+crcLen)}
+}
+
+// ReadFrame returns the next valid frame, skipping any amount of
+// garbage before it.
+func (s *Scanner) ReadFrame() (Frame, error) {
+	for {
+		b, err := s.br.ReadByte()
+		if err != nil {
+			return Frame{}, err
+		}
+		if b != SOF {
+			continue
+		}
+		// Candidate frame: peek the remainder without consuming it, so
+		// rejecting the candidate costs only the SOF byte already read.
+		body, err := s.peek(headerLen - 1)
+		if err != nil {
+			return Frame{}, err
+		}
+		if body == nil || body[0] != Version {
+			continue
+		}
+		n := int(binary.BigEndian.Uint16(body[3:5]))
+		if n > MaxPayload {
+			continue
+		}
+		full, err := s.peek(headerLen - 1 + n + crcLen)
+		if err != nil {
+			return Frame{}, err
+		}
+		if full == nil {
+			continue
+		}
+		body = full[: headerLen-1+n : headerLen-1+n]
+		if CRC16(body) != binary.BigEndian.Uint16(full[headerLen-1+n:]) {
+			continue
+		}
+		f := Frame{
+			Cmd:     body[1],
+			Seq:     body[2],
+			Payload: append([]byte(nil), body[headerLen-1:]...),
+		}
+		// The frame checked out: consume it.
+		if _, err := s.br.Discard(len(full)); err != nil {
+			return Frame{}, err
+		}
+		return f, nil
+	}
+}
+
+// peek returns n buffered bytes without consuming them. A nil slice
+// with a nil error means the stream ended before the candidate
+// completed — the already-buffered bytes may still contain a smaller
+// valid frame, so the caller keeps scanning; real transport errors are
+// returned.
+func (s *Scanner) peek(n int) ([]byte, error) {
+	b, err := s.br.Peek(n)
+	if len(b) >= n {
+		return b[:n], nil
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		if s.br.Buffered() > 0 {
+			return nil, nil
+		}
+		return nil, eofErr(err)
+	}
+	return nil, err
+}
+
+// eofErr maps a short-candidate EOF to ErrUnexpectedEOF when nothing
+// more can be scanned, matching ReadFrame's convention for truncation.
+func eofErr(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,152 @@
+package bus
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// mustEncode builds a wire image for tests.
+func mustEncode(t testing.TB, f Frame) []byte {
+	t.Helper()
+	raw, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestScannerRecoversFrameAfterRandomGarbage prepends randomized
+// garbage — including stray SOF bytes that open false candidates — to a
+// valid frame; the scanner must always deliver the frame.
+func TestScannerRecoversFrameAfterRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 500; trial++ {
+		want := Frame{
+			Cmd:     byte(1 + rng.Intn(120)),
+			Seq:     byte(rng.Intn(256)),
+			Payload: make([]byte, rng.Intn(40)),
+		}
+		rng.Read(want.Payload)
+		garbage := make([]byte, rng.Intn(200))
+		rng.Read(garbage)
+		// Seed extra SOFs so false candidates are common.
+		for i := 0; i < len(garbage)/6; i++ {
+			garbage[rng.Intn(len(garbage)+1)%maxInt(len(garbage), 1)] = SOF
+		}
+		stream := append(append([]byte(nil), garbage...), mustEncode(t, want)...)
+
+		sc := NewScanner(bytes.NewReader(stream))
+		found := false
+		for {
+			got, err := sc.ReadFrame()
+			if err != nil {
+				break
+			}
+			if got.Cmd == want.Cmd && got.Seq == want.Seq && bytes.Equal(got.Payload, want.Payload) {
+				found = true
+				break
+			}
+			// Garbage may coincidentally CRC-validate as a frame
+			// (possible, just astronomically rare per trial); the real
+			// frame must still follow because a valid candidate never
+			// overlaps a later frame boundary by construction here.
+		}
+		if !found {
+			t.Fatalf("trial %d: frame lost behind %d bytes of garbage", trial, len(garbage))
+		}
+	}
+}
+
+// TestScannerFalseSOFDoesNotEatFrame builds the pathological case for
+// the non-buffering decoder: a garbage SOF whose fake header claims a
+// large payload spanning the real frame. ReadFrame consumes the real
+// frame's bytes as fake payload and loses it; the scanner must not.
+func TestScannerFalseSOFDoesNotEatFrame(t *testing.T) {
+	want := Frame{Cmd: 0x05, Seq: 9, Payload: []byte{1, 2, 3}}
+	real := mustEncode(t, want)
+
+	// Fake header: SOF, valid version, then a length far larger than the
+	// bytes that follow, so the candidate swallows the real frame.
+	fake := []byte{SOF, Version, 0x11, 0x22, 0x0F, 0x00} // claims 3840-byte payload
+	stream := append(append([]byte(nil), fake...), real...)
+
+	// The stateless decoder eats into the fake payload and fails.
+	if f, err := ReadFrame(bytes.NewReader(stream)); err == nil {
+		t.Fatalf("ReadFrame decoded %+v from a truncated false candidate", f)
+	}
+
+	sc := NewScanner(bytes.NewReader(stream))
+	got, err := sc.ReadFrame()
+	if err != nil {
+		t.Fatalf("scanner lost the frame behind a false SOF: %v", err)
+	}
+	if got.Cmd != want.Cmd || got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("scanner returned %+v, want %+v", got, want)
+	}
+}
+
+// TestScannerBackToBackFramesWithNoise interleaves frames and noise;
+// every frame must come out, in order.
+func TestScannerBackToBackFramesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var stream bytes.Buffer
+	var sent []Frame
+	for i := 0; i < 40; i++ {
+		noise := make([]byte, rng.Intn(30))
+		rng.Read(noise)
+		stream.Write(noise)
+		// A corrupted frame (broken CRC) in front of every third frame.
+		if i%3 == 0 {
+			bad := mustEncode(t, Frame{Cmd: 0x70, Seq: 0xEE, Payload: []byte{9, 9}})
+			bad[len(bad)-1] ^= 0xFF
+			stream.Write(bad)
+		}
+		f := Frame{Cmd: byte(i%100 + 1), Seq: byte(i), Payload: []byte{byte(i), byte(i * 7)}}
+		sent = append(sent, f)
+		stream.Write(mustEncode(t, f))
+	}
+	sc := NewScanner(bytes.NewReader(stream.Bytes()))
+	for i := 0; i < len(sent); {
+		got, err := sc.ReadFrame()
+		if err != nil {
+			t.Fatalf("after %d frames: %v", i, err)
+		}
+		if got.Cmd == 0x70 && got.Seq == 0xEE {
+			continue // noise bytes re-formed the corrupted frame's shape — impossible (CRC), so this is unreachable
+		}
+		want := sent[i]
+		if got.Cmd != want.Cmd || got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		i++
+	}
+}
+
+// TestScannerTransportErrors: a clean EOF surfaces as io.EOF; a stream
+// truncated mid-candidate surfaces as an io error, never a frame.
+func TestScannerTransportErrors(t *testing.T) {
+	if _, err := NewScanner(bytes.NewReader(nil)).ReadFrame(); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	full := mustEncode(t, Frame{Cmd: 2, Seq: 3, Payload: []byte{1, 2, 3, 4}})
+	for cut := 1; cut < len(full); cut++ {
+		sc := NewScanner(bytes.NewReader(full[:cut]))
+		_, err := sc.ReadFrame()
+		if err == nil {
+			t.Fatalf("prefix %d/%d decoded as frame", cut, len(full))
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix %d: err = %v, want io error", cut, err)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

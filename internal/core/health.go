@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"sdb/internal/pmic"
+)
+
+// Health is the runtime's position on the degradation ladder. The SDB
+// Runtime sits between OS policy and the firmware over a real, lossy
+// link (the paper's prototype runs it over Bluetooth serial), so update
+// ticks can fail. Rather than crashing the power manager, the runtime
+// degrades in stages and recovers automatically when the link heals:
+//
+//	Healthy  — updates succeeding; policies drive the ratios.
+//	Degraded — updates failing; the last-known-good ratios are
+//	           re-pushed best-effort so the firmware keeps a sane split.
+//	SafeMode — failures persist; the runtime abandons policy output and
+//	           pushes the uniform safe split (matching what the
+//	           firmware watchdog would latch on its own).
+//	Failed   — failures exceeded the final threshold; Update surfaces
+//	           the error to the caller.
+//
+// Any successful update from any state returns the runtime to Healthy.
+type Health int
+
+const (
+	// Healthy means updates are succeeding.
+	Healthy Health = iota
+	// Degraded means recent updates failed; last-known-good ratios rule.
+	Degraded
+	// SafeMode means the runtime reverted to the uniform safe split.
+	SafeMode
+	// Failed means the ladder is exhausted and errors surface.
+	Failed
+)
+
+// String names the health state for logs.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case SafeMode:
+		return "safe-mode"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("Health(%d)", int(h))
+}
+
+// HealthEvent records one transition on the degradation ladder.
+type HealthEvent struct {
+	// Seq numbers events monotonically from runtime construction, so a
+	// reader can tell whether the bounded log dropped older entries.
+	Seq int64
+	// From and To are the states of the transition.
+	From, To Health
+	// Reason is the triggering error (or "recovered").
+	Reason string
+	// Failures is the consecutive-failure count at transition time.
+	Failures int
+}
+
+// noteSuccess resets the failure streak and recovers to Healthy.
+func (r *Runtime) noteSuccess() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails = 0
+	r.lastErr = nil
+	if r.health != Healthy {
+		r.transitionLocked(Healthy, "recovered")
+	}
+}
+
+// noteFailure advances the failure streak and returns the (possibly
+// new) health state plus the streak length.
+func (r *Runtime) noteFailure(err error) (Health, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails++
+	r.totalFails++
+	r.lastErr = err
+	next := r.health
+	switch {
+	case r.consecFails >= r.failAfter:
+		next = Failed
+	case r.consecFails >= r.safeAfter:
+		next = SafeMode
+	case r.consecFails >= r.degradeAfter:
+		next = Degraded
+	}
+	// The ladder only descends on failures; recovery goes through
+	// noteSuccess.
+	if next > r.health {
+		r.transitionLocked(next, err.Error())
+	}
+	return r.health, r.consecFails
+}
+
+// transitionLocked records a state change in the bounded event log.
+// Callers hold r.mu.
+func (r *Runtime) transitionLocked(to Health, reason string) {
+	r.eventSeq++
+	ev := HealthEvent{
+		Seq:      r.eventSeq,
+		From:     r.health,
+		To:       to,
+		Reason:   reason,
+		Failures: r.consecFails,
+	}
+	r.health = to
+	if len(r.healthLog) == r.logCap {
+		copy(r.healthLog, r.healthLog[1:])
+		r.healthLog[len(r.healthLog)-1] = ev
+		return
+	}
+	r.healthLog = append(r.healthLog, ev)
+}
+
+// Health returns the current degradation state.
+func (r *Runtime) Health() Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.health
+}
+
+// HealthEvents returns a copy of the bounded transition log, oldest
+// first. Seq gaps at the front mean older events were dropped.
+func (r *Runtime) HealthEvents() []HealthEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]HealthEvent(nil), r.healthLog...)
+}
+
+// UpdateFailures reports the consecutive and lifetime failed-update
+// counts.
+func (r *Runtime) UpdateFailures() (consecutive int, total int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.consecFails, r.totalFails
+}
+
+// LastError returns the error from the most recent failed update (nil
+// after a success).
+func (r *Runtime) LastError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// MaskFaulted zeroes the ratio shares of cells the firmware reports
+// Faulted and renormalizes across the survivors, so policy output never
+// routes power through an isolated cell. With no faulted cells the
+// input slice is returned untouched — the common path costs one scan
+// and experiments stay byte-identical. If every cell is faulted (or the
+// survivors hold zero share) the uniform split over survivors — or over
+// everything, as a last resort — keeps the vector valid for the
+// firmware's sum-to-one check.
+func MaskFaulted(ratios []float64, sts []pmic.BatteryStatus) []float64 {
+	if len(ratios) != len(sts) {
+		return ratios
+	}
+	anyFaulted := false
+	for _, s := range sts {
+		if s.Faulted {
+			anyFaulted = true
+			break
+		}
+	}
+	if !anyFaulted {
+		return ratios
+	}
+
+	out := make([]float64, len(ratios))
+	var sum float64
+	survivors := 0
+	for i, s := range sts {
+		if s.Faulted {
+			continue
+		}
+		out[i] = ratios[i]
+		sum += ratios[i]
+		survivors++
+	}
+	switch {
+	case survivors == 0:
+		// Nothing to route to; the uniform split at least parses.
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+	case sum <= 0:
+		// Policy put all weight on faulted cells; spread it uniformly
+		// over the survivors.
+		for i, s := range sts {
+			if !s.Faulted {
+				out[i] = 1 / float64(survivors)
+			}
+		}
+	default:
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}

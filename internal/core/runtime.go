@@ -67,6 +67,16 @@ type Options struct {
 	// parameters (each clamped to [0,1]).
 	ChargingDirective    float64
 	DischargingDirective float64
+
+	// DegradeAfter, SafeModeAfter, and FailAfter set the consecutive
+	// failed-update thresholds of the degradation ladder (see Health).
+	// Zero values default to 1, 5, and 25; the three must be
+	// non-decreasing.
+	DegradeAfter  int
+	SafeModeAfter int
+	FailAfter     int
+	// HealthLogSize bounds the health-transition event log (default 64).
+	HealthLogSize int
 }
 
 // Runtime is the SDB Runtime of Figure 5: it encapsulates the SDB
@@ -87,6 +97,18 @@ type Runtime struct {
 
 	lastDis []float64
 	lastChg []float64
+
+	// Degradation ladder state (see health.go).
+	health       Health
+	consecFails  int
+	totalFails   int64
+	lastErr      error
+	degradeAfter int
+	safeAfter    int
+	failAfter    int
+	healthLog    []HealthEvent
+	logCap       int
+	eventSeq     int64
 }
 
 // NewRuntime connects a runtime to a controller (in-process or over
@@ -106,10 +128,27 @@ func NewRuntime(api pmic.API, opts Options) (*Runtime, error) {
 		return nil, fmt.Errorf("core: controller reports %d batteries", n)
 	}
 	r := &Runtime{
-		api:    api,
-		n:      n,
-		chgDir: clamp01(opts.ChargingDirective),
-		disDir: clamp01(opts.DischargingDirective),
+		api:          api,
+		n:            n,
+		chgDir:       clamp01(opts.ChargingDirective),
+		disDir:       clamp01(opts.DischargingDirective),
+		degradeAfter: defaultInt(opts.DegradeAfter, 1),
+		safeAfter:    defaultInt(opts.SafeModeAfter, 5),
+		failAfter:    defaultInt(opts.FailAfter, 25),
+		logCap:       defaultInt(opts.HealthLogSize, 64),
+	}
+	// Defaulted thresholds bend to explicit ones (FailAfter: 3 alone
+	// must not collide with the default SafeModeAfter of 5); explicit
+	// contradictions are configuration bugs.
+	if opts.SafeModeAfter <= 0 && r.safeAfter > r.failAfter {
+		r.safeAfter = r.failAfter
+	}
+	if opts.DegradeAfter <= 0 && r.degradeAfter > r.safeAfter {
+		r.degradeAfter = r.safeAfter
+	}
+	if r.degradeAfter > r.safeAfter || r.safeAfter > r.failAfter {
+		return nil, fmt.Errorf("core: degradation thresholds must be non-decreasing: %d/%d/%d",
+			r.degradeAfter, r.safeAfter, r.failAfter)
 	}
 	if opts.DischargePolicy != nil {
 		r.disPolicy = opts.DischargePolicy
@@ -203,9 +242,42 @@ type UpdateResult struct {
 
 // Update is the runtime's periodic tick (the paper computes ratios "at
 // coarse granular time steps"): it queries battery status, runs the
-// active policies for the present load and charging power, and pushes
-// both ratio vectors to the firmware.
+// active policies for the present load and charging power, masks
+// firmware-isolated cells out of the ratio vectors, and pushes both
+// vectors to the firmware.
+//
+// A failed tick does not surface an error immediately: the runtime
+// walks the degradation ladder (see Health), re-pushing last-known-good
+// ratios while Degraded and the uniform safe split in SafeMode, and
+// returns an error only once the Failed threshold is crossed. Any
+// successful tick restores Healthy.
 func (r *Runtime) Update(loadW, chargeW float64) (UpdateResult, error) {
+	res, err := r.tryUpdate(loadW, chargeW)
+	if err == nil {
+		r.noteSuccess()
+		return res, nil
+	}
+	health, fails := r.noteFailure(err)
+	switch health {
+	case Failed:
+		return UpdateResult{}, fmt.Errorf("core: update failed %d consecutive times: %w", fails, err)
+	case SafeMode:
+		uni := uniformRatios(r.n)
+		r.pushBestEffort(uni, uni)
+		return UpdateResult{Discharge: uni, Charge: uni}, nil
+	case Degraded:
+		dis, chg := r.LastRatios()
+		if dis != nil && chg != nil {
+			r.pushBestEffort(dis, chg)
+		}
+		return UpdateResult{Discharge: dis, Charge: chg}, nil
+	}
+	// Below every threshold: absorb the blip, keep the latched ratios.
+	return UpdateResult{}, nil
+}
+
+// tryUpdate is one full status -> policy -> mask -> push cycle.
+func (r *Runtime) tryUpdate(loadW, chargeW float64) (UpdateResult, error) {
 	sts, err := r.api.QueryBatteryStatus()
 	if err != nil {
 		return UpdateResult{}, fmt.Errorf("core: update status query: %w", err)
@@ -222,6 +294,8 @@ func (r *Runtime) Update(loadW, chargeW float64) (UpdateResult, error) {
 	if err != nil {
 		return UpdateResult{}, fmt.Errorf("core: %s: %w", chgPolicy.Name(), err)
 	}
+	dis = MaskFaulted(dis, sts)
+	chg = MaskFaulted(chg, sts)
 	if err := r.api.Discharge(dis); err != nil {
 		return UpdateResult{}, fmt.Errorf("core: push discharge ratios: %w", err)
 	}
@@ -234,6 +308,23 @@ func (r *Runtime) Update(loadW, chargeW float64) (UpdateResult, error) {
 	r.mu.Unlock()
 	return UpdateResult{Discharge: dis, Charge: chg, Status: sts}, nil
 }
+
+// pushBestEffort pushes ratio vectors ignoring failures — degraded
+// modes keep trying so the firmware picks the vectors up the moment the
+// link heals, but a still-dead link must not cascade.
+func (r *Runtime) pushBestEffort(dis, chg []float64) {
+	if err := r.api.Discharge(dis); err != nil {
+		return
+	}
+	if err := r.api.Charge(chg); err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.lastDis = dis
+	r.lastChg = chg
+	r.mu.Unlock()
+}
+
 
 // LastRatios returns the ratio vectors most recently pushed (nil
 // before the first Update).
@@ -255,4 +346,12 @@ func (r *Runtime) SetChargeProfile(batt int, profile string) error {
 
 func clamp01(x float64) float64 {
 	return math.Max(0, math.Min(1, x))
+}
+
+// defaultInt substitutes def for non-positive v.
+func defaultInt(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
 }

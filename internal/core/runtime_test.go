@@ -216,22 +216,47 @@ func (f *failingAPI) Discharge(r []float64) error {
 }
 func (f *failingAPI) Charge(r []float64) error { return nil }
 
-func TestUpdateSurfacesStatusFailure(t *testing.T) {
-	rt, err := NewRuntime(&failingAPI{failStatus: true}, Options{})
+// TestUpdateAbsorbsStatusFailure: a failed tick no longer aborts the
+// power manager — the runtime degrades and keeps going, surfacing an
+// error only when the Failed threshold is crossed.
+func TestUpdateAbsorbsStatusFailure(t *testing.T) {
+	rt, err := NewRuntime(&failingAPI{failStatus: true}, Options{FailAfter: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
+	for i := 0; i < 2; i++ {
+		if _, err := rt.Update(1, 0); err != nil {
+			t.Fatalf("tick %d surfaced an error before the Failed threshold: %v", i, err)
+		}
+	}
+	if rt.Health() == Healthy {
+		t.Error("repeated failures left the runtime Healthy")
+	}
 	if _, err := rt.Update(1, 0); err == nil {
-		t.Error("status failure swallowed")
+		t.Error("third consecutive failure did not surface (FailAfter=3)")
+	}
+	if rt.Health() != Failed {
+		t.Errorf("health = %v, want Failed", rt.Health())
 	}
 }
 
-func TestUpdateSurfacesSetFailure(t *testing.T) {
-	rt, err := NewRuntime(&failingAPI{failSet: true}, Options{})
+// TestUpdateAbsorbsSetFailure: push failures walk the same ladder as
+// status failures.
+func TestUpdateAbsorbsSetFailure(t *testing.T) {
+	rt, err := NewRuntime(&failingAPI{failSet: true}, Options{FailAfter: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, err := rt.Update(1, 0); err != nil {
+		t.Fatalf("first push failure surfaced: %v", err)
+	}
+	if c, total := rt.UpdateFailures(); c != 1 || total != 1 {
+		t.Errorf("failure counters = %d consecutive, %d total", c, total)
+	}
+	if rt.LastError() == nil {
+		t.Error("LastError empty after a failed tick")
+	}
 	if _, err := rt.Update(1, 0); err == nil {
-		t.Error("ratio push failure swallowed")
+		t.Error("second consecutive failure did not surface (FailAfter=2)")
 	}
 }

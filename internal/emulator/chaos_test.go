@@ -1,0 +1,278 @@
+package emulator
+
+// Chaos soak: a full emulated day through the complete stack — runtime
+// over the wire protocol over a seeded faulty link, with cell-level
+// hardware faults striking mid-run — must finish without error, keep
+// physics honest (energy conservation, SoC bounds), and end in a
+// non-failed health state. A second test proves the fault plumbing is
+// transparent when disabled: wiring the stack through zero-rate
+// injectors reproduces the in-process run bit for bit.
+//
+// The soak is deterministic per seed; replay a CI failure with
+// SDB_CHAOS_SEED=<printed seed> go test -race -run Chaos ./internal/emulator/
+
+import (
+	"io"
+	"math"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"sdb/internal/battery"
+	"sdb/internal/core"
+	"sdb/internal/faults"
+	"sdb/internal/pmic"
+	"sdb/internal/workload"
+)
+
+// chaosSeed is the run's seed: SDB_CHAOS_SEED overrides the default so
+// a logged failure replays exactly.
+func chaosSeed(t *testing.T) int64 {
+	if s := os.Getenv("SDB_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SDB_CHAOS_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return 20150927 // default; any value works, this one is fixed for CI
+}
+
+func cellsEnergyJ(pack *battery.Pack) float64 {
+	var sum float64
+	for i := 0; i < pack.N(); i++ {
+		sum += pack.Cell(i).EnergyRemainingJ()
+	}
+	return sum
+}
+
+func cellsRCStoredJ(pack *battery.Pack) float64 {
+	var sum float64
+	for i := 0; i < pack.N(); i++ {
+		c := pack.Cell(i)
+		v := c.RCVoltage()
+		sum += 0.5 * c.Params().PlateC * v * v
+	}
+	return sum
+}
+
+func newChaosController(t *testing.T, watchdogS float64) (*battery.Pack, *pmic.Controller) {
+	t.Helper()
+	a := battery.MustNew(battery.MustByName("QuickCharge-2000"))
+	b := battery.MustNew(battery.MustByName("Standard-2000"))
+	pack := battery.MustNewPack(a, b)
+	cfg := pmic.DefaultConfig(pack)
+	cfg.WatchdogS = watchdogS
+	ctrl, err := pmic.NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pack, ctrl
+}
+
+// TestChaosSoakFullDay is the acceptance soak. Fault budget: >1% frame
+// drop plus byte corruption on both wire directions, frame duplication
+// and truncation, one mid-run link disconnect recovered via redial, an
+// open-circuit cell that later heals, a sudden capacity fade, and a
+// fuel-gauge drift. The day must complete with no Update error
+// surfacing, zero brownouts, conserved energy, bounded SoC, and the
+// runtime out of the Failed state.
+func TestChaosSoakFullDay(t *testing.T) {
+	seed := chaosSeed(t)
+	t.Logf("chaos seed %d (replay: SDB_CHAOS_SEED=%d)", seed, seed)
+
+	dayS := 24 * 3600.0
+	if testing.Short() {
+		dayS = 6 * 3600.0
+	}
+
+	pack, ctrl := newChaosController(t, 300)
+
+	// Transport: controller served over a buffered pipe, client behind
+	// a seeded fault injector.
+	serverEnd, clientEnd := faults.Pipe()
+	go func() { _ = ctrl.Serve(serverEnd) }()
+
+	// Roughly 3 calls per policy tick plus retries; cut the link once
+	// mid-day to force a redial.
+	expectedWrites := int64(dayS/60) * 3
+	linkCfg := faults.LinkConfig{
+		Seed:                  seed,
+		DropFrame:             0.015,
+		CorruptByte:           0.0005,
+		CorruptReadByte:       0.0003,
+		DuplicateFrame:        0.005,
+		TruncateFrame:         0.003,
+		DisconnectAfterWrites: expectedWrites / 2,
+	}
+	link := faults.NewLink(clientEnd, linkCfg)
+
+	cl := pmic.NewClient(link)
+	cl.Timeout = 50 * time.Millisecond
+	cl.Retries = 4
+	cl.Backoff = time.Millisecond
+	dials := 0
+	cl.Dial = func() (io.ReadWriter, error) {
+		dials++
+		sEnd, cEnd := faults.Pipe()
+		go func() { _ = ctrl.Serve(sEnd) }()
+		// The replacement link carries the same fault rates (derived
+		// seed) but no further disconnects.
+		cfg := linkCfg
+		cfg.Seed = seed + int64(dials)
+		cfg.DisconnectAfterWrites = 0
+		return faults.NewLink(cEnd, cfg), nil
+	}
+
+	rt, err := core.NewRuntime(cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cell-level hardware faults, placed as fractions of the day so the
+	// short soak exercises the same ladder.
+	schedule := faults.NewSchedule(
+		faults.CellEvent{AtS: 0.25 * dayS, Cell: 1, Kind: faults.FaultOpenCircuit},
+		faults.CellEvent{AtS: 0.35 * dayS, Cell: 1, Kind: faults.FaultCloseCircuit},
+		faults.CellEvent{AtS: 0.45 * dayS, Cell: 0, Kind: faults.FaultCapacityFade, Fraction: 0.85},
+		faults.CellEvent{AtS: 0.60 * dayS, Cell: 1, Kind: faults.FaultGaugeDrift, Fraction: -0.15},
+	)
+
+	trace := workload.Square("chaos-day", 0.15, 0.9, 3600, 0.35, dayS, 1.0)
+	before := cellsEnergyJ(pack)
+
+	res, err := Run(Config{
+		Controller:   ctrl,
+		Runtime:      rt,
+		Trace:        trace,
+		PolicyEveryS: 60,
+		RecordEveryS: 60,
+		Faults:       schedule,
+	})
+	if err != nil {
+		t.Fatalf("chaos day aborted (seed %d): %v", seed, err)
+	}
+
+	// The full day ran.
+	if res.Steps != trace.Len() {
+		t.Errorf("soak stopped at step %d of %d", res.Steps, trace.Len())
+	}
+	if res.BrownoutSteps != 0 {
+		t.Errorf("%d brownout steps under a comfortably sized load", res.BrownoutSteps)
+	}
+
+	// The runtime survived: anything but Failed is acceptable.
+	if h := rt.Health(); h == core.Failed {
+		_, total := rt.UpdateFailures()
+		t.Errorf("runtime ended Failed after %d total update failures; events: %+v",
+			total, rt.HealthEvents())
+	}
+
+	// The chaos actually happened.
+	st := link.Stats()
+	if st.DroppedFrames == 0 || st.CorruptedWBytes+st.CorruptedRBytes == 0 {
+		t.Errorf("fault injection idle: %+v", st)
+	}
+	if st.Disconnects != 1 || dials == 0 {
+		t.Errorf("disconnect/redial not exercised: %d disconnects, %d dials", st.Disconnects, dials)
+	}
+	if schedule.Pending() != 0 {
+		t.Errorf("%d scheduled cell faults never fired", schedule.Pending())
+	}
+	if !ctrl.CellOpen(1) == false { // cell 1 was healed at 0.35*day
+		t.Error("cell 1 still open after the close-circuit event")
+	}
+	if ctrl.WatchdogFires() == 0 {
+		t.Log("note: watchdog never fired (link outages all shorter than 300 s)")
+	}
+
+	// Energy conservation across faults: chemical energy given up equals
+	// delivered + losses + RC storage + what the fade event destroyed.
+	drop := before - cellsEnergyJ(pack)
+	accounted := res.DeliveredJ + res.CircuitLossJ + res.BatteryLossJ +
+		cellsRCStoredJ(pack) + schedule.EnergyRemovedJ()
+	tol := 0.03*drop + 1
+	if math.Abs(drop-accounted) > tol {
+		t.Errorf("conservation broke under chaos (seed %d): cells gave %g J, accounted %g J (err %g > tol %g)",
+			seed, drop, accounted, math.Abs(drop-accounted), tol)
+	}
+	if res.DeliveredJ <= 0 {
+		t.Error("nothing delivered over the whole day")
+	}
+
+	// SoC bounds: every recorded sample of every cell in [0, 1].
+	for i, series := range res.Series.SoC {
+		for k, soc := range series {
+			if soc < 0 || soc > 1 {
+				t.Fatalf("cell %d SoC[%d] = %g out of [0,1]", i, k, soc)
+			}
+		}
+	}
+}
+
+// TestChaosDisabledByteIdentical: the entire fault-injection plumbing —
+// buffered pipe, link wrapper at zero rates, wire protocol, resilient
+// client, empty fault schedule — must reproduce the plain in-process
+// run exactly, sample for sample and joule for joule. This is the
+// guarantee that keeps every experiment table reproducible while the
+// chaos machinery ships in the same binary.
+func TestChaosDisabledByteIdentical(t *testing.T) {
+	durS := 2 * 3600.0
+	trace := workload.Square("calm-day", 0.15, 0.9, 3600, 0.35, durS, 1.0)
+
+	run := func(wired bool) (*Result, core.Health) {
+		pack, ctrl := newChaosController(t, 0)
+		_ = pack
+		var api pmic.API = ctrl
+		var schedule *faults.Schedule
+		if wired {
+			serverEnd, clientEnd := faults.Pipe()
+			go func() { _ = ctrl.Serve(serverEnd) }()
+			link := faults.NewLink(clientEnd, faults.LinkConfig{Seed: 99})
+			cl := pmic.NewClient(link)
+			cl.Timeout = 5 * time.Second
+			cl.Retries = 2
+			api = cl
+			schedule = faults.NewSchedule() // present but empty
+		}
+		rt, err := core.NewRuntime(api, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Controller:   ctrl,
+			Runtime:      rt,
+			Trace:        trace,
+			PolicyEveryS: 60,
+			RecordEveryS: 60,
+			Faults:       schedule,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rt.Health()
+	}
+
+	plain, _ := run(false)
+	wired, health := run(true)
+
+	if health != core.Healthy {
+		t.Errorf("zero-rate wired run ended %v", health)
+	}
+	if plain.DeliveredJ != wired.DeliveredJ ||
+		plain.CircuitLossJ != wired.CircuitLossJ ||
+		plain.BatteryLossJ != wired.BatteryLossJ ||
+		plain.ChargedJ != wired.ChargedJ {
+		t.Errorf("energy totals diverge: plain %g/%g/%g/%g, wired %g/%g/%g/%g",
+			plain.DeliveredJ, plain.CircuitLossJ, plain.BatteryLossJ, plain.ChargedJ,
+			wired.DeliveredJ, wired.CircuitLossJ, wired.BatteryLossJ, wired.ChargedJ)
+	}
+	if !reflect.DeepEqual(plain.Series, wired.Series) {
+		t.Error("recorded series diverge between plain and zero-rate wired runs")
+	}
+	if !reflect.DeepEqual(plain.FinalMetrics, wired.FinalMetrics) {
+		t.Errorf("final metrics diverge: %+v vs %+v", plain.FinalMetrics, wired.FinalMetrics)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"sdb/internal/battery"
 	"sdb/internal/core"
+	"sdb/internal/faults"
 	"sdb/internal/pmic"
 	"sdb/internal/workload"
 )
@@ -38,6 +39,10 @@ type Config struct {
 	// the current simulation time and may adjust runtime directives or
 	// policies — the hook the paper's schedule-aware OS logic uses.
 	DirectiveFn func(tS float64, rt *core.Runtime)
+	// Faults, when set, fires scheduled cell-level faults (open
+	// circuit, capacity fade, gauge drift) into the controller as
+	// simulated time passes. Nil leaves the run untouched.
+	Faults *faults.Schedule
 }
 
 // Series holds the recorded waveforms.
@@ -132,6 +137,14 @@ func Run(cfg Config) (*Result, error) {
 	for k := 0; k < steps; k++ {
 		t := float64(k) * dt
 		loadW, extW := cfg.Trace.Sample(k)
+
+		// Faults strike before the policy tick so the tick's status
+		// query already sees them.
+		if cfg.Faults != nil {
+			if err := cfg.Faults.Apply(t, cfg.Controller); err != nil {
+				return nil, fmt.Errorf("emulator: fault injection at t=%g: %w", t, err)
+			}
+		}
 
 		if cfg.Runtime != nil && k%policyEvery == 0 {
 			if cfg.DirectiveFn != nil {

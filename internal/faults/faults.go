@@ -1,0 +1,27 @@
+// Package faults is the deterministic fault-injection layer: seeded
+// chaos for every boundary between the SDB Runtime and the cells.
+//
+// The paper's prototype runs its control traffic over a Bluetooth
+// serial link (Section 4.1) that drops and corrupts frames in normal
+// operation, and the firmware — not the OS — is the safety backstop
+// for charge/discharge ratios. A reproduction that only ever exercises
+// perfect links and perfect cells proves nothing about the degradation
+// ladder, so this package wraps each layer with seeded, reproducible
+// faults:
+//
+//   - Link wraps any io.ReadWriter transport with frame drop, byte
+//     corruption, duplication, truncated (partial) writes, and
+//     mid-stream disconnect.
+//   - FlakyAPI wraps any pmic.API with injected call errors and stale
+//     status snapshots.
+//   - Schedule injects cell-level hardware faults into a running
+//     controller at simulated times: open-circuit isolation, sudden
+//     capacity fade, and fuel-gauge drift.
+//   - Pipe provides a buffered, deadline-aware in-memory duplex
+//     transport whose writes never block, so chaos tests cannot
+//     deadlock a peer that is mid-write when the other side times out.
+//
+// Everything draws from rand.Rand seeded by the caller: the same seed
+// and call sequence reproduce the same fault pattern, so a chaos-soak
+// failure replays from the seed printed in the test log.
+package faults

@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrLinkDown reports a link killed by the disconnect injector; calls
+// fail until Restore (or a client redial onto a fresh transport). It
+// wraps io.ErrClosedPipe so transport clients classify it as a dead
+// connection — redial, don't retry in place.
+var ErrLinkDown = fmt.Errorf("faults: link down: %w", io.ErrClosedPipe)
+
+// LinkConfig selects the injected transport faults. All probabilities
+// are in [0,1]; zero disables that fault. The bus protocol writes one
+// frame per Write call, so frame-granular faults key off Write calls.
+type LinkConfig struct {
+	// Seed makes the fault pattern reproducible.
+	Seed int64
+	// DropFrame is the probability a written frame vanishes in the
+	// ether: the caller sees success, the peer sees nothing.
+	DropFrame float64
+	// CorruptByte is the per-byte probability of an XOR flip on the
+	// write path.
+	CorruptByte float64
+	// DuplicateFrame is the probability a written frame is delivered
+	// twice back to back.
+	DuplicateFrame float64
+	// TruncateFrame is the probability only a strict prefix of the
+	// frame reaches the peer (a partial write cut by the link).
+	TruncateFrame float64
+	// CorruptReadByte is the per-byte probability of an XOR flip on the
+	// read path (corruption on the peer's side of the ether).
+	CorruptReadByte float64
+	// DisconnectAfterWrites kills the link after that many Write calls
+	// (0 = never): subsequent I/O fails with ErrLinkDown until Restore.
+	DisconnectAfterWrites int64
+	// WriteDelay sleeps before each delivered write, modeling link
+	// latency. Keep zero in deterministic soaks.
+	WriteDelay time.Duration
+}
+
+// LinkStats counts injected faults, for asserting that a chaos run
+// actually exercised them.
+type LinkStats struct {
+	Writes           int64
+	DroppedFrames    int64
+	DuplicatedFrames int64
+	TruncatedFrames  int64
+	CorruptedWBytes  int64
+	CorruptedRBytes  int64
+	Disconnects      int64
+}
+
+// Injected reports whether any fault fired.
+func (s LinkStats) Injected() int64 {
+	return s.DroppedFrames + s.DuplicatedFrames + s.TruncatedFrames +
+		s.CorruptedWBytes + s.CorruptedRBytes + s.Disconnects
+}
+
+// Link wraps a transport with seeded fault injection. Reads and writes
+// draw from independent rngs so the read-side fault pattern depends
+// only on the byte stream, not on how the reader chunks its reads.
+type Link struct {
+	mu    sync.Mutex
+	rw    io.ReadWriter
+	wrng  *rand.Rand
+	rrng  *rand.Rand
+	cfg   LinkConfig
+	down  bool
+	cut   bool // the write-count disconnect already fired (one-shot)
+	stats LinkStats
+}
+
+// NewLink wraps rw.
+func NewLink(rw io.ReadWriter, cfg LinkConfig) *Link {
+	return &Link{
+		rw:   rw,
+		cfg:  cfg,
+		wrng: rand.New(rand.NewSource(cfg.Seed)),
+		rrng: rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+	}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (l *Link) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Restore brings a disconnected link back up (the "plug it back in"
+// event for reconnect tests).
+func (l *Link) Restore() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = false
+}
+
+// Write applies the write-path faults, then forwards whatever survives.
+// It reports the full length on a dropped or truncated frame — the
+// sender cannot know the ether ate its bytes.
+func (l *Link) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	if l.down {
+		l.mu.Unlock()
+		return 0, ErrLinkDown
+	}
+	l.stats.Writes++
+	if !l.cut && l.cfg.DisconnectAfterWrites > 0 && l.stats.Writes > l.cfg.DisconnectAfterWrites {
+		l.down = true
+		l.cut = true
+		l.stats.Disconnects++
+		l.mu.Unlock()
+		return 0, ErrLinkDown
+	}
+
+	drop := l.cfg.DropFrame > 0 && l.wrng.Float64() < l.cfg.DropFrame
+	dup := l.cfg.DuplicateFrame > 0 && l.wrng.Float64() < l.cfg.DuplicateFrame
+	trunc := l.cfg.TruncateFrame > 0 && len(p) > 1 && l.wrng.Float64() < l.cfg.TruncateFrame
+
+	buf := append([]byte(nil), p...)
+	if l.cfg.CorruptByte > 0 {
+		for i := range buf {
+			if l.wrng.Float64() < l.cfg.CorruptByte {
+				buf[i] ^= byte(1 + l.wrng.Intn(255))
+				l.stats.CorruptedWBytes++
+			}
+		}
+	}
+	if trunc {
+		buf = buf[:1+l.wrng.Intn(len(buf)-1)]
+		l.stats.TruncatedFrames++
+	}
+	switch {
+	case drop:
+		l.stats.DroppedFrames++
+	case dup:
+		l.stats.DuplicatedFrames++
+	}
+	delay := l.cfg.WriteDelay
+	l.mu.Unlock()
+
+	if drop {
+		return len(p), nil
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if _, err := l.rw.Write(buf); err != nil {
+		return 0, err
+	}
+	if dup {
+		if _, err := l.rw.Write(buf); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Read forwards from the transport, applying read-path corruption.
+func (l *Link) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	down := l.down
+	l.mu.Unlock()
+	if down {
+		return 0, ErrLinkDown
+	}
+	n, err := l.rw.Read(p)
+	if n > 0 && l.cfg.CorruptReadByte > 0 {
+		l.mu.Lock()
+		for i := 0; i < n; i++ {
+			if l.rrng.Float64() < l.cfg.CorruptReadByte {
+				p[i] ^= byte(1 + l.rrng.Intn(255))
+				l.stats.CorruptedRBytes++
+			}
+		}
+		l.mu.Unlock()
+	}
+	return n, err
+}
+
+// SetDeadline forwards to the transport when it supports deadlines, so
+// the client's round-trip timeout keeps working through the wrapper.
+func (l *Link) SetDeadline(t time.Time) error {
+	if d, ok := l.rw.(interface{ SetDeadline(time.Time) error }); ok {
+		return d.SetDeadline(t)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Pipe returns the two ends of an in-memory, buffered, deadline-aware
+// duplex byte stream.
+//
+// net.Pipe is synchronous: every Write blocks until the peer Reads.
+// That is exactly wrong for chaos testing — when a client times out
+// mid-response, a synchronous server wedges forever in its Write and
+// the whole session dies of a deadlock the real (buffered) serial
+// hardware cannot have. Pipe's writes complete immediately into an
+// internal buffer, like a UART FIFO, and reads honor SetDeadline so
+// the client's round-trip timeout works.
+func Pipe() (a, b *Conn) {
+	ab := newBuffer()
+	ba := newBuffer()
+	return &Conn{rb: ba, wb: ab}, &Conn{rb: ab, wb: ba}
+}
+
+// Conn is one end of a Pipe.
+type Conn struct {
+	rb *buffer // peer -> us
+	wb *buffer // us -> peer
+}
+
+// Read implements io.Reader, honoring the read deadline.
+func (c *Conn) Read(p []byte) (int, error) { return c.rb.read(p) }
+
+// Write implements io.Writer. It never blocks.
+func (c *Conn) Write(p []byte) (int, error) { return c.wb.write(p) }
+
+// Close closes both directions: the peer's pending and future reads
+// drain the buffer then see io.EOF; writes on either end fail.
+func (c *Conn) Close() error {
+	c.rb.close()
+	c.wb.close()
+	return nil
+}
+
+// SetDeadline bounds future Reads (writes never block, so only the
+// read side needs one). A zero time waits forever.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.rb.setDeadline(t)
+	return nil
+}
+
+// buffer is one direction of the pipe.
+type buffer struct {
+	mu       sync.Mutex
+	data     []byte
+	closed   bool
+	deadline time.Time
+	// wake is closed and replaced on every state change, broadcasting
+	// to all blocked readers.
+	wake chan struct{}
+}
+
+func newBuffer() *buffer {
+	return &buffer{wake: make(chan struct{})}
+}
+
+func (b *buffer) broadcastLocked() {
+	close(b.wake)
+	b.wake = make(chan struct{})
+}
+
+func (b *buffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	b.data = append(b.data, p...)
+	b.broadcastLocked()
+	return len(p), nil
+}
+
+func (b *buffer) read(p []byte) (int, error) {
+	for {
+		b.mu.Lock()
+		if len(b.data) > 0 {
+			n := copy(p, b.data)
+			b.data = b.data[n:]
+			if len(b.data) == 0 {
+				b.data = nil
+			}
+			b.mu.Unlock()
+			return n, nil
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return 0, io.EOF
+		}
+		dl := b.deadline
+		if !dl.IsZero() && !time.Now().Before(dl) {
+			b.mu.Unlock()
+			return 0, os.ErrDeadlineExceeded
+		}
+		wake := b.wake
+		b.mu.Unlock()
+
+		if dl.IsZero() {
+			<-wake
+			continue
+		}
+		timer := time.NewTimer(time.Until(dl))
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+func (b *buffer) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.broadcastLocked()
+}
+
+func (b *buffer) setDeadline(t time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deadline = t
+	// Wake blocked readers so an already-expired deadline takes effect
+	// immediately.
+	b.broadcastLocked()
+}

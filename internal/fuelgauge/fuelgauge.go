@@ -155,6 +155,13 @@ func (g *Gauge) Recalibrate(coulombsIn float64) error {
 	return nil
 }
 
+// InjectDrift shifts the SoC estimate by bias (clamped to [0,1] after
+// the shift), modeling accumulated coulomb-counting error or a sense
+// glitch. The underlying cell is untouched — only the estimate lies.
+func (g *Gauge) InjectDrift(bias float64) {
+	g.estSoC = clamp01(g.estSoC + bias)
+}
+
 // EstimatedCapacity returns the gauge's current capacity estimate in
 // coulombs.
 func (g *Gauge) EstimatedCapacity() float64 { return g.estCapC }

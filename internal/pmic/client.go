@@ -1,8 +1,10 @@
 package pmic
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"time"
 
@@ -17,17 +19,47 @@ import (
 //
 // The protocol is strictly request/response; Client serializes calls
 // with a mutex and matches responses by sequence number.
+//
+// Resilience: the prototype's Bluetooth link drops and corrupts frames
+// routinely, so the client can retry. Each failed attempt is classified
+// retryable (CRC garbage, timeout, stale-response flood — the request
+// or response was lost in transit) or fatal (the firmware received the
+// request intact and rejected it, e.g. StatusBadArgs — re-sending the
+// same bytes cannot succeed). Retryable failures are re-sent up to
+// Retries times with exponential backoff; a dead transport is re-dialed
+// through the optional Dial hook.
 type Client struct {
 	mu  sync.Mutex
 	rw  io.ReadWriter
+	sc  *bus.Scanner
 	seq byte
 
-	// Timeout bounds each round trip when the transport supports
-	// deadlines (net.Conn does). Zero means wait forever — fine for
-	// in-process pipes to a live server, essential to change when the
-	// link can drop frames (the firmware never answers a request it
-	// never received intact).
+	// Timeout bounds each round-trip attempt when the transport
+	// supports deadlines (net.Conn does). Zero means wait forever —
+	// fine for in-process pipes to a live server, essential to change
+	// when the link can drop frames (the firmware never answers a
+	// request it never received intact).
 	Timeout time.Duration
+
+	// Retries is how many additional attempts a call makes after a
+	// retryable failure. Zero preserves the historical fail-fast
+	// behavior.
+	Retries int
+
+	// Backoff is the sleep before the first retry; it doubles on each
+	// subsequent one. Zero retries immediately.
+	Backoff time.Duration
+
+	// Dial, when set, is used to replace the transport after it dies
+	// (EOF, closed pipe): the next attempt runs over the fresh
+	// connection. Without it a dead transport fails the call.
+	Dial func() (io.ReadWriter, error)
+
+	// MaxStale bounds how many mismatched (stale or forged) response
+	// frames one attempt will discard before giving up; a peer spraying
+	// garbage must not pin the client in the drain loop forever.
+	// Zero means the default of 64.
+	MaxStale int
 }
 
 // deadliner is the optional transport capability Timeout needs.
@@ -38,12 +70,103 @@ type deadliner interface {
 var _ API = (*Client)(nil)
 
 // NewClient wraps a transport.
-func NewClient(rw io.ReadWriter) *Client { return &Client{rw: rw} }
+func NewClient(rw io.ReadWriter) *Client {
+	return &Client{rw: rw, sc: bus.NewScanner(rw)}
+}
 
-// call performs one round trip.
+// StatusError is a firmware rejection: the request arrived intact and
+// the controller answered with a non-OK protocol status.
+type StatusError struct {
+	Cmd    byte
+	Status byte
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	var what string
+	switch e.Status {
+	case StatusBadArgs:
+		what = "bad arguments"
+	case StatusBadIndex:
+		what = "bad battery index"
+	case StatusInternal:
+		what = "internal controller error"
+	case StatusBadCmd:
+		what = "unknown command"
+	default:
+		what = fmt.Sprintf("status %#02x", e.Status)
+	}
+	return fmt.Sprintf("pmic: command %#02x rejected: %s", e.Cmd, what)
+}
+
+// Retryable reports whether re-sending the identical request could
+// succeed. A transient controller-side failure can; a rejection of the
+// request's content (bad arguments, bad index, unknown command) cannot
+// — those fail fast however many retries are configured.
+func (e *StatusError) Retryable() bool { return e.Status == StatusInternal }
+
+func statusToError(cmd byte, status byte) error {
+	return &StatusError{Cmd: cmd, Status: status}
+}
+
+// ErrStaleFlood reports an attempt drowned by mismatched response
+// frames (more than MaxStale in a row). Retryable: the flood usually
+// comes from responses to earlier timed-out requests draining through.
+var ErrStaleFlood = errors.New("pmic: too many mismatched responses")
+
+// call performs one request/response exchange, retrying retryable
+// failures per the client's Retries/Backoff/Dial configuration.
 func (c *Client) call(cmd byte, payload []byte) (*bus.Reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	attempts := 1 + c.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.Backoff
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		r, err := c.attempt(cmd, payload)
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+		var se *StatusError
+		if errors.As(err, &se) && !se.Retryable() {
+			return nil, err
+		}
+		if connDead(err) {
+			if c.Dial == nil {
+				return nil, err
+			}
+			rw, derr := c.Dial()
+			if derr != nil {
+				lastErr = fmt.Errorf("pmic: client redial: %w", derr)
+				continue
+			}
+			c.rw = rw
+			c.sc = bus.NewScanner(rw)
+		}
+	}
+	if attempts == 1 {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("pmic: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// connDead reports transport failures a retry over the same connection
+// cannot recover from — only a redial can.
+func connDead(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// attempt performs one round trip.
+func (c *Client) attempt(cmd byte, payload []byte) (*bus.Reader, error) {
 	if c.Timeout > 0 {
 		if d, ok := c.rw.(deadliner); ok {
 			if err := d.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
@@ -51,13 +174,23 @@ func (c *Client) call(cmd byte, payload []byte) (*bus.Reader, error) {
 			}
 		}
 	}
+	// The sequence number wraps 255 -> 1, explicitly skipping 0: a zero
+	// sequence never goes on the wire, so a zero-filled noise burst that
+	// happens to frame-decode can never match a pending call.
 	c.seq++
+	if c.seq == 0 {
+		c.seq = 1
+	}
 	seq := c.seq
 	if err := bus.WriteFrame(c.rw, bus.Frame{Cmd: cmd, Seq: seq, Payload: payload}); err != nil {
 		return nil, fmt.Errorf("pmic: client write: %w", err)
 	}
-	for {
-		resp, err := bus.ReadFrame(c.rw)
+	maxStale := c.MaxStale
+	if maxStale <= 0 {
+		maxStale = 64
+	}
+	for drained := 0; drained <= maxStale; drained++ {
+		resp, err := c.sc.ReadFrame()
 		if err != nil {
 			return nil, fmt.Errorf("pmic: client read: %w", err)
 		}
@@ -70,23 +203,7 @@ func (c *Client) call(cmd byte, payload []byte) (*bus.Reader, error) {
 		}
 		return r, nil
 	}
-}
-
-func statusToError(cmd byte, status byte) error {
-	var what string
-	switch status {
-	case StatusBadArgs:
-		what = "bad arguments"
-	case StatusBadIndex:
-		what = "bad battery index"
-	case StatusInternal:
-		what = "internal controller error"
-	case StatusBadCmd:
-		what = "unknown command"
-	default:
-		what = fmt.Sprintf("status %#02x", status)
-	}
-	return fmt.Errorf("pmic: command %#02x rejected: %s", cmd, what)
+	return nil, ErrStaleFlood
 }
 
 // Ping implements API.

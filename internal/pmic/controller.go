@@ -55,6 +55,10 @@ type BatteryStatus struct {
 	EnergyRemainingJ float64
 	TemperatureC     float64
 	Bendable         bool
+	// Faulted marks a cell the firmware has isolated (open circuit or
+	// protection trip). Policies above must not route power through it;
+	// the runtime masks faulted cells out of ratio vectors.
+	Faulted bool
 }
 
 // API is the operation set the SDB Runtime needs from the controller.
@@ -140,6 +144,13 @@ type Config struct {
 	// return. Ground truth remains the default so experiments stay
 	// reproducible independent of gauge error.
 	ReportGaugeState bool
+	// WatchdogS arms the command watchdog: if no ratio command arrives
+	// for this many simulated seconds the firmware reverts both ratio
+	// registers to the uniform safe split. The firmware — not the OS —
+	// is the safety backstop for charge/discharge ratios, so a runtime
+	// that goes silent (crashed, link down) must not leave the pack
+	// running stale ratios forever. Zero disables the watchdog.
+	WatchdogS float64
 }
 
 // DefaultConfig returns a controller configuration with the calibrated
@@ -176,6 +187,16 @@ type Controller struct {
 	profileByIdx []circuit.ChargeProfile
 	xfer         *transfer
 	reportGauge  bool
+
+	// open marks cells isolated by an open-circuit fault: excluded from
+	// discharge splits, charging, and transfers until cleared.
+	open []bool
+
+	// Watchdog state: simulated seconds since the last ratio command,
+	// advanced by Step, reset by Charge/Discharge.
+	watchdogS     float64
+	sinceCmdS     float64
+	watchdogFires int64
 
 	// Step scratch, sized to the pack once at construction so
 	// steady-state stepping performs zero heap allocations. stepW and
@@ -221,6 +242,8 @@ func NewController(cfg Config) (*Controller, error) {
 		profileSel:      make([]string, n),
 		profileByIdx:    make([]circuit.ChargeProfile, n),
 		reportGauge:     cfg.ReportGaugeState,
+		open:            make([]bool, n),
+		watchdogS:       cfg.WatchdogS,
 		stepW:           make([]float64, n),
 		stepA:           make([]float64, n),
 		caps:            make([]float64, n),
@@ -265,6 +288,7 @@ func (c *Controller) Discharge(ratios []float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	copy(c.dischargeRatios, ratios)
+	c.sinceCmdS = 0
 	return nil
 }
 
@@ -276,6 +300,7 @@ func (c *Controller) Charge(ratios []float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	copy(c.chargeRatios, ratios)
+	c.sinceCmdS = 0
 	return nil
 }
 
@@ -286,12 +311,16 @@ func (c *Controller) checkRatios(ratios []float64) error {
 	return circuit.ValidateRatios(ratios)
 }
 
+// ErrBadIndex marks battery-index range errors; the protocol layer
+// maps it to StatusBadIndex so remote callers can classify rejections.
+var ErrBadIndex = errors.New("pmic: battery index out of range")
+
 // ChargeOneFromAnother implements API.
 func (c *Controller) ChargeOneFromAnother(x, y int, w, t float64) error {
 	n := c.pack.N()
 	switch {
 	case x < 0 || x >= n || y < 0 || y >= n:
-		return fmt.Errorf("pmic: battery index out of range (x=%d y=%d n=%d)", x, y, n)
+		return fmt.Errorf("%w (x=%d y=%d n=%d)", ErrBadIndex, x, y, n)
 	case x == y:
 		return errors.New("pmic: cannot charge a battery from itself")
 	case w <= 0:
@@ -319,10 +348,76 @@ func (c *Controller) TransferActive() bool {
 	return c.xfer != nil
 }
 
+// SetCellOpen marks a cell open-circuit (or clears the fault). An open
+// cell is isolated: it receives no share of the discharge split, no
+// charging current, and aborts any transfer touching it; its status
+// reports Faulted with zero power capability. This is the firmware
+// hook the fault-injection layer and cell-protection logic drive.
+func (c *Controller) SetCellOpen(i int, open bool) error {
+	if i < 0 || i >= c.pack.N() {
+		return fmt.Errorf("%w (%d of %d)", ErrBadIndex, i, c.pack.N())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.open[i] = open
+	return nil
+}
+
+// CellOpen reports whether cell i is isolated by an open-circuit fault.
+func (c *Controller) CellOpen(i int) bool {
+	if i < 0 || i >= c.pack.N() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.open[i]
+}
+
+// InjectCapacityFade applies a sudden capacity loss to cell i: it keeps
+// retain of its current capacity. Entry point for the fault-injection
+// layer; takes the firmware lock so it cannot race Step or status reads.
+func (c *Controller) InjectCapacityFade(i int, retain float64) error {
+	if i < 0 || i >= c.pack.N() {
+		return fmt.Errorf("%w (%d of %d)", ErrBadIndex, i, c.pack.N())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells[i].InjectCapacityFade(retain)
+	return nil
+}
+
+// InjectGaugeDrift shifts cell i's fuel-gauge SoC estimate by bias.
+// Entry point for the fault-injection layer.
+func (c *Controller) InjectGaugeDrift(i int, bias float64) error {
+	if i < 0 || i >= c.pack.N() {
+		return fmt.Errorf("%w (%d of %d)", ErrBadIndex, i, c.pack.N())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gauges[i].InjectDrift(bias)
+	return nil
+}
+
+// SetWatchdog rearms (or, with 0, disarms) the command watchdog.
+func (c *Controller) SetWatchdog(seconds float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.watchdogS = seconds
+	c.sinceCmdS = 0
+}
+
+// WatchdogFires reports how many times the command watchdog reverted
+// the ratio registers to the uniform safe split.
+func (c *Controller) WatchdogFires() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.watchdogFires
+}
+
 // SetChargeProfile implements API.
 func (c *Controller) SetChargeProfile(batt int, profile string) error {
 	if batt < 0 || batt >= c.pack.N() {
-		return fmt.Errorf("pmic: battery index %d out of range", batt)
+		return fmt.Errorf("%w (%d of %d)", ErrBadIndex, batt, c.pack.N())
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -383,6 +478,14 @@ func (c *Controller) QueryBatteryStatus() ([]BatteryStatus, error) {
 			EnergyRemainingJ: s.EnergyRemainingJ,
 			TemperatureC:     s.TemperatureC,
 			Bendable:         s.Bendable,
+			Faulted:          c.open[i],
+		}
+		if c.open[i] {
+			// An isolated cell can source and sink nothing, whatever
+			// charge it still holds.
+			out[i].MaxDischargeW = 0
+			out[i].MaxChargeW = 0
+			out[i].MaxChargeA = 0
 		}
 	}
 	return out, nil
@@ -410,6 +513,22 @@ func (c *Controller) Step(loadW, externalW, dt float64) (StepReport, error) {
 	totalSteps.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+
+	// Command watchdog: a silent runtime must not leave the pack on
+	// stale ratios, so after WatchdogS seconds without a ratio command
+	// the firmware falls back to the uniform safe split on its own.
+	if c.watchdogS > 0 {
+		c.sinceCmdS += dt
+		if c.sinceCmdS >= c.watchdogS {
+			n := len(c.dischargeRatios)
+			for i := 0; i < n; i++ {
+				c.dischargeRatios[i] = 1 / float64(n)
+				c.chargeRatios[i] = 1 / float64(n)
+			}
+			c.watchdogFires++
+			c.sinceCmdS = 0
+		}
+	}
 
 	clear(c.stepW)
 	clear(c.stepA)
@@ -459,6 +578,12 @@ func (c *Controller) stepDischarging(loadW, dt float64, rep *StepReport) {
 	caps := c.caps
 	for i := 0; i < n; i++ {
 		cell := cells[i]
+		if c.open[i] {
+			// Open-circuit cell: zero capability, so the redistribution
+			// rounds below shift its entire share to the survivors.
+			caps[i] = 0
+			continue
+		}
 		caps[i] = cell.MaxDischargePower()
 		// A nearly-empty cell may report a healthy instantaneous
 		// capability yet hold too little energy to sustain it through
@@ -498,6 +623,12 @@ func (c *Controller) stepDischarging(loadW, dt float64, rep *StepReport) {
 
 	var realized float64
 	for i := 0; i < n; i++ {
+		if c.open[i] {
+			// No current path through an isolated cell; it only relaxes.
+			res := cells[i].StepCurrent(0, dt)
+			rep.PerCellA[i] += res.Current
+			continue
+		}
 		res := cells[i].StepPower(perCell[i], dt)
 		rep.PerCellW[i] += res.PowerW
 		rep.PerCellA[i] += res.Current
@@ -533,6 +664,12 @@ func (c *Controller) stepCharging(loadW, externalW, dt float64, rep *StepReport)
 
 	for i := 0; i < n; i++ {
 		cell := cells[i]
+		if c.open[i] {
+			// Isolated: no charge path either; the cell only relaxes.
+			res := cell.StepCurrent(0, dt)
+			rep.PerCellA[i] += res.Current
+			continue
+		}
 		budget := c.chargeRatios[i] * avail
 		if budget <= 0 || cell.Full() {
 			res := cell.StepCurrent(0, dt)
@@ -586,7 +723,7 @@ func (c *Controller) stepTransfer(dt float64, rep *StepReport) {
 	x := c.xfer
 	src := c.cells[x.from]
 	dst := c.cells[x.to]
-	if src.Empty() || dst.Full() || x.remaining <= 0 {
+	if c.open[x.from] || c.open[x.to] || src.Empty() || dst.Full() || x.remaining <= 0 {
 		c.xfer = nil
 		rep.Faults |= FaultTransferAborted
 		return

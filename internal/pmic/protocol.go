@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 
 	"sdb/internal/bus"
 )
@@ -33,25 +34,30 @@ const (
 
 // statusErr converts a controller error into a protocol status code.
 func statusErr(err error) byte {
-	if err == nil {
+	switch {
+	case err == nil:
 		return StatusOK
+	case errors.Is(err, ErrBadIndex):
+		return StatusBadIndex
+	default:
+		return StatusBadArgs
 	}
-	return StatusBadArgs
 }
 
 // Serve runs the firmware's command loop on one connection, reading
 // request frames and writing responses until the transport closes. A
 // real microcontroller runs exactly this loop on its serial interrupt;
-// like real firmware it survives line noise — corrupted frames are
-// dropped and the receiver resynchronizes on the next start byte.
+// like real firmware it survives line noise — the resynchronizing
+// scanner drops corrupted bytes and re-locks on the next frame, so a
+// noisy link degrades throughput, never the session.
 func (c *Controller) Serve(rw io.ReadWriter) error {
+	sc := bus.NewScanner(rw)
 	for {
-		req, err := bus.ReadFrame(rw)
+		req, err := sc.ReadFrame()
 		switch {
 		case err == nil:
-		case errors.Is(err, bus.ErrBadCRC), errors.Is(err, bus.ErrBadVersion), errors.Is(err, bus.ErrTooLarge):
-			continue // line noise: drop and resync
-		case errors.Is(err, io.EOF), errors.Is(err, io.ErrClosedPipe):
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+			errors.Is(err, io.ErrClosedPipe), errors.Is(err, net.ErrClosed):
 			return nil
 		default:
 			return fmt.Errorf("pmic: serve: %w", err)
@@ -150,11 +156,14 @@ func encodeStatus(w *bus.Writer, s BatteryStatus) {
 	w.F64(s.DCIR).F64(s.DCIRSlope)
 	w.F64(s.MaxDischargeW).F64(s.MaxChargeW).F64(s.MaxChargeA)
 	w.F64(s.EnergyRemainingJ).F64(s.TemperatureC)
+	var flags byte
 	if s.Bendable {
-		w.U8(1)
-	} else {
-		w.U8(0)
+		flags |= 1
 	}
+	if s.Faulted {
+		flags |= 2
+	}
+	w.U8(flags)
 }
 
 // decodeStatus unmarshals one BatteryStatus record.
@@ -178,6 +187,8 @@ func decodeStatus(r *bus.Reader) BatteryStatus {
 	s.MaxChargeA = r.F64()
 	s.EnergyRemainingJ = r.F64()
 	s.TemperatureC = r.F64()
-	s.Bendable = r.U8() == 1
+	flags := r.U8()
+	s.Bendable = flags&1 != 0
+	s.Faulted = flags&2 != 0
 	return s
 }
