@@ -10,7 +10,9 @@
 # The bench smoke lane executes every benchmark once (-short skips the
 # slow registry experiments) so the perf harness — including the
 # zero-allocation Step contract exercised by its tests — cannot
-# silently rot.
+# silently rot. The coverage lane ratchets per-package statement
+# coverage against the floors committed in COVERAGE.ratchet: a change
+# that drops an enforced package below its floor fails CI.
 set -eux
 
 go build ./...
@@ -19,3 +21,30 @@ go test ./...
 go test -race ./...
 go test -race -short -run 'Chaos' -v ./internal/emulator/
 go test -short -run '^$' -bench . -benchtime=1x ./...
+
+go test -cover ./internal/... > cover.lane.txt
+cat cover.lane.txt
+awk '
+  NR == FNR {
+    if ($0 ~ /^#/ || NF == 0) next
+    floor[$1] = $2
+    next
+  }
+  /coverage:/ {
+    pkg = $2; sub(".*/", "", pkg)
+    cov = ""
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { cov = $i; sub("%", "", cov) }
+    seen[pkg] = 1
+    if (pkg in floor && cov + 0 < floor[pkg] + 0) {
+      printf "coverage ratchet: %s at %s%% is below its %s%% floor\n", pkg, cov, floor[pkg]
+      bad = 1
+    }
+  }
+  END {
+    for (p in floor) if (!(p in seen)) {
+      printf "coverage ratchet: enforced package %s missing from test output\n", p
+      bad = 1
+    }
+    exit bad
+  }' COVERAGE.ratchet cover.lane.txt
+rm -f cover.lane.txt

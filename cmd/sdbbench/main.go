@@ -19,6 +19,13 @@
 //	sdbbench -memprofile mem.pb.gz          # heap profile at exit
 //	sdbbench -benchjson BENCH.json          # per-experiment wall/steps/allocs, serial
 //	sdbbench -benchjson BENCH.json -baseline OLD.json  # adds speedup-vs-baseline fields
+//	sdbbench -fast -metrics METRICS.txt     # dump aggregated run metrics at exit
+//	sdbbench -fast -trace -                 # dump trace events to stdout at exit
+//
+// -metrics and -trace enable the observability plane (every stack the
+// experiments build reports into one process-wide registry) and dump
+// it at exit; without them runs are uninstrumented and byte-identical
+// to prior releases.
 //
 // Experiments execute on a bounded worker pool; progress lines go to
 // stderr as jobs start and finish, and the tables print to stdout in
@@ -36,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"sdb/internal/obs"
 	"sdb/internal/sim"
 )
 
@@ -60,8 +68,19 @@ func run() int {
 		benchjson  = flag.String("benchjson", "", "benchmark every experiment serially and write per-experiment JSON (wall ms, steps, ns/step, allocs/step) to this file")
 		baseline   = flag.String("baseline", "", "prior -benchjson file to compare against (adds baseline_wall_ms and speedup fields)")
 		benchreps  = flag.Int("benchreps", 3, "repetitions per experiment in -benchjson mode (best rep is reported)")
+		metricsOut = flag.String("metrics", "", `write aggregated run metrics (text exposition) to this file at exit ("-" = stdout)`)
+		traceOut   = flag.String("trace", "", `write collected trace events to this file at exit ("-" = stdout)`)
 	)
 	flag.Parse()
+
+	// Observability is opt-in: installing the process registry is what
+	// turns instrumentation on in every stack the experiments build.
+	// The dump runs deferred so every mode (-benchjson, -compare, the
+	// default batch) reports on its way out.
+	if *metricsOut != "" || *traceOut != "" {
+		obs.SetDefault(obs.NewRegistry())
+		defer dumpObs(*metricsOut, *traceOut)
+	}
 
 	if *list {
 		for _, e := range sim.All() {
@@ -172,6 +191,34 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// dumpObs writes the process registry and trace ring at exit.
+func dumpObs(metricsPath, tracePath string) {
+	reg := obs.Default()
+	if reg == nil {
+		return
+	}
+	write := func(path, text string) {
+		if path == "-" {
+			fmt.Print(text)
+			return
+		}
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: %v\n", err)
+		}
+	}
+	if metricsPath != "" {
+		write(metricsPath, reg.Text())
+	}
+	if tracePath != "" {
+		var sb strings.Builder
+		for _, ev := range reg.Tracer().Events() {
+			sb.WriteString(ev.String())
+			sb.WriteByte('\n')
+		}
+		write(tracePath, sb.String())
+	}
 }
 
 // runCompare times the fast experiment subset serially and with the

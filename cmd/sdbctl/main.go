@@ -13,6 +13,9 @@
 //	sdbctl -addr localhost:7070 profile 0 fast
 //	sdbctl -addr localhost:7070 ping
 //	sdbctl -addr localhost:7070 -retries 3 -timeout 500ms health
+//	sdbctl -addr localhost:7070 metrics
+//	sdbctl -addr localhost:7070 -raw metrics
+//	sdbctl -addr localhost:7070 trace
 //
 // The -timeout, -retries, and -backoff flags configure the resilient
 // bus client: each call retries retryable failures (lost or corrupted
@@ -32,6 +35,7 @@ import (
 	"time"
 
 	"sdb"
+	"sdb/internal/obs"
 	"sdb/internal/pmic"
 )
 
@@ -44,10 +48,11 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-attempt round-trip timeout")
 	retries := flag.Int("retries", 2, "retry attempts after a retryable failure")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
+	raw := flag.Bool("raw", false, "metrics: print the exposition text verbatim instead of the aligned table")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fatalf("missing command (ping|status|ratios|discharge|charge|transfer|profile|health)")
+		fatalf("missing command (ping|status|ratios|discharge|charge|transfer|profile|health|metrics|trace)")
 	}
 
 	dial := func() (io.ReadWriter, error) {
@@ -117,6 +122,18 @@ func main() {
 		fmt.Println("ok")
 	case "health":
 		health(cl)
+	case "metrics":
+		metrics(cl, *raw)
+	case "trace":
+		events, err := cl.TraceEvents()
+		must(err)
+		if len(events) == 0 {
+			fmt.Println("trace ring empty")
+			return
+		}
+		for _, ev := range events {
+			fmt.Println(ev.String())
+		}
 	default:
 		fatalf("unknown command %q", args[0])
 	}
@@ -171,6 +188,38 @@ func health(cl *pmic.Client) {
 	fmt.Printf("pack:  %.1f kJ remaining\n", energy/1000)
 }
 
+// metrics scrapes the controller's registry and prints it. The wire
+// text always runs through obs.ParseText — even in -raw mode — so a
+// corrupted or truncated-mid-line response is reported, not echoed.
+func metrics(cl *pmic.Client, raw bool) {
+	text, err := cl.Metrics()
+	must(err)
+	if text == "" {
+		fmt.Println("no metrics: controller is uninstrumented")
+		return
+	}
+	fams, err := obs.ParseText(text)
+	if err != nil {
+		fatalf("metrics: malformed exposition: %v", err)
+	}
+	if raw {
+		fmt.Print(text)
+		return
+	}
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			name := f.Name
+			switch {
+			case s.Label == "sum" || s.Label == "count":
+				name += "_" + s.Label
+			case s.Label != "":
+				name += "{" + s.Label + "}"
+			}
+			fmt.Printf("%-55s %g\n", name, s.Value)
+		}
+	}
+}
+
 // serve hosts a demo controller: a system under a constant load whose
 // firmware answers the protocol on a TCP listener, stepping simulated
 // time at wall-clock rate scaled by -speed.
@@ -184,6 +233,12 @@ func serve(argv []string) {
 	if err := fs.Parse(argv); err != nil {
 		os.Exit(2)
 	}
+
+	// Install the process registry before building the stack so every
+	// layer's constructor binds its metrics to it; `sdbctl metrics`
+	// against this server then sees firmware, runtime, and policy
+	// observables.
+	obs.SetDefault(obs.NewRegistry())
 
 	sys, err := sdb.NewSystem(sdb.SystemConfig{Cells: strings.Split(*cells, ",")})
 	if err != nil {
@@ -202,10 +257,19 @@ func serve(argv []string) {
 	go func() {
 		tick := time.NewTicker(time.Second)
 		defer tick.Stop()
+		var simT float64
 		for range tick.C {
+			// Policy tick first, as the emulator orders it: the runtime
+			// recomputes and pushes ratios, then the firmware enforces
+			// them for the next simulated interval.
+			sys.Runtime.NoteTime(simT)
+			if _, err := sys.Runtime.Update(*loadW, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "sdbctl: policy update: %v\n", err)
+			}
 			if _, err := sys.Controller.Step(*loadW, 0, *speed); err != nil {
 				fmt.Fprintf(os.Stderr, "sdbctl: step: %v\n", err)
 			}
+			simT += *speed
 		}
 	}()
 	for {

@@ -6,9 +6,16 @@
 //
 //	sdbsim -cells QuickCharge-2000,EnergyMax-4000 -load 3 -hours 2
 //	sdbsim -cells Watch-200,BendStrap-200 -policy reserve -reserve 0 -trace day.csv
+//	sdbsim -load 3 -hours 2 -metrics - -tracelog -
 //	sdbsim -list-cells
 //
 // Policies: blended (default), rbl, ccb, reserve, proportional.
+//
+// -metrics and -tracelog enable the observability plane for the run
+// and dump the collected registry (text exposition format), trace
+// events, and policy-audit records at exit ("-" writes to stdout).
+// Without them the run is uninstrumented and byte-identical to prior
+// releases.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"sdb"
 	"sdb/internal/acpi"
 	"sdb/internal/core"
+	"sdb/internal/obs"
 	"sdb/internal/workload"
 )
 
@@ -33,10 +41,18 @@ func main() {
 		hours     = flag.Float64("hours", 2.0, "duration in hours (ignored with -trace)")
 		tracePath = flag.String("trace", "", "CSV trace file to drive the run")
 		directive = flag.Float64("directive", 0.5, "charging/discharging directive in [0,1]")
-		stop      = flag.Bool("stop-when-drained", false, "end the run at the first brownout")
-		listCells = flag.Bool("list-cells", false, "list library cells and exit")
+		stop       = flag.Bool("stop-when-drained", false, "end the run at the first brownout")
+		listCells  = flag.Bool("list-cells", false, "list library cells and exit")
+		metricsOut = flag.String("metrics", "", `write run metrics (text exposition) to this file at exit ("-" = stdout)`)
+		traceOut   = flag.String("tracelog", "", `write trace events and policy-audit records to this file at exit ("-" = stdout)`)
 	)
 	flag.Parse()
+
+	// Observability is opt-in: installing the process registry is what
+	// turns instrumentation on for every layer built below.
+	if *metricsOut != "" || *traceOut != "" {
+		obs.SetDefault(obs.NewRegistry())
+	}
 
 	if *listCells {
 		fmt.Printf("%-18s %-10s %9s %9s %8s\n", "name", "chemistry", "mAh", "Wh/l", "ohm@70%")
@@ -129,6 +145,43 @@ func main() {
 	}
 	fmt.Printf("\nACPI view: %s, %.1f%%, %.3f V, time to empty %s at the mean load\n",
 		vb.State, vb.Percentage, vb.VoltageV, acpi.HoursMinutes(vb.TimeToEmptyS))
+
+	dumpObs(*metricsOut, *traceOut)
+}
+
+// dumpObs writes the collected observability data at exit: the
+// registry in the text exposition format, then the trace ring and
+// policy-audit records one line each.
+func dumpObs(metricsPath, tracePath string) {
+	reg := obs.Default()
+	if reg == nil {
+		return
+	}
+	if metricsPath != "" {
+		writeOut(metricsPath, reg.Text())
+	}
+	if tracePath != "" {
+		var sb strings.Builder
+		for _, ev := range reg.Tracer().Events() {
+			sb.WriteString(ev.String())
+			sb.WriteByte('\n')
+		}
+		for _, rec := range reg.Audit().Records() {
+			sb.WriteString(rec.String())
+			sb.WriteByte('\n')
+		}
+		writeOut(tracePath, sb.String())
+	}
+}
+
+func writeOut(path, text string) {
+	if path == "-" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

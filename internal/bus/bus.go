@@ -154,6 +154,12 @@ func (w *Writer) U16(v uint16) *Writer {
 	return w
 }
 
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) *Writer {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+	return w
+}
+
 // F64 appends a big-endian IEEE-754 float64.
 func (w *Writer) F64(v float64) *Writer {
 	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
@@ -213,6 +219,15 @@ func (r *Reader) U16() uint16 {
 		return 0
 	}
 	return binary.BigEndian.Uint16(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
 }
 
 // F64 reads a big-endian float64.

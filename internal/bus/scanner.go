@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+
+	"sdb/internal/obs"
 )
 
 // Scanner is a resynchronizing frame reader. ReadFrame hard-fails on
@@ -23,6 +25,21 @@ import (
 // the caller.
 type Scanner struct {
 	br *bufio.Reader
+
+	// Optional resync observables (nil counters are no-ops): junk
+	// counts bytes discarded while hunting for a start-of-frame,
+	// rejects counts SOF candidates that failed validation (bad
+	// version, oversized length, CRC mismatch).
+	junk    *obs.Counter
+	rejects *obs.Counter
+}
+
+// Instrument attaches resync counters. Either may be nil; a nil
+// counter increments as a no-op, so an uninstrumented scanner pays one
+// predictable branch per discarded byte and nothing on the frame path.
+func (s *Scanner) Instrument(junkBytes, rejectedCandidates *obs.Counter) {
+	s.junk = junkBytes
+	s.rejects = rejectedCandidates
 }
 
 // NewScanner wraps a stream. The internal buffer is sized to hold one
@@ -41,6 +58,7 @@ func (s *Scanner) ReadFrame() (Frame, error) {
 			return Frame{}, err
 		}
 		if b != SOF {
+			s.junk.Inc()
 			continue
 		}
 		// Candidate frame: peek the remainder without consuming it, so
@@ -50,10 +68,12 @@ func (s *Scanner) ReadFrame() (Frame, error) {
 			return Frame{}, err
 		}
 		if body == nil || body[0] != Version {
+			s.rejects.Inc()
 			continue
 		}
 		n := int(binary.BigEndian.Uint16(body[3:5]))
 		if n > MaxPayload {
+			s.rejects.Inc()
 			continue
 		}
 		full, err := s.peek(headerLen - 1 + n + crcLen)
@@ -61,10 +81,12 @@ func (s *Scanner) ReadFrame() (Frame, error) {
 			return Frame{}, err
 		}
 		if full == nil {
+			s.rejects.Inc()
 			continue
 		}
 		body = full[: headerLen-1+n : headerLen-1+n]
 		if CRC16(body) != binary.BigEndian.Uint16(full[headerLen-1+n:]) {
+			s.rejects.Inc()
 			continue
 		}
 		f := Frame{

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sdb/internal/obs"
 	"sdb/internal/pmic"
 )
 
@@ -110,6 +111,12 @@ func (r *Runtime) transitionLocked(to Health, reason string) {
 		Reason:   reason,
 		Failures: r.consecFails,
 	}
+	r.om.transitions.Inc()
+	r.om.healthState.Set(float64(to))
+	r.om.tracer.Emit(obs.Event{
+		TimeS: r.simTimeS, Scope: "core", Kind: "health-transition",
+		Cell: -1, V1: float64(r.health), V2: float64(to), Detail: reason,
+	})
 	r.health = to
 	if len(r.healthLog) == r.logCap {
 		copy(r.healthLog, r.healthLog[1:])

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"sdb/internal/obs"
 	"sdb/internal/pmic"
 )
 
@@ -77,6 +78,12 @@ type Options struct {
 	FailAfter     int
 	// HealthLogSize bounds the health-transition event log (default 64).
 	HealthLogSize int
+
+	// Obs attaches a measurement plane: policy-decision counters, the
+	// health gauge, and the structured policy-audit log. Nil falls back
+	// to the process default registry; a nil default leaves the runtime
+	// uninstrumented (every operation a nil-receiver no-op).
+	Obs *obs.Registry
 }
 
 // Runtime is the SDB Runtime of Figure 5: it encapsulates the SDB
@@ -109,6 +116,37 @@ type Runtime struct {
 	healthLog    []HealthEvent
 	logCap       int
 	eventSeq     int64
+
+	// Measurement plane (nil metrics are no-ops). simTimeS is the
+	// caller-provided simulation clock (NoteTime) stamped onto audit
+	// records and trace events.
+	om       coreMetrics
+	simTimeS float64
+}
+
+// coreMetrics bundles the runtime's observables.
+type coreMetrics struct {
+	reg         *obs.Registry
+	tracer      *obs.Tracer
+	audit       *obs.AuditLog
+	decisions   *obs.Counter
+	policyErrs  *obs.Counter
+	transitions *obs.Counter
+	maskedCells *obs.Counter
+	healthState *obs.Gauge
+}
+
+func newCoreMetrics(reg *obs.Registry) coreMetrics {
+	return coreMetrics{
+		reg:         reg,
+		tracer:      reg.Tracer(),
+		audit:       reg.Audit(),
+		decisions:   reg.Counter("sdb_core_policy_decisions_total"),
+		policyErrs:  reg.Counter("sdb_core_policy_errors_total"),
+		transitions: reg.Counter("sdb_core_health_transitions_total"),
+		maskedCells: reg.Counter("sdb_core_masked_cells_total"),
+		healthState: reg.Gauge("sdb_core_health_state"),
+	}
 }
 
 // NewRuntime connects a runtime to a controller (in-process or over
@@ -136,7 +174,9 @@ func NewRuntime(api pmic.API, opts Options) (*Runtime, error) {
 		safeAfter:    defaultInt(opts.SafeModeAfter, 5),
 		failAfter:    defaultInt(opts.FailAfter, 25),
 		logCap:       defaultInt(opts.HealthLogSize, 64),
+		om:           newCoreMetrics(opts.Obs.Or(obs.Default())),
 	}
+	r.om.healthState.Set(float64(Healthy))
 	// Defaulted thresholds bend to explicit ones (FailAfter: 3 alone
 	// must not collide with the default SafeModeAfter of 5); explicit
 	// contradictions are configuration bugs.
@@ -288,11 +328,19 @@ func (r *Runtime) tryUpdate(loadW, chargeW float64) (UpdateResult, error) {
 
 	dis, err := disPolicy.DischargeRatios(sts, loadW)
 	if err != nil {
+		r.om.policyErrs.Inc()
 		return UpdateResult{}, fmt.Errorf("core: %s: %w", disPolicy.Name(), err)
 	}
 	chg, err := chgPolicy.ChargeRatios(sts, chargeW)
 	if err != nil {
+		r.om.policyErrs.Inc()
 		return UpdateResult{}, fmt.Errorf("core: %s: %w", chgPolicy.Name(), err)
+	}
+	masked := 0
+	for _, s := range sts {
+		if s.Faulted {
+			masked++
+		}
 	}
 	dis = MaskFaulted(dis, sts)
 	chg = MaskFaulted(chg, sts)
@@ -306,7 +354,41 @@ func (r *Runtime) tryUpdate(loadW, chargeW float64) (UpdateResult, error) {
 	r.lastDis = dis
 	r.lastChg = chg
 	r.mu.Unlock()
+	r.om.decisions.Inc()
+	r.om.maskedCells.Add(int64(masked))
+	if r.om.audit != nil {
+		// The audit record copies the ratio vectors and allocates, so
+		// it is built only when an audit log is live — the disabled
+		// path stays byte- and allocation-identical to uninstrumented
+		// builds.
+		r.mu.Lock()
+		rec := obs.AuditRecord{
+			TimeS:     r.simTimeS,
+			LoadW:     loadW,
+			ChargeW:   chargeW,
+			DisPolicy: disPolicy.Name(),
+			ChgPolicy: chgPolicy.Name(),
+			ChgDir:    r.chgDir,
+			DisDir:    r.disDir,
+			MeanSoC:   ComputeMetrics(sts).MeanSoC,
+			Health:    r.health.String(),
+			Masked:    masked,
+			Dis:       append([]float64(nil), dis...),
+			Chg:       append([]float64(nil), chg...),
+		}
+		r.mu.Unlock()
+		r.om.audit.Add(rec)
+	}
 	return UpdateResult{Discharge: dis, Charge: chg, Status: sts}, nil
+}
+
+// NoteTime tells the runtime the current simulation time so audit
+// records and trace events carry meaningful timestamps. The emulator
+// calls it before each policy tick; a live system may feed wall time.
+func (r *Runtime) NoteTime(t float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.simTimeS = t
 }
 
 // pushBestEffort pushes ratio vectors ignoring failures — degraded

@@ -10,10 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"sdb/internal/battery"
 	"sdb/internal/core"
 	"sdb/internal/faults"
+	"sdb/internal/obs"
 	"sdb/internal/pmic"
 	"sdb/internal/workload"
 )
@@ -43,6 +45,11 @@ type Config struct {
 	// circuit, capacity fade, gauge drift) into the controller as
 	// simulated time passes. Nil leaves the run untouched.
 	Faults *faults.Schedule
+	// Obs attaches a measurement plane: step-timing histogram, policy
+	// tick counter, and the energy-conservation residual gauge. Nil
+	// falls back to the process default registry; a nil default leaves
+	// the run uninstrumented and byte-identical to earlier releases.
+	Obs *obs.Registry
 }
 
 // Series holds the recorded waveforms.
@@ -114,6 +121,21 @@ func Run(cfg Config) (*Result, error) {
 	steps := cfg.Trace.Len()
 	cells := cfg.Controller.Pack().Cells()
 	n := len(cells)
+
+	// Measurement plane. Everything below is nil-safe, but the wall
+	// clock and the energy audit are guarded on reg so an
+	// uninstrumented run performs no timing syscalls and no extra
+	// energy sums — byte- and work-identical to earlier releases.
+	reg := cfg.Obs.Or(obs.Default())
+	stepHist := reg.Histogram("sdb_emulator_step_seconds",
+		[]float64{1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 1e-3, 1e-2})
+	stepsCtr := reg.Counter("sdb_emulator_steps_total")
+	policyTicks := reg.Counter("sdb_emulator_policy_ticks_total")
+	residualG := reg.Gauge("sdb_emulator_energy_residual_joules")
+	var externalJ, startE float64
+	if reg != nil {
+		startE = packStoredJ(cells)
+	}
 	samples := steps/recordEvery + 1
 	res := &Result{
 		DrainedAtS:     -1,
@@ -150,14 +172,35 @@ func Run(cfg Config) (*Result, error) {
 			if cfg.DirectiveFn != nil {
 				cfg.DirectiveFn(t, cfg.Runtime)
 			}
+			cfg.Runtime.NoteTime(t)
+			policyTicks.Inc()
 			if _, err := cfg.Runtime.Update(loadW, extW); err != nil {
 				return nil, fmt.Errorf("emulator: policy update at t=%g: %w", t, err)
 			}
 		}
 
+		var t0 time.Time
+		if reg != nil {
+			t0 = time.Now()
+		}
 		rep, err := cfg.Controller.Step(loadW, extW, dt)
 		if err != nil {
 			return nil, fmt.Errorf("emulator: step at t=%g: %w", t, err)
+		}
+		if reg != nil {
+			stepHist.Observe(time.Since(t0).Seconds())
+			stepsCtr.Inc()
+			// External-supply energy audit: while plugged in with
+			// surplus, every joule reaching load, cells, or switching
+			// loss came from the supply; in makeup mode the supply
+			// contributes exactly its rating and the cells the rest.
+			if extW > 0 {
+				if extW >= loadW {
+					externalJ += (rep.DeliveredW + rep.ChargedW + rep.CircuitLossW) * dt
+				} else {
+					externalJ += extW * dt
+				}
+			}
 		}
 		res.Steps++
 
@@ -200,7 +243,31 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.FinalMetrics = core.ComputeMetrics(sts)
+	if reg != nil {
+		// First-law residual over the whole run: supply input plus the
+		// drop in stored energy must equal everything accounted for.
+		// A drifting residual flags an energy leak in the cell or
+		// circuit models long before a trend shows in the series.
+		residualG.Set(externalJ + startE - packStoredJ(cells) -
+			(res.DeliveredJ + res.CircuitLossJ + res.BatteryLossJ))
+		reg.Tracer().Emit(obs.Event{
+			TimeS: 0, Scope: "emulator", Kind: "run.span", Cell: -1,
+			V1: res.ElapsedS, V2: float64(res.Steps),
+		})
+	}
 	return res, nil
+}
+
+// packStoredJ sums the recoverable energy in the cells plus the energy
+// parked in their RC plate capacitances — the stored-energy term of
+// the emulator's first-law audit.
+func packStoredJ(cells []*battery.Cell) float64 {
+	var sum float64
+	for _, c := range cells {
+		v := c.RCVoltage()
+		sum += c.EnergyRemainingJ() + 0.5*c.Params().PlateC*v*v
+	}
+	return sum
 }
 
 // Stack bundles a freshly wired controller + runtime for scenario code.

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeFCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sdb_test_total")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if again := r.Counter("sdb_test_total"); again != c {
+		t.Error("Counter is not get-or-create")
+	}
+
+	g := r.Gauge("sdb_test_gauge")
+	g.Set(1.5)
+	g.Set(-2.25)
+	if got := g.Value(); got != -2.25 {
+		t.Errorf("gauge = %g, want -2.25", got)
+	}
+
+	f := r.FCounter("sdb_test_joules_total")
+	f.Add(0.1)
+	f.Add(0.2)
+	if got := f.Value(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("fcounter = %g, want 0.3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sdb_test_seconds", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.0605) > 1e-9 {
+		t.Errorf("sum = %g, want 5.0605", h.Sum())
+	}
+	want := []float64{1, 3, 4, 5} // cumulative per bucket incl. +Inf
+	samples := h.samples()
+	for i, w := range want {
+		if samples[i].Value != w {
+			t.Errorf("bucket %d = %g, want %g", i, samples[i].Value, w)
+		}
+	}
+	// Boundary value lands in its own bucket (le semantics).
+	h2 := r.Histogram("sdb_test_seconds2", []float64{1, 2})
+	h2.Observe(1)
+	if s := h2.samples(); s[0].Value != 1 {
+		t.Errorf("observation at bound: bucket le=1 = %g, want 1", s[0].Value)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing bounds did not panic")
+		}
+	}()
+	newHistogram([]float64{1, 1})
+}
+
+// TestNilSafety pins the byte-identical-off contract: every operation
+// on a nil registry and nil metrics is a no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	r.FCounter("x").Add(1.5)
+	r.Gauge("x").Set(2)
+	r.Histogram("x", []float64{1}).Observe(0.5)
+	r.Tracer().Emit(Event{Scope: "test"})
+	r.Audit().Add(AuditRecord{})
+	if r.Snapshot() != nil || r.Tracer().Events() != nil || r.Audit().Records() != nil {
+		t.Error("nil registry reads must return nil")
+	}
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 ||
+		r.FCounter("x").Value() != 0 || r.Histogram("x", nil).Count() != 0 {
+		t.Error("nil metric values must read 0")
+	}
+	if r.Text() != "" {
+		t.Error("nil registry exposition must be empty")
+	}
+	if r.Or(nil) != nil {
+		t.Error("nil.Or(nil) must be nil")
+	}
+	live := NewRegistry()
+	if r.Or(live) != live {
+		t.Error("nil.Or(live) must be live")
+	}
+	if live.Or(nil) != live {
+		t.Error("live.Or(nil) must be live")
+	}
+}
+
+// TestConcurrentWrites exercises every metric type from many
+// goroutines; run under -race this is the race-cleanliness gate.
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sdb_race_total")
+	f := r.FCounter("sdb_race_joules_total")
+	g := r.Gauge("sdb_race_gauge")
+	h := r.Histogram("sdb_race_seconds", []float64{0.5})
+	tr := r.Tracer()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				f.Add(1)
+				g.Set(float64(i))
+				h.Observe(float64(i % 2))
+				tr.Emit(Event{Scope: "race", Kind: "tick", Cell: -1})
+				if i%100 == 0 {
+					r.Snapshot() // readers race writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if f.Value() != workers*perWorker {
+		t.Errorf("fcounter = %g, want %d", f.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if tr.Len() != tr.Cap() {
+		t.Errorf("tracer holds %d, want full ring %d", tr.Len(), tr.Cap())
+	}
+	if got := tr.Dropped() + uint64(tr.Len()); got != workers*perWorker {
+		t.Errorf("dropped+live = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestTracerRingOrderAndDrops(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 1; i <= 5; i++ {
+		tr.Emit(Event{Scope: "t", Kind: "k", TimeS: float64(i), Cell: -1})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if evs[i].Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestSpanEmitsDuration(t *testing.T) {
+	tr := NewTracer(4)
+	end := tr.Span("emulator", "run", 10)
+	end(25)
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("want 1 event, got %d", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != "run.span" || ev.TimeS != 10 || ev.V1 != 15 {
+		t.Errorf("span event = %+v, want kind run.span start 10 dur 15", ev)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sdb_a_total").Inc()
+	snap := r.Snapshot()
+	snap[0].Samples[0].Value = 999
+	if got := r.Counter("sdb_a_total").Value(); got != 1 {
+		t.Errorf("mutating snapshot leaked into registry: %d", got)
+	}
+}
+
+func TestAuditLogRing(t *testing.T) {
+	l := NewAuditLog(2)
+	for i := 0; i < 3; i++ {
+		l.Add(AuditRecord{TimeS: float64(i)})
+	}
+	recs := l.Records()
+	if len(recs) != 2 || recs[0].Seq != 2 || recs[1].Seq != 3 {
+		t.Errorf("records = %+v, want seqs 2,3", recs)
+	}
+	if l.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", l.Dropped())
+	}
+}
+
+// TestEmitNoAllocs pins the zero-alloc-on contract for every hot-path
+// operation an instrumented layer performs per step.
+func TestEmitNoAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sdb_hot_total")
+	f := r.FCounter("sdb_hot_joules_total")
+	g := r.Gauge("sdb_hot_gauge")
+	h := r.Histogram("sdb_hot_seconds", []float64{1e-6, 1e-5, 1e-4, 1e-3})
+	tr := r.Tracer()
+	ev := Event{Scope: "pmic", Kind: "watchdog-fire", Cell: -1, V1: 1}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		f.Add(0.25)
+		g.Set(3)
+		h.Observe(2e-5)
+		tr.Emit(ev)
+	}); allocs != 0 {
+		t.Errorf("hot-path metric ops allocate %g objects/op, want 0", allocs)
+	}
+}
+
+func TestAuditRecordGolden(t *testing.T) {
+	rec := AuditRecord{
+		Seq: 3, TimeS: 180, LoadW: 2.5, ChargeW: 0,
+		DisPolicy: "blended", ChgPolicy: "blended",
+		ChgDir: 0.5, DisDir: 0.5, MeanSoC: 0.812,
+		Health: "healthy", Masked: 0,
+		Dis: []float64{0.7, 0.3}, Chg: []float64{0.5, 0.5},
+	}
+	const want = `#3 t=180.0s load=2.500W chg=0.000W dis=blended/0.50 chgp=blended/0.50 soc=81.2% health=healthy masked=0 disR=[0.700 0.300] chgR=[0.500 0.500]`
+	if got := rec.String(); got != want {
+		t.Errorf("audit record serialization drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Seq: 7, TimeS: 1.5, Scope: "pmic", Kind: "brownout", Cell: 1, V1: 3.25, Detail: "load=5W"}
+	const want = `#7 t=1.500s pmic/brownout cell=1 v1=3.25 v2=0 load=5W`
+	if got := ev.String(); got != want {
+		t.Errorf("event string drifted:\n got %q\nwant %q", got, want)
+	}
+	noCell := Event{Seq: 1, Scope: "core", Kind: "health-transition", Cell: -1}
+	if s := noCell.String(); strings.Contains(s, "cell=") {
+		t.Errorf("cell=-1 must omit the cell field: %q", s)
+	}
+}

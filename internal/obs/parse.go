@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses the exposition format WriteText emits and returns
+// the families in input order. It is the parser behind `sdbctl
+// metrics`, so it must survive arbitrary bytes off the wire: malformed
+// input returns an error, never a panic (FuzzExposition enforces
+// this).
+//
+// Validation rules:
+//   - every sample must follow a `# TYPE` line declaring its family;
+//   - sample names must match the declared family (exact for scalars;
+//     name_bucket{le="..."}, name_sum, name_count for histograms);
+//   - values must parse as floats;
+//   - histogram buckets must be cumulative (non-decreasing) and bucket
+//     bounds strictly increasing, ending at le="+Inf".
+func ParseText(text string) ([]Family, error) {
+	var fams []Family
+	var cur *Family
+	var lastBound float64
+	var lastCum float64
+	var sawInf bool
+
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if cur.Kind == KindHistogram && !sawInf {
+			return fmt.Errorf("obs: histogram %s missing le=\"+Inf\" bucket", cur.Name)
+		}
+		if len(cur.Samples) == 0 {
+			return fmt.Errorf("obs: family %s has no samples", cur.Name)
+		}
+		fams = append(fams, *cur)
+		cur = nil
+		return nil
+	}
+
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				kind := Kind(fields[3])
+				switch kind {
+				case KindCounter, KindGauge, KindHistogram:
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown metric kind %q", lineNo+1, fields[3])
+				}
+				if !validName(fields[2]) {
+					return nil, fmt.Errorf("obs: line %d: invalid metric name %q", lineNo+1, fields[2])
+				}
+				cur = &Family{Name: fields[2], Kind: kind}
+				lastBound, lastCum, sawInf = 0, 0, false
+			}
+			// Other comments are ignored (e.g. "# truncated").
+			continue
+		}
+		name, value, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo+1, err)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("obs: line %d: sample %q before any # TYPE line", lineNo+1, name)
+		}
+		switch cur.Kind {
+		case KindCounter, KindGauge:
+			if name != cur.Name {
+				return nil, fmt.Errorf("obs: line %d: sample %q does not match family %q", lineNo+1, name, cur.Name)
+			}
+			if len(cur.Samples) > 0 {
+				return nil, fmt.Errorf("obs: line %d: duplicate sample for %q", lineNo+1, cur.Name)
+			}
+			cur.Samples = append(cur.Samples, Sample{Value: value})
+		case KindHistogram:
+			switch {
+			case strings.HasPrefix(name, cur.Name+"_bucket{") && strings.HasSuffix(name, "}"):
+				label := name[len(cur.Name)+len("_bucket{") : len(name)-1]
+				boundStr, ok := strings.CutPrefix(label, `le="`)
+				if !ok || !strings.HasSuffix(boundStr, `"`) {
+					return nil, fmt.Errorf("obs: line %d: malformed bucket label %q", lineNo+1, label)
+				}
+				boundStr = strings.TrimSuffix(boundStr, `"`)
+				if sawInf {
+					return nil, fmt.Errorf("obs: line %d: bucket after le=\"+Inf\"", lineNo+1)
+				}
+				if boundStr == "+Inf" {
+					sawInf = true
+				} else {
+					bound, err := strconv.ParseFloat(boundStr, 64)
+					if err != nil {
+						return nil, fmt.Errorf("obs: line %d: bad bucket bound %q", lineNo+1, boundStr)
+					}
+					if hasBuckets(cur) && bound <= lastBound {
+						return nil, fmt.Errorf("obs: line %d: bucket bounds not increasing (%g after %g)", lineNo+1, bound, lastBound)
+					}
+					lastBound = bound
+				}
+				if value < lastCum {
+					return nil, fmt.Errorf("obs: line %d: bucket counts not cumulative (%g after %g)", lineNo+1, value, lastCum)
+				}
+				lastCum = value
+				cur.Samples = append(cur.Samples, Sample{Label: `le="` + boundStr + `"`, Value: value})
+			case name == cur.Name+"_sum":
+				cur.Samples = append(cur.Samples, Sample{Label: "sum", Value: value})
+			case name == cur.Name+"_count":
+				cur.Samples = append(cur.Samples, Sample{Label: "count", Value: value})
+			default:
+				return nil, fmt.Errorf("obs: line %d: sample %q does not match histogram %q", lineNo+1, name, cur.Name)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// hasBuckets reports whether the family already holds a finite bucket.
+func hasBuckets(f *Family) bool {
+	for _, s := range f.Samples {
+		if strings.HasPrefix(s.Label, `le="`) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitSample splits "name value" (value the last space-separated
+// token, so bucket labels may not contain spaces — ours never do).
+func splitSample(line string) (string, float64, error) {
+	i := strings.LastIndexByte(line, ' ')
+	if i <= 0 || i == len(line)-1 {
+		return "", 0, fmt.Errorf("malformed sample line %q", line)
+	}
+	v, err := strconv.ParseFloat(line[i+1:], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return line[:i], v, nil
+}
+
+// validName accepts [a-zA-Z_][a-zA-Z0-9_]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sdb/internal/bus"
+	"sdb/internal/obs"
 )
 
 // Client speaks the SDB control protocol to a remote controller over
@@ -60,6 +61,38 @@ type Client struct {
 	// garbage must not pin the client in the drain loop forever.
 	// Zero means the default of 64.
 	MaxStale int
+
+	// Link-health observables (nil counters are no-ops).
+	om clientMetrics
+}
+
+// clientMetrics bundles the bus client's observables. NewClient wires
+// them to the process default registry; SetObs rebinds them.
+type clientMetrics struct {
+	retries     *obs.Counter
+	redials     *obs.Counter
+	staleFrames *obs.Counter
+	junkBytes   *obs.Counter
+	rejects     *obs.Counter
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		retries:     reg.Counter("sdb_bus_retries_total"),
+		redials:     reg.Counter("sdb_bus_redials_total"),
+		staleFrames: reg.Counter("sdb_bus_stale_frames_total"),
+		junkBytes:   reg.Counter("sdb_bus_resync_bytes_total"),
+		rejects:     reg.Counter("sdb_bus_resync_frames_total"),
+	}
+}
+
+// SetObs points the client's link-health counters at reg (nil detaches
+// them). The scanner's resync counters are re-attached across redials.
+func (c *Client) SetObs(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.om = newClientMetrics(reg)
+	c.sc.Instrument(c.om.junkBytes, c.om.rejects)
 }
 
 // deadliner is the optional transport capability Timeout needs.
@@ -69,9 +102,20 @@ type deadliner interface {
 
 var _ API = (*Client)(nil)
 
+// NewClient wraps a transport. Link-health counters report into the
+// process default registry (a no-op unless a CLI installed one);
+// SetObs rebinds them.
+func (c *Client) init(rw io.ReadWriter) *Client {
+	c.rw = rw
+	c.sc = bus.NewScanner(rw)
+	c.sc.Instrument(c.om.junkBytes, c.om.rejects)
+	return c
+}
+
 // NewClient wraps a transport.
 func NewClient(rw io.ReadWriter) *Client {
-	return &Client{rw: rw, sc: bus.NewScanner(rw)}
+	c := &Client{om: newClientMetrics(obs.Default())}
+	return c.init(rw)
 }
 
 // StatusError is a firmware rejection: the request arrived intact and
@@ -126,9 +170,12 @@ func (c *Client) call(cmd byte, payload []byte) (*bus.Reader, error) {
 	backoff := c.Backoff
 	var lastErr error
 	for a := 0; a < attempts; a++ {
-		if a > 0 && backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+		if a > 0 {
+			c.om.retries.Inc()
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
 		}
 		r, err := c.attempt(cmd, payload)
 		if err == nil {
@@ -148,8 +195,8 @@ func (c *Client) call(cmd byte, payload []byte) (*bus.Reader, error) {
 				lastErr = fmt.Errorf("pmic: client redial: %w", derr)
 				continue
 			}
-			c.rw = rw
-			c.sc = bus.NewScanner(rw)
+			c.om.redials.Inc()
+			c.init(rw)
 		}
 	}
 	if attempts == 1 {
@@ -195,6 +242,7 @@ func (c *Client) attempt(cmd byte, payload []byte) (*bus.Reader, error) {
 			return nil, fmt.Errorf("pmic: client read: %w", err)
 		}
 		if resp.Seq != seq || resp.Cmd != cmd|RespFlag {
+			c.om.staleFrames.Inc()
 			continue // stale response from a timed-out earlier call
 		}
 		r := bus.NewReader(resp.Payload)
@@ -286,6 +334,52 @@ func (c *Client) Ratios() (dis, chg []float64, err error) {
 		return nil, nil, fmt.Errorf("pmic: malformed ratios response: %w", err)
 	}
 	return dis, chg, nil
+}
+
+// Metrics fetches the remote controller's registry rendered in the
+// text exposition format. A trailing "# truncated" comment means the
+// registry outgrew one frame and the tail was cut at a line boundary.
+func (c *Client) Metrics() (string, error) {
+	r, err := c.call(CmdMetrics, nil)
+	if err != nil {
+		return "", err
+	}
+	text := r.Str()
+	if err := r.Err(); err != nil {
+		return "", fmt.Errorf("pmic: malformed metrics response: %w", err)
+	}
+	return text, nil
+}
+
+// TraceEvents fetches the remote controller's trace ring, oldest
+// first. The firmware keeps only the newest events that fit one frame.
+func (c *Client) TraceEvents() ([]obs.Event, error) {
+	r, err := c.call(CmdTrace, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U16())
+	out := make([]obs.Event, 0, n)
+	for i := 0; i < n; i++ {
+		var ev obs.Event
+		ev.Seq = r.U64()
+		ev.TimeS = r.F64()
+		ev.Scope = r.Str()
+		ev.Kind = r.Str()
+		cell := r.U16()
+		ev.Cell = int(cell)
+		if cell == 0xFFFF {
+			ev.Cell = -1
+		}
+		ev.V1 = r.F64()
+		ev.V2 = r.F64()
+		ev.Detail = r.Str()
+		out = append(out, ev)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("pmic: malformed trace response: %w", err)
+	}
+	return out, nil
 }
 
 // BatteryCount implements API.

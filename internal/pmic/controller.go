@@ -23,6 +23,7 @@ import (
 	"sdb/internal/battery"
 	"sdb/internal/circuit"
 	"sdb/internal/fuelgauge"
+	"sdb/internal/obs"
 )
 
 // totalSteps counts firmware enforcement steps across every controller
@@ -151,6 +152,11 @@ type Config struct {
 	// that goes silent (crashed, link down) must not leave the pack
 	// running stale ratios forever. Zero disables the watchdog.
 	WatchdogS float64
+	// Obs attaches a measurement plane. Nil falls back to the process
+	// default registry (obs.Default()), which is itself nil unless a
+	// CLI installed one — so the zero value means "uninstrumented",
+	// and every metric operation degenerates to a nil-receiver no-op.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns a controller configuration with the calibrated
@@ -206,6 +212,68 @@ type Controller struct {
 	caps, split  []float64
 
 	steps atomic.Int64
+
+	// Measurement plane (nil metrics are no-ops; see internal/obs).
+	// simTimeS accumulates stepped time so trace events carry the
+	// firmware's notion of simulated time; lastBrownout edge-triggers
+	// the brownout trace event so a long drain cannot flood the ring.
+	om           ctrlMetrics
+	simTimeS     float64
+	lastBrownout bool
+}
+
+// ctrlMetrics bundles the firmware's observables. Every field is
+// nil-safe, so an uninstrumented controller (nil registry) pays one
+// predictable branch per operation and allocates nothing.
+type ctrlMetrics struct {
+	reg           *obs.Registry
+	tracer        *obs.Tracer
+	steps         *obs.Counter
+	dischargeCmds *obs.Counter
+	chargeCmds    *obs.Counter
+	statusQueries *obs.Counter
+	watchdogFires *obs.Counter
+	brownoutSteps *obs.Counter
+	transferAbort *obs.Counter
+	deliveredJ    *obs.FCounter
+	circuitLossJ  *obs.FCounter
+	batteryLossJ  *obs.FCounter
+	chargedJ      *obs.FCounter
+	disRatio      []*obs.Gauge // latched per-cell discharge ratios
+	chgRatio      []*obs.Gauge // latched per-cell charge ratios
+	cellSoC       []*obs.Gauge // per-cell state of charge at last query
+}
+
+// newCtrlMetrics registers the firmware metric family. With a nil
+// registry every constructor returns nil and the whole bundle is a
+// no-op.
+func newCtrlMetrics(reg *obs.Registry, n int) ctrlMetrics {
+	m := ctrlMetrics{
+		reg:           reg,
+		tracer:        reg.Tracer(),
+		steps:         reg.Counter("sdb_pmic_steps_total"),
+		dischargeCmds: reg.Counter("sdb_pmic_discharge_cmds_total"),
+		chargeCmds:    reg.Counter("sdb_pmic_charge_cmds_total"),
+		statusQueries: reg.Counter("sdb_pmic_status_queries_total"),
+		watchdogFires: reg.Counter("sdb_pmic_watchdog_fires_total"),
+		brownoutSteps: reg.Counter("sdb_pmic_brownout_steps_total"),
+		transferAbort: reg.Counter("sdb_pmic_transfer_aborts_total"),
+		deliveredJ:    reg.FCounter("sdb_pmic_delivered_joules_total"),
+		circuitLossJ:  reg.FCounter("sdb_pmic_circuit_loss_joules_total"),
+		batteryLossJ:  reg.FCounter("sdb_pmic_battery_loss_joules_total"),
+		chargedJ:      reg.FCounter("sdb_pmic_charged_joules_total"),
+	}
+	if reg != nil {
+		m.disRatio = make([]*obs.Gauge, n)
+		m.chgRatio = make([]*obs.Gauge, n)
+		m.cellSoC = make([]*obs.Gauge, n)
+		for i := 0; i < n; i++ {
+			m.disRatio[i] = reg.Gauge(fmt.Sprintf("sdb_pmic_cell%d_discharge_ratio", i))
+			m.chgRatio[i] = reg.Gauge(fmt.Sprintf("sdb_pmic_cell%d_charge_ratio", i))
+			m.cellSoC[i] = reg.Gauge(fmt.Sprintf("sdb_pmic_cell%d_soc", i))
+		}
+	}
+	return m
 }
 
 // NewController builds the firmware around a pack.
@@ -248,6 +316,7 @@ func NewController(cfg Config) (*Controller, error) {
 		stepA:           make([]float64, n),
 		caps:            make([]float64, n),
 		split:           make([]float64, n),
+		om:              newCtrlMetrics(cfg.Obs.Or(obs.Default()), n),
 	}
 	for i := 0; i < n; i++ {
 		ch, err := circuit.NewCharger(cfg.Charger)
@@ -289,6 +358,10 @@ func (c *Controller) Discharge(ratios []float64) error {
 	defer c.mu.Unlock()
 	copy(c.dischargeRatios, ratios)
 	c.sinceCmdS = 0
+	c.om.dischargeCmds.Inc()
+	for i, g := range c.om.disRatio {
+		g.Set(ratios[i])
+	}
 	return nil
 }
 
@@ -301,6 +374,10 @@ func (c *Controller) Charge(ratios []float64) error {
 	defer c.mu.Unlock()
 	copy(c.chargeRatios, ratios)
 	c.sinceCmdS = 0
+	c.om.chargeCmds.Inc()
+	for i, g := range c.om.chgRatio {
+		g.Set(ratios[i])
+	}
 	return nil
 }
 
@@ -442,6 +519,7 @@ func (c *Controller) SetChargeProfile(batt int, profile string) error {
 func (c *Controller) QueryBatteryStatus() ([]BatteryStatus, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.om.statusQueries.Inc()
 	out := make([]BatteryStatus, c.pack.N())
 	for i := 0; i < c.pack.N(); i++ {
 		cell := c.pack.Cell(i)
@@ -488,6 +566,9 @@ func (c *Controller) QueryBatteryStatus() ([]BatteryStatus, error) {
 			out[i].MaxChargeA = 0
 		}
 	}
+	for i, g := range c.om.cellSoC {
+		g.Set(out[i].SoC)
+	}
 	return out, nil
 }
 
@@ -513,6 +594,8 @@ func (c *Controller) Step(loadW, externalW, dt float64) (StepReport, error) {
 	totalSteps.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.simTimeS += dt
+	c.om.steps.Inc()
 
 	// Command watchdog: a silent runtime must not leave the pack on
 	// stale ratios, so after WatchdogS seconds without a ratio command
@@ -527,6 +610,11 @@ func (c *Controller) Step(loadW, externalW, dt float64) (StepReport, error) {
 			}
 			c.watchdogFires++
 			c.sinceCmdS = 0
+			c.om.watchdogFires.Inc()
+			c.om.tracer.Emit(obs.Event{
+				TimeS: c.simTimeS, Scope: "pmic", Kind: "watchdog-fire",
+				Cell: -1, V1: float64(c.watchdogFires), V2: c.watchdogS,
+			})
 		}
 	}
 
@@ -547,6 +635,31 @@ func (c *Controller) Step(loadW, externalW, dt float64) (StepReport, error) {
 
 	rep.BatteryLossW = (c.totalCellLoss() - heatBefore) / dt
 	c.feedGauges(&rep, dt)
+
+	// Measurement plane: energy accumulators every step; trace events
+	// only on rare edges (brownout onset, transfer abort) so a long
+	// fault condition cannot flood the bounded ring.
+	c.om.deliveredJ.Add(rep.DeliveredW * dt)
+	c.om.circuitLossJ.Add(rep.CircuitLossW * dt)
+	c.om.batteryLossJ.Add(rep.BatteryLossW * dt)
+	c.om.chargedJ.Add(rep.ChargedW * dt)
+	brown := rep.Faults&FaultBrownout != 0
+	if brown {
+		c.om.brownoutSteps.Inc()
+		if !c.lastBrownout {
+			c.om.tracer.Emit(obs.Event{
+				TimeS: c.simTimeS, Scope: "pmic", Kind: "brownout",
+				Cell: -1, V1: loadW, V2: rep.DeliveredW,
+			})
+		}
+	}
+	c.lastBrownout = brown
+	if rep.Faults&FaultTransferAborted != 0 {
+		c.om.transferAbort.Inc()
+		c.om.tracer.Emit(obs.Event{
+			TimeS: c.simTimeS, Scope: "pmic", Kind: "transfer-abort", Cell: -1,
+		})
+	}
 	return rep, nil
 }
 
@@ -760,6 +873,11 @@ func (c *Controller) feedGauges(rep *StepReport, dt float64) {
 // Gauge returns the i-th fuel gauge (for inspection by tests and the
 // emulator).
 func (c *Controller) Gauge(i int) *fuelgauge.Gauge { return c.gauges[i] }
+
+// Obs returns the registry this controller reports into (nil when
+// uninstrumented). The protocol layer serves it over CmdMetrics and
+// CmdTrace so a remote runtime can scrape firmware-side observables.
+func (c *Controller) Obs() *obs.Registry { return c.om.reg }
 
 // Pack returns the managed pack.
 func (c *Controller) Pack() *battery.Pack { return c.pack }

@@ -4,11 +4,19 @@ import (
 	"testing"
 
 	"sdb/internal/battery"
+	"sdb/internal/obs"
 )
 
 // benchController wires a two-cell controller the way the emulator
 // experiments do.
 func benchController(tb testing.TB) *Controller {
+	tb.Helper()
+	return benchControllerObs(tb, nil)
+}
+
+// benchControllerObs is benchController with a metrics registry
+// attached (nil = uninstrumented).
+func benchControllerObs(tb testing.TB, reg *obs.Registry) *Controller {
 	tb.Helper()
 	cells := []*battery.Cell{
 		battery.MustNew(battery.MustByName("Standard-2000")),
@@ -18,7 +26,9 @@ func benchController(tb testing.TB) *Controller {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	ctrl, err := NewController(DefaultConfig(pack))
+	cfg := DefaultConfig(pack)
+	cfg.Obs = reg
+	ctrl, err := NewController(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -69,6 +79,54 @@ func TestStepSteadyStateNoAllocs(t *testing.T) {
 			t.Errorf("idle Step allocates %g objects/op, want 0", allocs)
 		}
 	})
+}
+
+// TestStepNoAllocsWithObs pins the zero-alloc-ON contract: a live
+// metrics registry must not put allocations back into the enforcement
+// loop — counters and energy accumulators are atomics, trace events
+// fire only on rare edges, and no step-path operation builds strings
+// or slices.
+func TestStepNoAllocsWithObs(t *testing.T) {
+	modes := []struct {
+		name        string
+		loadW, extW float64
+		prep        func(*Controller)
+	}{
+		{"discharge", 3.0, 0, nil},
+		{"charge", 1.0, 12.0, func(c *Controller) {
+			for _, cell := range c.Pack().Cells() {
+				cell.SetSoC(0.5)
+			}
+		}},
+		{"idle", 0, 0, nil},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			ctrl := benchControllerObs(t, reg)
+			// Arm the watchdog so its (counter + trace event) path also
+			// runs inside the measured window.
+			ctrl.SetWatchdog(100)
+			if m.prep != nil {
+				m.prep(ctrl)
+			}
+			step := func() {
+				if _, err := ctrl.Step(m.loadW, m.extW, 1.0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			step() // warm up
+			if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+				t.Errorf("%s Step with live registry allocates %g objects/op, want 0", m.name, allocs)
+			}
+			if reg.Counter("sdb_pmic_steps_total").Value() < 1000 {
+				t.Error("registry did not observe the steps (instrumentation detached?)")
+			}
+			if reg.Counter("sdb_pmic_watchdog_fires_total").Value() == 0 {
+				t.Error("armed watchdog never fired during the alloc window")
+			}
+		})
+	}
 }
 
 // TestStepReportBuffersReused documents the scratch-buffer ownership:
@@ -122,4 +180,26 @@ func BenchmarkControllerStep(b *testing.B) {
 	b.Run("discharge", bench(3.0, 0))
 	b.Run("charge", bench(1.0, 12.0))
 	b.Run("idle", bench(0, 0))
+}
+
+// BenchmarkControllerStepObs is BenchmarkControllerStep with a live
+// metrics registry attached: the observability overhead must be a few
+// atomic operations, still at 0 allocs/op.
+func BenchmarkControllerStepObs(b *testing.B) {
+	ctrl := benchControllerObs(b, obs.NewRegistry())
+	cells := ctrl.Pack().Cells()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&0xFFFF == 0xFFFF {
+			b.StopTimer()
+			for _, c := range cells {
+				c.SetSoC(0.8)
+			}
+			b.StartTimer()
+		}
+		if _, err := ctrl.Step(3.0, 0, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

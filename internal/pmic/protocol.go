@@ -7,6 +7,7 @@ import (
 	"net"
 
 	"sdb/internal/bus"
+	"sdb/internal/obs"
 )
 
 // Command opcodes of the SDB control protocol. Responses echo the
@@ -20,7 +21,14 @@ const (
 	CmdSetProfile  = 0x06
 	CmdBattCount   = 0x07
 	CmdGetRatios   = 0x08
-	RespFlag       = 0x80
+	// CmdMetrics fetches the controller-side registry rendered in the
+	// text exposition format; CmdTrace fetches the trace ring. Both
+	// bound their responses to one frame: metrics truncate at the last
+	// whole line (marked "# truncated"), traces keep the newest events
+	// that fit.
+	CmdMetrics = 0x09
+	CmdTrace   = 0x0A
+	RespFlag   = 0x80
 )
 
 // Protocol status codes (first payload byte of every response).
@@ -142,10 +150,85 @@ func (c *Controller) dispatch(req bus.Frame) bus.Frame {
 			w.F64(r)
 		}
 
+	case CmdMetrics:
+		// An uninstrumented controller answers OK with an empty body:
+		// "no metrics" is a normal state, not a protocol error.
+		w.U8(StatusOK).Str(truncateExposition(c.om.reg.Text(), bus.MaxPayload-3))
+
+	case CmdTrace:
+		events := c.om.tracer.Events()
+		encodeTrace(&w, events, bus.MaxPayload-3)
+
 	default:
 		w.U8(StatusBadCmd)
 	}
 	return bus.Frame{Cmd: req.Cmd | RespFlag, Seq: req.Seq, Payload: w.Bytes()}
+}
+
+// truncateExposition bounds an exposition text to max bytes without
+// splitting a sample line; a cut is marked with a trailing comment the
+// parser ignores.
+func truncateExposition(text string, max int) string {
+	const marker = "# truncated\n"
+	if len(text) <= max {
+		return text
+	}
+	cut := max - len(marker)
+	if cut < 0 {
+		cut = 0
+	}
+	i := lastNewline(text[:cut])
+	// A cut right after a family's "# TYPE" header would leave a
+	// sample-less family the parser rejects; back up over any trailing
+	// comment lines so the text always ends on a whole family.
+	for i >= 0 {
+		lineStart := lastNewline(text[:i]) + 1
+		if text[lineStart] != '#' {
+			break
+		}
+		i = lineStart - 1
+	}
+	if i >= 0 {
+		return text[:i+1] + marker
+	}
+	return marker
+}
+
+func lastNewline(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+// encodedEventLen is the wire size of one trace event: fixed fields
+// (seq, time, cell, v1, v2) plus three length-prefixed strings.
+func encodedEventLen(ev obs.Event) int {
+	return 8 + 8 + 2 + 8 + 8 + (2 + len(ev.Scope)) + (2 + len(ev.Kind)) + (2 + len(ev.Detail))
+}
+
+// encodeTrace writes status, a count, and as many of the newest events
+// as fit in budget bytes, oldest-first so the client prints them in
+// chronological order.
+func encodeTrace(w *bus.Writer, events []obs.Event, budget int) {
+	budget -= 2 // count field
+	start := len(events)
+	for start > 0 && budget-encodedEventLen(events[start-1]) >= 0 {
+		budget -= encodedEventLen(events[start-1])
+		start--
+	}
+	events = events[start:]
+	w.U8(StatusOK).U16(uint16(len(events)))
+	for _, ev := range events {
+		cell := uint16(0xFFFF)
+		if ev.Cell >= 0 {
+			cell = uint16(ev.Cell)
+		}
+		w.U64(ev.Seq).F64(ev.TimeS).Str(ev.Scope).Str(ev.Kind)
+		w.U16(cell).F64(ev.V1).F64(ev.V2).Str(ev.Detail)
+	}
 }
 
 // encodeStatus marshals one BatteryStatus record.

@@ -1,0 +1,219 @@
+package pmic
+
+// Wire-protocol tests for the observability commands: CmdMetrics and
+// CmdTrace round trips over a served pipe, the single-frame truncation
+// rules on both, and the uninstrumented-controller answers.
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"sdb/internal/battery"
+	"sdb/internal/bus"
+	"sdb/internal/obs"
+)
+
+// startServedObs spins up a controller bound to reg (nil = off) served
+// over a net.Pipe and returns a connected client.
+func startServedObs(t *testing.T, reg *obs.Registry) (*Controller, *Client) {
+	t.Helper()
+	cells := []*battery.Cell{
+		battery.MustNew(battery.MustByName("QuickCharge-2000")),
+		battery.MustNew(battery.MustByName("Standard-2000")),
+	}
+	pack, err := battery.NewPack(cells...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(pack)
+	cfg.Obs = reg
+	ctrl, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	go func() { _ = ctrl.Serve(a) }()
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return ctrl, NewClient(b)
+}
+
+// TestClientMetricsRoundTrip: what the firmware measured must come
+// back as parseable exposition text with the measured values.
+func TestClientMetricsRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctrl, cl := startServedObs(t, reg)
+	for i := 0; i < 5; i++ {
+		if _, err := ctrl.Step(2.0, 0, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Discharge([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseText(text)
+	if err != nil {
+		t.Fatalf("wire exposition does not parse: %v\n%s", err, text)
+	}
+	want := map[string]float64{
+		"sdb_pmic_steps_total":          5,
+		"sdb_pmic_discharge_cmds_total": 1,
+	}
+	for _, f := range fams {
+		if v, ok := want[f.Name]; ok {
+			if len(f.Samples) != 1 || f.Samples[0].Value != v {
+				t.Errorf("%s over the wire = %+v, want %g", f.Name, f.Samples, v)
+			}
+			delete(want, f.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("%s missing from the wire exposition", name)
+	}
+}
+
+// TestClientMetricsUninstrumented: a nil-registry controller answers
+// StatusOK with an empty body — "no metrics" is a state, not an error.
+func TestClientMetricsUninstrumented(t *testing.T) {
+	_, cl := startServedObs(t, nil)
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("uninstrumented metrics errored: %v", err)
+	}
+	if text != "" {
+		t.Errorf("uninstrumented metrics = %q, want empty", text)
+	}
+	events, err := cl.TraceEvents()
+	if err != nil {
+		t.Fatalf("uninstrumented trace errored: %v", err)
+	}
+	if len(events) != 0 {
+		t.Errorf("uninstrumented trace returned %d events", len(events))
+	}
+}
+
+// TestClientMetricsTruncatedToOneFrame: a registry too big for one
+// frame must come back cut at a line boundary, marked, and still
+// parseable.
+func TestClientMetricsTruncatedToOneFrame(t *testing.T) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 400; i++ {
+		reg.Counter(fmt.Sprintf("sdb_test_padding_counter_%04d_total", i)).Inc()
+	}
+	if len(reg.Text()) <= bus.MaxPayload {
+		t.Fatal("test registry not big enough to force truncation")
+	}
+	_, cl := startServedObs(t, reg)
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text) > bus.MaxPayload-3 {
+		t.Errorf("response %d bytes exceeds the one-frame budget %d", len(text), bus.MaxPayload-3)
+	}
+	if !strings.HasSuffix(text, "# truncated\n") {
+		t.Errorf("truncated response missing marker; ends %q", text[len(text)-30:])
+	}
+	if _, err := obs.ParseText(text); err != nil {
+		t.Errorf("truncated exposition does not parse: %v", err)
+	}
+	// Every line before the marker is whole (ends in a value, not a cut).
+	body := strings.TrimSuffix(text, "# truncated\n")
+	if !strings.HasSuffix(body, "\n") {
+		t.Error("truncation split a sample line")
+	}
+}
+
+// TestTruncateExposition unit-tests the cut rule directly.
+func TestTruncateExposition(t *testing.T) {
+	if got := truncateExposition("a 1\nb 2\n", 100); got != "a 1\nb 2\n" {
+		t.Errorf("under-budget text modified: %q", got)
+	}
+	got := truncateExposition("aaaa 1\nbbbb 2\ncccc 3\n", 20)
+	if got != "aaaa 1\n# truncated\n" {
+		t.Errorf("cut = %q", got)
+	}
+	if got := truncateExposition(strings.Repeat("x", 100), 20); got != "# truncated\n" {
+		t.Errorf("no-newline pathological case = %q", got)
+	}
+}
+
+// TestClientTraceRoundTrip: every event field survives the wire,
+// including the pack-scoped cell index −1.
+func TestClientTraceRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, cl := startServedObs(t, reg)
+	reg.Tracer().Emit(obs.Event{
+		TimeS: 12.5, Scope: "pmic", Kind: "watchdog-fire",
+		Cell: -1, V1: 1, V2: 300, Detail: "reverted to uniform",
+	})
+	reg.Tracer().Emit(obs.Event{
+		TimeS: 99.25, Scope: "pmic", Kind: "brownout",
+		Cell: 1, V1: 5.5, V2: 4.25,
+	})
+
+	events, err := cl.TraceEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	first, second := events[0], events[1]
+	if first.Kind != "watchdog-fire" || first.Cell != -1 || first.TimeS != 12.5 ||
+		first.V1 != 1 || first.V2 != 300 || first.Detail != "reverted to uniform" ||
+		first.Scope != "pmic" {
+		t.Errorf("event 0 mangled on the wire: %+v", first)
+	}
+	if second.Kind != "brownout" || second.Cell != 1 || second.V1 != 5.5 || second.V2 != 4.25 {
+		t.Errorf("event 1 mangled on the wire: %+v", second)
+	}
+	if second.Seq <= first.Seq {
+		t.Errorf("sequence order lost: %d then %d", first.Seq, second.Seq)
+	}
+}
+
+// TestClientTraceKeepsNewestThatFit: when the ring holds more than one
+// frame's worth, the response is the newest suffix in chronological
+// order.
+func TestClientTraceKeepsNewestThatFit(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, cl := startServedObs(t, reg)
+	big := strings.Repeat("d", 300)
+	const n = 40 // 40 × ~340 B ≫ one frame
+	for i := 0; i < n; i++ {
+		reg.Tracer().Emit(obs.Event{
+			TimeS: float64(i), Scope: "test", Kind: "filler", Cell: -1, Detail: big,
+		})
+	}
+
+	events, err := cl.TraceEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || len(events) >= n {
+		t.Fatalf("got %d events, want a proper newest-suffix of %d", len(events), n)
+	}
+	var wire int
+	for i, ev := range events {
+		wire += 40 + len(ev.Scope) + len(ev.Kind) + len(ev.Detail)
+		if i > 0 && ev.Seq != events[i-1].Seq+1 {
+			t.Fatalf("gap in returned suffix at %d: %+v", i, ev)
+		}
+	}
+	if wire > bus.MaxPayload-3-2 {
+		t.Errorf("returned events need %d wire bytes, over the frame budget", wire)
+	}
+	if last := events[len(events)-1]; last.TimeS != float64(n-1) {
+		t.Errorf("newest event not included: last TimeS = %g, want %d", last.TimeS, n-1)
+	}
+}
