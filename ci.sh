@@ -12,7 +12,13 @@
 # zero-allocation Step contract exercised by its tests — cannot
 # silently rot. The coverage lane ratchets per-package statement
 # coverage against the floors committed in COVERAGE.ratchet: a change
-# that drops an enforced package below its floor fails CI.
+# that drops an enforced package below its floor fails CI. The bench
+# regression lane re-times every experiment against the committed
+# baseline (BENCH_PR5.json) and fails on a >3x wall-clock regression —
+# generous enough to absorb shared-runner noise, tight enough to catch
+# an accidental hot-loop allocation or O(n^2) slip. The recorder smoke
+# lane runs the record -> series file -> export pipeline end to end
+# through the real CLIs.
 set -eux
 
 go build ./...
@@ -48,3 +54,16 @@ awk '
     exit bad
   }' COVERAGE.ratchet cover.lane.txt
 rm -f cover.lane.txt
+
+# Bench regression lane: every experiment, serially, vs the committed
+# baseline. 3x tolerance; newly added experiments (absent from the
+# baseline) pass until the baseline is regenerated.
+go run ./cmd/sdbbench -benchjson bench.lane.json -baseline BENCH_PR5.json -gate 3 -benchreps 2 -q
+rm -f bench.lane.json
+
+# Recorder smoke lane: record a short run, export the series file both
+# ways, and confirm the recorded step counter reached the file.
+go run ./cmd/sdbsim -load 2 -hours 1 -record smoke.lane.sdbts > /dev/null
+go run ./cmd/sdbtrace export -in smoke.lane.sdbts -series sdb_pmic_steps_total | grep -q 'sdb_pmic_steps_total,counter,'
+go run ./cmd/sdbtrace export -in smoke.lane.sdbts -format json | grep -q '"sdb_pmic_steps_total"'
+rm -f smoke.lane.sdbts

@@ -19,6 +19,7 @@
 //	sdbbench -memprofile mem.pb.gz          # heap profile at exit
 //	sdbbench -benchjson BENCH.json          # per-experiment wall/steps/allocs, serial
 //	sdbbench -benchjson BENCH.json -baseline OLD.json  # adds speedup-vs-baseline fields
+//	sdbbench -benchjson BENCH.json -baseline OLD.json -gate 3  # exit 1 on >3x regression
 //	sdbbench -fast -metrics METRICS.txt     # dump aggregated run metrics at exit
 //	sdbbench -fast -trace -                 # dump trace events to stdout at exit
 //
@@ -67,6 +68,7 @@ func run() int {
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		benchjson  = flag.String("benchjson", "", "benchmark every experiment serially and write per-experiment JSON (wall ms, steps, ns/step, allocs/step) to this file")
 		baseline   = flag.String("baseline", "", "prior -benchjson file to compare against (adds baseline_wall_ms and speedup fields)")
+		gate       = flag.Float64("gate", 0, "with -baseline: exit nonzero if any experiment's wall time exceeds gate x its baseline (0 disables)")
 		benchreps  = flag.Int("benchreps", 3, "repetitions per experiment in -benchjson mode (best rep is reported)")
 		metricsOut = flag.String("metrics", "", `write aggregated run metrics (text exposition) to this file at exit ("-" = stdout)`)
 		traceOut   = flag.String("trace", "", `write collected trace events to this file at exit ("-" = stdout)`)
@@ -127,7 +129,7 @@ func run() int {
 	}
 
 	if *benchjson != "" {
-		return runBenchJSON(ctx, *benchjson, *baseline, *benchreps, *quiet)
+		return runBenchJSON(ctx, *benchjson, *baseline, *gate, *benchreps, *quiet)
 	}
 	if *compare {
 		return runCompare(ctx, *jobs)
@@ -296,8 +298,10 @@ type benchReport struct {
 // repetitions each, best rep reported), derives ns/step and allocs/step
 // for the emulation-driven ones, and writes the JSON report. Allocation
 // counts come from runtime.MemStats deltas around the run, which is why
-// this mode forces a single worker.
-func runBenchJSON(ctx context.Context, path, baselinePath string, reps int, quiet bool) int {
+// this mode forces a single worker. With gate > 0 it is a CI
+// regression lane: any experiment whose best wall time exceeds gate
+// times its baseline fails the run.
+func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, reps int, quiet bool) int {
 	if reps < 1 {
 		reps = 1
 	}
@@ -371,5 +375,31 @@ func runBenchJSON(ctx context.Context, path, baselinePath string, reps int, quie
 	}
 	fmt.Fprintf(os.Stderr, "sdbbench: wrote %s (%d experiments, total %.1fms)\n",
 		path, len(report.Experiments), report.TotalWallMS)
+
+	if gate > 0 {
+		if baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "sdbbench: -gate needs -baseline")
+			return 2
+		}
+		regressed := 0
+		for _, e := range report.Experiments {
+			// Experiments absent from the baseline (newly added) pass;
+			// they gate once the baseline is regenerated.
+			if e.BaselineWallMS <= 0 {
+				continue
+			}
+			if e.WallMS > gate*e.BaselineWallMS {
+				fmt.Fprintf(os.Stderr, "sdbbench: GATE %s regressed: %.1fms vs baseline %.1fms (limit %.1fx)\n",
+					e.ID, e.WallMS, e.BaselineWallMS, gate)
+				regressed++
+			}
+		}
+		if regressed > 0 {
+			fmt.Fprintf(os.Stderr, "sdbbench: %d experiment(s) over the %.1fx regression gate\n", regressed, gate)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "sdbbench: all %d experiments within the %.1fx regression gate\n",
+			len(report.Experiments), gate)
+	}
 	return 0
 }

@@ -15,13 +15,24 @@
 //	sdbctl -addr localhost:7070 -retries 3 -timeout 500ms health
 //	sdbctl -addr localhost:7070 metrics
 //	sdbctl -addr localhost:7070 -raw metrics
+//	sdbctl metrics -diff before.txt after.txt -span 60s
 //	sdbctl -addr localhost:7070 trace
+//	sdbctl -addr localhost:7070 series
+//	sdbctl -addr localhost:7070 series sdb_pmic_steps_total
+//	sdbctl -addr localhost:7070 watch -every 2s -count 10 -rules alerts.txt
 //
 // The -timeout, -retries, and -backoff flags configure the resilient
 // bus client: each call retries retryable failures (lost or corrupted
 // frames) up to -retries times with exponentially growing -backoff,
 // while firmware rejections fail fast. The health command probes link
 // quality and reports any firmware-isolated cells.
+//
+// metrics prints p50/p99 estimates under every histogram family.
+// `metrics -diff` needs no controller: it parses two exposition dumps
+// and prints per-counter deltas (plus rates with -span). series lists
+// or fetches the controller's recorded time series. watch scrapes the
+// controller periodically, feeds a local recorder, and prints counter
+// rates, gauge values, and alert-rule states each round.
 package main
 
 import (
@@ -30,18 +41,26 @@ import (
 	"io"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"sdb"
 	"sdb/internal/obs"
+	"sdb/internal/obs/ts"
 	"sdb/internal/pmic"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serve(os.Args[2:])
+		return
+	}
+	// `metrics -diff` compares two local exposition dumps; it must not
+	// require (or dial) a live controller.
+	if len(os.Args) > 2 && os.Args[1] == "metrics" && os.Args[2] == "-diff" {
+		metricsDiff(os.Args[3:])
 		return
 	}
 	addr := flag.String("addr", "localhost:7070", "controller address")
@@ -52,7 +71,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fatalf("missing command (ping|status|ratios|discharge|charge|transfer|profile|health|metrics|trace)")
+		fatalf("missing command (ping|status|ratios|discharge|charge|transfer|profile|health|metrics|trace|series|watch)")
 	}
 
 	dial := func() (io.ReadWriter, error) {
@@ -134,6 +153,10 @@ func main() {
 		for _, ev := range events {
 			fmt.Println(ev.String())
 		}
+	case "series":
+		series(cl, args[1:])
+	case "watch":
+		watch(cl, args[1:])
 	default:
 		fatalf("unknown command %q", args[0])
 	}
@@ -217,6 +240,194 @@ func metrics(cl *pmic.Client, raw bool) {
 			}
 			fmt.Printf("%-55s %g\n", name, s.Value)
 		}
+		if f.Kind == obs.KindHistogram {
+			// Derived percentiles so a step-timing glance needs no
+			// external tooling; NaN means the histogram is still empty.
+			for _, q := range []float64{0.5, 0.99} {
+				if v, ok := obs.FamilyQuantile(f, q); ok {
+					fmt.Printf("%-55s %g\n", fmt.Sprintf("%s_p%g", f.Name, q*100), v)
+				}
+			}
+		}
+	}
+}
+
+// metricsDiff compares two exposition dumps offline: counter families
+// are printed with their delta (and, with -span, the per-second rate
+// over that interval). Gauges print old -> new. Typical use: scrape
+// `sdbctl metrics -raw` twice and diff the files.
+func metricsDiff(argv []string) {
+	fs := flag.NewFlagSet("metrics -diff", flag.ExitOnError)
+	span := fs.Duration("span", 0, "time between the two scrapes (enables rate column)")
+	// Accept flags on either side of the two file operands: flag.Parse
+	// stops at the first non-flag argument, so re-parse any remainder.
+	if err := fs.Parse(argv); err != nil {
+		os.Exit(2)
+	}
+	var files []string
+	for fs.NArg() > 0 {
+		rest := fs.Args()
+		files = append(files, rest[0])
+		if err := fs.Parse(rest[1:]); err != nil {
+			os.Exit(2)
+		}
+	}
+	if len(files) != 2 {
+		fatalf("metrics -diff needs two exposition files: before.txt after.txt")
+	}
+	parse := func(path string) map[string]obs.Family {
+		raw, err := os.ReadFile(path)
+		must(err)
+		fams, err := obs.ParseText(string(raw))
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		byName := make(map[string]obs.Family, len(fams))
+		for _, f := range fams {
+			byName[f.Name] = f
+		}
+		return byName
+	}
+	before, after := parse(files[0]), parse(files[1])
+
+	names := make([]string, 0, len(after))
+	for name := range after {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if *span > 0 {
+		fmt.Printf("%-55s %14s %14s %12s\n", "counter", "before", "after", "per-second")
+	} else {
+		fmt.Printf("%-55s %14s %14s %12s\n", "counter", "before", "after", "delta")
+	}
+	for _, name := range names {
+		f := after[name]
+		if f.Kind != obs.KindCounter || len(f.Samples) != 1 {
+			continue
+		}
+		var was float64
+		if b, ok := before[name]; ok && len(b.Samples) == 1 {
+			was = b.Samples[0].Value
+		}
+		now := f.Samples[0].Value
+		d := now - was
+		if *span > 0 {
+			fmt.Printf("%-55s %14g %14g %12g\n", name, was, now, d/span.Seconds())
+		} else {
+			fmt.Printf("%-55s %14g %14g %+12g\n", name, was, now, d)
+		}
+	}
+	for _, name := range names {
+		f := after[name]
+		if f.Kind != obs.KindGauge || len(f.Samples) != 1 {
+			continue
+		}
+		var was float64
+		if b, ok := before[name]; ok && len(b.Samples) == 1 {
+			was = b.Samples[0].Value
+		}
+		fmt.Printf("%-55s %14g -> %g\n", name+" (gauge)", was, f.Samples[0].Value)
+	}
+}
+
+// series lists the controller's recorded time series, or fetches one
+// and prints its newest window.
+func series(cl *pmic.Client, args []string) {
+	if len(args) == 0 {
+		names, err := cl.SeriesNames()
+		must(err)
+		if len(names) == 0 {
+			fmt.Println("no series: controller has no recorder attached")
+			return
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	win, err := cl.Series(args[0])
+	must(err)
+	fmt.Printf("series:  %s (%s)\n", win.Name, win.Kind)
+	fmt.Printf("grid:    %g s cadence from t=%g s\n", win.StepS, win.FirstT)
+	fmt.Printf("samples: %d retained of %d recorded\n", len(win.Values), win.Total)
+	for i, v := range win.Values {
+		fmt.Printf("%10g %g\n", win.FirstT+float64(i)*win.StepS, v)
+	}
+}
+
+// watch periodically scrapes the controller's registry, feeds the
+// samples into a local recorder, and prints derived counter rates,
+// gauge values, and alert states — a minimal top(1) for the firmware.
+func watch(cl *pmic.Client, args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	var (
+		every     = fs.Duration("every", 2*time.Second, "scrape interval")
+		count     = fs.Int("count", 0, "rounds to run (0 = until interrupted)")
+		rulesPath = fs.String("rules", "", "alert-rule file evaluated against the scraped series")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	var rules []ts.Rule
+	if *rulesPath != "" {
+		src, err := os.ReadFile(*rulesPath)
+		must(err)
+		rules, err = ts.ParseRules(string(src))
+		if err != nil {
+			fatalf("rules %s: %v", *rulesPath, err)
+		}
+	}
+	stepS := every.Seconds()
+	rec := sdb.NewRecorder(nil, sdb.RecorderConfig{StepS: stepS, Rules: rules})
+
+	for round := 0; *count == 0 || round < *count; round++ {
+		if round > 0 {
+			time.Sleep(*every)
+		}
+		text, err := cl.Metrics()
+		must(err)
+		if text == "" {
+			fatalf("watch: controller is uninstrumented")
+		}
+		fams, err := obs.ParseText(text)
+		if err != nil {
+			fatalf("watch: malformed exposition: %v", err)
+		}
+		t := float64(round) * stepS
+		rec.Observe(t, fams)
+
+		fmt.Printf("-- t=%gs --\n", t)
+		for _, f := range fams {
+			switch f.Kind {
+			case obs.KindCounter:
+				if len(f.Samples) != 1 {
+					continue
+				}
+				// Rate over the last scrape interval; the first round
+				// has one sample and no defined rate yet.
+				if rate, ok := rec.Rate(f.Name, stepS); ok {
+					fmt.Printf("%-55s %14g %10.3g/s\n", f.Name, f.Samples[0].Value, rate)
+				} else {
+					fmt.Printf("%-55s %14g %10s\n", f.Name, f.Samples[0].Value, "-")
+				}
+			case obs.KindGauge:
+				if len(f.Samples) != 1 {
+					continue
+				}
+				fmt.Printf("%-55s %14g\n", f.Name, f.Samples[0].Value)
+			case obs.KindHistogram:
+				p50, ok50 := obs.FamilyQuantile(f, 0.5)
+				p99, ok99 := obs.FamilyQuantile(f, 0.99)
+				if ok50 && ok99 {
+					fmt.Printf("%-55s p50 %.3g  p99 %.3g\n", f.Name, p50, p99)
+				}
+			}
+		}
+		for _, st := range rec.AlertStates() {
+			fmt.Printf("alert %-20s %-8s fired %d time(s), value %g\n",
+				st.Rule.Name, st.State, st.Fired, st.Value)
+		}
 	}
 }
 
@@ -247,6 +458,14 @@ func serve(argv []string) {
 	if *watchdog > 0 {
 		sys.Controller.SetWatchdog(*watchdog)
 	}
+	// Step-timing histogram (the serve loop is its own tiny emulator)
+	// plus a recorder sampling every tick: remote `sdbctl metrics` gets
+	// p50/p99 lines and `sdbctl series`/`watch` get real time series
+	// over CmdSeries.
+	stepHist := obs.Default().Histogram("sdb_pmic_step_seconds",
+		[]float64{1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 1e-3, 1e-2})
+	rec := sdb.NewRecorder(obs.Default(), sdb.RecorderConfig{StepS: *speed})
+	sys.Controller.SetRecorder(rec)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatalf("%v", err)
@@ -262,13 +481,16 @@ func serve(argv []string) {
 			// Policy tick first, as the emulator orders it: the runtime
 			// recomputes and pushes ratios, then the firmware enforces
 			// them for the next simulated interval.
+			rec.Sample(simT)
 			sys.Runtime.NoteTime(simT)
 			if _, err := sys.Runtime.Update(*loadW, 0); err != nil {
 				fmt.Fprintf(os.Stderr, "sdbctl: policy update: %v\n", err)
 			}
+			t0 := time.Now()
 			if _, err := sys.Controller.Step(*loadW, 0, *speed); err != nil {
 				fmt.Fprintf(os.Stderr, "sdbctl: step: %v\n", err)
 			}
+			stepHist.Observe(time.Since(t0).Seconds())
 			simT += *speed
 		}
 	}()

@@ -7,6 +7,7 @@
 //	sdbsim -cells QuickCharge-2000,EnergyMax-4000 -load 3 -hours 2
 //	sdbsim -cells Watch-200,BendStrap-200 -policy reserve -reserve 0 -trace day.csv
 //	sdbsim -load 3 -hours 2 -metrics - -tracelog -
+//	sdbsim -load 3 -hours 24 -record day.sdbts -rules alerts.txt
 //	sdbsim -list-cells
 //
 // Policies: blended (default), rbl, ccb, reserve, proportional.
@@ -16,6 +17,13 @@
 // events, and policy-audit records at exit ("-" writes to stdout).
 // Without them the run is uninstrumented and byte-identical to prior
 // releases.
+//
+// -record samples the registry into time series on every policy tick
+// and writes the versioned binary series file at exit (readable with
+// `sdbtrace export`). -rules loads alert rules (one per line, see
+// internal/obs/ts) evaluated after every sample; transitions land in
+// the trace/audit logs and a per-rule summary prints at exit. Either
+// flag implies the observability plane.
 package main
 
 import (
@@ -28,29 +36,35 @@ import (
 	"sdb/internal/acpi"
 	"sdb/internal/core"
 	"sdb/internal/obs"
+	"sdb/internal/obs/ts"
+	"sdb/internal/obs/ts/seriesfile"
 	"sdb/internal/workload"
 )
 
 func main() {
 	var (
-		cells     = flag.String("cells", "QuickCharge-2000,EnergyMax-4000", "comma-separated library cell names")
-		policy    = flag.String("policy", "blended", "discharge policy: blended|rbl|ccb|reserve|proportional")
-		reserve   = flag.Int("reserve", 0, "battery index to preserve (reserve policy)")
-		soc       = flag.Float64("soc", 1.0, "initial state of charge")
-		loadW     = flag.Float64("load", 3.0, "constant load in watts (ignored with -trace)")
-		hours     = flag.Float64("hours", 2.0, "duration in hours (ignored with -trace)")
-		tracePath = flag.String("trace", "", "CSV trace file to drive the run")
-		directive = flag.Float64("directive", 0.5, "charging/discharging directive in [0,1]")
+		cells      = flag.String("cells", "QuickCharge-2000,EnergyMax-4000", "comma-separated library cell names")
+		policy     = flag.String("policy", "blended", "discharge policy: blended|rbl|ccb|reserve|proportional")
+		reserve    = flag.Int("reserve", 0, "battery index to preserve (reserve policy)")
+		soc        = flag.Float64("soc", 1.0, "initial state of charge")
+		loadW      = flag.Float64("load", 3.0, "constant load in watts (ignored with -trace)")
+		hours      = flag.Float64("hours", 2.0, "duration in hours (ignored with -trace)")
+		tracePath  = flag.String("trace", "", "CSV trace file to drive the run")
+		directive  = flag.Float64("directive", 0.5, "charging/discharging directive in [0,1]")
 		stop       = flag.Bool("stop-when-drained", false, "end the run at the first brownout")
 		listCells  = flag.Bool("list-cells", false, "list library cells and exit")
 		metricsOut = flag.String("metrics", "", `write run metrics (text exposition) to this file at exit ("-" = stdout)`)
 		traceOut   = flag.String("tracelog", "", `write trace events and policy-audit records to this file at exit ("-" = stdout)`)
+		recordOut  = flag.String("record", "", "record registry time series and write this binary series file at exit")
+		rulesPath  = flag.String("rules", "", "alert-rule file evaluated on every recorder sample")
+		recordStep = flag.Float64("record-step", ts.DefaultStepS, "recording cadence in simulated seconds")
 	)
 	flag.Parse()
 
 	// Observability is opt-in: installing the process registry is what
-	// turns instrumentation on for every layer built below.
-	if *metricsOut != "" || *traceOut != "" {
+	// turns instrumentation on for every layer built below. Recording
+	// and alerting need the registry too.
+	if *metricsOut != "" || *traceOut != "" || *recordOut != "" || *rulesPath != "" {
 		obs.SetDefault(obs.NewRegistry())
 	}
 
@@ -93,6 +107,23 @@ func main() {
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	var rec *ts.Recorder
+	if *recordOut != "" || *rulesPath != "" {
+		var rules []ts.Rule
+		if *rulesPath != "" {
+			src, err := os.ReadFile(*rulesPath)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			rules, err = ts.ParseRules(string(src))
+			if err != nil {
+				fatalf("rules %s: %v", *rulesPath, err)
+			}
+		}
+		rec = ts.NewRecorder(obs.Default(), ts.Config{StepS: *recordStep, Rules: rules})
+		sys.Recorder = rec
 	}
 
 	var tr *sdb.Trace
@@ -145,6 +176,21 @@ func main() {
 	}
 	fmt.Printf("\nACPI view: %s, %.1f%%, %.3f V, time to empty %s at the mean load\n",
 		vb.State, vb.Percentage, vb.VoltageV, acpi.HoursMinutes(vb.TimeToEmptyS))
+
+	if rec != nil {
+		if *recordOut != "" {
+			windows := rec.Windows()
+			if err := seriesfile.WriteFile(*recordOut, windows); err != nil {
+				fatalf("record: %v", err)
+			}
+			fmt.Printf("\nrecorded %d series (%.0f s cadence) to %s\n",
+				len(windows), rec.StepS(), *recordOut)
+		}
+		for _, st := range rec.AlertStates() {
+			fmt.Printf("alert %-20s %-8s fired %d time(s), last value %g\n",
+				st.Rule.Name, st.State, st.Fired, st.Value)
+		}
+	}
 
 	dumpObs(*metricsOut, *traceOut)
 }

@@ -9,19 +9,32 @@
 //	sdbtrace gen -kind diurnal -device phone -out phone.csv
 //	sdbtrace gen -kind charge -supply 30 -watts 2 -hours 1.5 -out plug.csv
 //	sdbtrace info day.csv
+//	sdbtrace export -in day.sdbts                       # CSV to stdout
+//	sdbtrace export -in day.sdbts -format json -out day.json
+//	sdbtrace export -in day.sdbts -series sdb_pmic_steps_total
+//
+// export converts a recorded binary series file (`sdbsim -record`)
+// into CSV (long format: series,time_s,value) or JSON for external
+// tooling.
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 
+	"sdb/internal/obs/ts"
+	"sdb/internal/obs/ts/seriesfile"
 	"sdb/internal/workload"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fatalf("missing subcommand: gen|info")
+		fatalf("missing subcommand: gen|info|export")
 	}
 	switch os.Args[1] {
 	case "gen":
@@ -31,6 +44,8 @@ func main() {
 			fatalf("info needs a trace file")
 		}
 		info(os.Args[2])
+	case "export":
+		export(os.Args[2:])
 	default:
 		fatalf("unknown subcommand %q", os.Args[1])
 	}
@@ -128,6 +143,124 @@ func info(path string) {
 		}
 		fmt.Printf("external: plugged for %.1f%% of the trace\n", float64(on)/float64(tr.Len())*100)
 	}
+}
+
+// export converts a recorded series file to CSV or JSON.
+func export(argv []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	var (
+		in     = fs.String("in", "", "input series file (from sdbsim -record)")
+		format = fs.String("format", "csv", "output format: csv|json")
+		series = fs.String("series", "", "export only this series (default: all)")
+		out    = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		os.Exit(2)
+	}
+	if *in == "" {
+		fatalf("export needs -in <file.sdbts>")
+	}
+	windows, err := seriesfile.ReadFile(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *series != "" {
+		kept := windows[:0]
+		for _, w := range windows {
+			if w.Name == *series {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			fatalf("no series named %q in %s", *series, *in)
+		}
+		windows = kept
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = exportCSV(w, windows)
+	case "json":
+		err = exportJSON(w, windows)
+	default:
+		fatalf("unknown format %q (want csv or json)", *format)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *out != "" {
+		var samples int
+		for _, win := range windows {
+			samples += len(win.Values)
+		}
+		fmt.Printf("wrote %s: %d series, %d samples\n", *out, len(windows), samples)
+	}
+}
+
+// exportCSV writes the long format: one row per retained sample.
+func exportCSV(w io.Writer, windows []ts.Window) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "kind", "time_s", "value"}); err != nil {
+		return err
+	}
+	for _, win := range windows {
+		for i, v := range win.Values {
+			t := win.FirstT + float64(i)*win.StepS
+			err := cw.Write([]string{
+				win.Name,
+				win.Kind.String(),
+				strconv.FormatFloat(t, 'g', -1, 64),
+				strconv.FormatFloat(v, 'g', -1, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// exportedSeries is one series in the JSON export.
+type exportedSeries struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	StepS  float64 `json:"step_s"`
+	FirstT float64 `json:"first_t"`
+	// Total counts every sample ever recorded; len(values) may be
+	// smaller when the retention ring dropped old samples.
+	Total  uint64    `json:"total"`
+	Values []float64 `json:"values"`
+}
+
+func exportJSON(w io.Writer, windows []ts.Window) error {
+	out := make([]exportedSeries, 0, len(windows))
+	for _, win := range windows {
+		vals := win.Values
+		if vals == nil {
+			vals = []float64{}
+		}
+		out = append(out, exportedSeries{
+			Name:   win.Name,
+			Kind:   win.Kind.String(),
+			StepS:  win.StepS,
+			FirstT: win.FirstT,
+			Total:  win.Total,
+			Values: vals,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func fatalf(format string, args ...interface{}) {

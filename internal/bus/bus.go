@@ -173,6 +173,14 @@ func (w *Writer) Str(s string) *Writer {
 	return w
 }
 
+// UVarint appends an unsigned LEB128 varint — the compact counting
+// encoding CmdSeries uses for sample totals, where values are usually
+// small but may not fit a uint16.
+func (w *Writer) UVarint(v uint64) *Writer {
+	w.buf = binary.AppendUvarint(w.buf, v)
+	return w
+}
+
 // Reader consumes a payload. The first decoding failure sticks: all
 // later reads return zero values and Err reports the failure.
 type Reader struct {
@@ -237,6 +245,21 @@ func (r *Reader) F64() float64 {
 		return 0
 	}
 	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// UVarint reads an unsigned LEB128 varint. Overlong or truncated
+// encodings stick the usual decode error.
+func (r *Reader) UVarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	r.off += n
+	return v
 }
 
 // Str reads a length-prefixed string.

@@ -260,3 +260,40 @@ func TestSingleByteCorruptionDetectedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPayloadUVarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, math.MaxUint64}
+	var w Writer
+	for _, v := range vals {
+		w.UVarint(v)
+	}
+	// Mixes with fixed-width fields.
+	w.U8(9).UVarint(42).Str("x")
+	r := NewReader(w.Bytes())
+	for _, v := range vals {
+		if got := r.UVarint(); got != v {
+			t.Errorf("UVarint = %d, want %d", got, v)
+		}
+	}
+	if r.U8() != 9 || r.UVarint() != 42 || r.Str() != "x" {
+		t.Error("mixed payload mismatch")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Errorf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestPayloadUVarintTruncated(t *testing.T) {
+	// A lone continuation byte is an incomplete varint.
+	r := NewReader([]byte{0x80})
+	if got := r.UVarint(); got != 0 {
+		t.Errorf("truncated UVarint = %d, want 0", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated varint not flagged")
+	}
+	// Error sticks.
+	if r.UVarint() != 0 {
+		t.Error("read after error should be 0")
+	}
+}

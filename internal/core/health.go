@@ -117,6 +117,19 @@ func (r *Runtime) transitionLocked(to Health, reason string) {
 		TimeS: r.simTimeS, Scope: "core", Kind: "health-transition",
 		Cell: -1, V1: float64(r.health), V2: float64(to), Detail: reason,
 	})
+	if r.om.audit != nil {
+		// Health transitions share the audit stream with policy decisions
+		// (and alert transitions) so one chronological log tells the whole
+		// story. Guarded like tryUpdate's record: the note formatting
+		// allocates, and a disabled audit log must cost nothing.
+		r.om.audit.Add(obs.AuditRecord{
+			TimeS:     r.simTimeS,
+			DisPolicy: "-",
+			ChgPolicy: "-",
+			Health:    to.String(),
+			Note:      fmt.Sprintf("health %s -> %s: %s", r.health, to, reason),
+		})
+	}
 	r.health = to
 	if len(r.healthLog) == r.logCap {
 		copy(r.healthLog, r.healthLog[1:])

@@ -16,6 +16,7 @@ import (
 	"sdb/internal/core"
 	"sdb/internal/faults"
 	"sdb/internal/obs"
+	"sdb/internal/obs/ts"
 	"sdb/internal/pmic"
 	"sdb/internal/workload"
 )
@@ -50,6 +51,12 @@ type Config struct {
 	// falls back to the process default registry; a nil default leaves
 	// the run uninstrumented and byte-identical to earlier releases.
 	Obs *obs.Registry
+	// Recorder, when set, is sampled on every policy-tick boundary (and
+	// once more at run end) so the registry's point-in-time metrics
+	// become recorded time series. Give it a StepS no finer than
+	// PolicyEveryS — grid points between ticks repeat the last-seen
+	// values. Nil records nothing and costs nothing.
+	Recorder *ts.Recorder
 }
 
 // Series holds the recorded waveforms.
@@ -168,14 +175,21 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		if cfg.Runtime != nil && k%policyEvery == 0 {
-			if cfg.DirectiveFn != nil {
-				cfg.DirectiveFn(t, cfg.Runtime)
-			}
-			cfg.Runtime.NoteTime(t)
-			policyTicks.Inc()
-			if _, err := cfg.Runtime.Update(loadW, extW); err != nil {
-				return nil, fmt.Errorf("emulator: policy update at t=%g: %w", t, err)
+		if k%policyEvery == 0 {
+			// Scrape on the tick boundary, before the tick's update, so a
+			// sample at time t covers exactly the steps before t. The
+			// recorder is nil-safe and an unset one skips all registry
+			// work, keeping uninstrumented runs byte-identical.
+			cfg.Recorder.Sample(t)
+			if cfg.Runtime != nil {
+				if cfg.DirectiveFn != nil {
+					cfg.DirectiveFn(t, cfg.Runtime)
+				}
+				cfg.Runtime.NoteTime(t)
+				policyTicks.Inc()
+				if _, err := cfg.Runtime.Update(loadW, extW); err != nil {
+					return nil, fmt.Errorf("emulator: policy update at t=%g: %w", t, err)
+				}
 			}
 		}
 
@@ -255,6 +269,9 @@ func Run(cfg Config) (*Result, error) {
 			V1: res.ElapsedS, V2: float64(res.Steps),
 		})
 	}
+	// Final scrape so the tail of the run (after the last tick) and the
+	// end-of-run residual gauge land in the recording.
+	cfg.Recorder.Sample(res.ElapsedS)
 	return res, nil
 }
 

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -39,6 +40,12 @@ type AuditRecord struct {
 	Masked int
 	// Dis and Chg are the ratio vectors actually pushed to firmware.
 	Dis, Chg []float64
+	// Note annotates out-of-band records — health transitions and alert
+	// fire/resolve events share the audit stream with policy decisions
+	// so one chronological log tells the whole story. Empty for plain
+	// policy records (and omitted from String, keeping the golden
+	// format stable).
+	Note string
 }
 
 // String serializes the record as one line — the format golden-tested
@@ -52,6 +59,10 @@ func (a AuditRecord) String() string {
 		a.MeanSoC*100, a.Health, a.Masked)
 	writeVec(&sb, " disR=", a.Dis)
 	writeVec(&sb, " chgR=", a.Chg)
+	if a.Note != "" {
+		sb.WriteString(" note=")
+		sb.WriteString(strconv.Quote(a.Note))
+	}
 	return sb.String()
 }
 

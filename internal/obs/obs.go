@@ -232,6 +232,58 @@ func (r *Registry) Snapshot() []Family {
 	return fams
 }
 
+// MetricRef is a live read handle to one registered metric: Name, the
+// exposition Kind, and exactly one non-nil typed handle. The time-series
+// recorder resolves refs once per registry topology and then reads the
+// handles' atomic values directly — the allocation-free alternative to
+// Snapshot for periodic scraping.
+type MetricRef struct {
+	Name     string
+	Kind     Kind
+	Counter  *Counter
+	FCounter *FCounter
+	Gauge    *Gauge
+	Hist     *Histogram
+}
+
+// Refs returns a handle per registered metric, sorted by name. The
+// slice is fresh but the handles are live: reading them later sees
+// current values. Nil registry returns nil.
+func (r *Registry) Refs() []MetricRef {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	refs := make([]MetricRef, 0, len(r.counters)+len(r.fcounters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		refs = append(refs, MetricRef{Name: name, Kind: KindCounter, Counter: c})
+	}
+	for name, c := range r.fcounters {
+		refs = append(refs, MetricRef{Name: name, Kind: KindCounter, FCounter: c})
+	}
+	for name, g := range r.gauges {
+		refs = append(refs, MetricRef{Name: name, Kind: KindGauge, Gauge: g})
+	}
+	for name, h := range r.hists {
+		refs = append(refs, MetricRef{Name: name, Kind: KindHistogram, Hist: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Name < refs[j].Name })
+	return refs
+}
+
+// NumMetrics reports how many metrics are registered — a cheap change
+// detector for scrapers deciding whether to re-resolve Refs. Zero on a
+// nil registry.
+func (r *Registry) NumMetrics() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters) + len(r.fcounters) + len(r.gauges) + len(r.hists)
+}
+
 // Counter is a monotone int64 counter. All methods are safe on a nil
 // receiver (no-ops) and for concurrent use.
 type Counter struct{ v atomic.Int64 }
@@ -342,6 +394,38 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// NumBuckets returns the bucket count including the implicit +Inf
+// bucket (0 on nil).
+func (h *Histogram) NumBuckets() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.bounds) + 1
+}
+
+// Bounds returns a copy of the finite upper bucket bounds (nil on nil).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// CumAt reads the cumulative count of observations ≤ bound i (the
+// bucket at len(bounds) is +Inf, i.e. the total). Allocation-free so
+// scrapers can read bucket series on a cadence; O(i) in the bucket
+// index. Zero on a nil receiver or out-of-range index.
+func (h *Histogram) CumAt(i int) float64 {
+	if h == nil || i < 0 || i > len(h.bounds) {
+		return 0
+	}
+	var cum int64
+	for j := 0; j <= i; j++ {
+		cum += h.counts[j].Load()
+	}
+	return float64(cum)
 }
 
 // Count returns the number of observations (0 on nil).

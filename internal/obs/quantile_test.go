@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantileTable pins the linear-within-bucket
+// interpolation against hand-computed values.
+func TestHistogramQuantileTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		observe []float64
+		q       float64
+		want    float64
+	}{
+		// 10 observations spread uniformly over one (0,10] bucket:
+		// the median interpolates to the bucket midpoint.
+		{"single-bucket-median", []float64{10}, seq(1, 10), 0.5, 5},
+		{"single-bucket-q0", []float64{10}, seq(1, 10), 0, 0},
+		{"single-bucket-q1", []float64{10}, seq(1, 10), 1, 10},
+		// Two buckets, 4 obs below 1 and 6 in (1,2]: rank 5 of 10 sits
+		// 1/6 into the second bucket.
+		{"two-buckets", []float64{1, 2}, []float64{0.5, 0.5, 0.5, 0.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5}, 0.5, 1 + (1.0 / 6)},
+		// Boundary: q exactly at a bucket's cumulative fraction returns
+		// the bucket's upper bound.
+		{"exact-boundary", []float64{1, 2}, []float64{0.5, 0.5, 1.5, 1.5}, 0.5, 1},
+		// Everything in the +Inf bucket clamps to the last finite bound.
+		{"overflow-clamps", []float64{1, 2}, []float64{5, 6, 7}, 0.99, 2},
+		// Empty histogram has no quantiles.
+		{"empty", []float64{1, 2}, nil, 0.5, math.NaN()},
+		// Out-of-range q.
+		{"bad-q", []float64{1}, []float64{0.5}, 1.5, math.NaN()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram(tc.bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			got := h.Quantile(tc.q)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Quantile(%g) = %g, want NaN", tc.q, got)
+				}
+				return
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func seq(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, float64(v))
+	}
+	return out
+}
+
+// TestQuantileNilHistogram: the nil-receiver convention extends to
+// Quantile and the read helpers.
+func TestQuantileNilHistogram(t *testing.T) {
+	var h *Histogram
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("nil histogram Quantile should be NaN")
+	}
+	if h.NumBuckets() != 0 || h.Bounds() != nil || h.CumAt(0) != 0 {
+		t.Error("nil histogram read helpers should return zero values")
+	}
+}
+
+// TestFamilyQuantileFromParsedExposition: the p50/p99 sdbctl prints
+// come from a parsed family, which must agree exactly with the live
+// histogram's own estimate.
+func TestFamilyQuantileFromParsedExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_hist", []float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 500; i++ {
+		h.Observe(float64(i%100) / 150)
+	}
+	fams, err := ParseText(reg.Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fam *Family
+	for i := range fams {
+		if fams[i].Name == "t_hist" {
+			fam = &fams[i]
+		}
+	}
+	if fam == nil {
+		t.Fatal("histogram family missing from exposition")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, ok := FamilyQuantile(*fam, q)
+		if !ok {
+			t.Fatalf("FamilyQuantile(%g) not ok", q)
+		}
+		if want := h.Quantile(q); got != want {
+			t.Errorf("q=%g: parsed %g, live %g", q, got, want)
+		}
+	}
+	// Non-histogram families have no quantiles.
+	if _, ok := FamilyQuantile(Family{Name: "c", Kind: KindCounter}, 0.5); ok {
+		t.Error("counter family produced a quantile")
+	}
+}
+
+// TestHistogramCumAt: the scraper's bucket reader agrees with the
+// snapshot's cumulative view.
+func TestHistogramCumAt(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1.5, 1.6, 2.5, 9} {
+		h.Observe(v)
+	}
+	want := []float64{1, 3, 4, 5}
+	for i, w := range want {
+		if got := h.CumAt(i); got != w {
+			t.Errorf("CumAt(%d) = %g, want %g", i, got, w)
+		}
+	}
+	if h.CumAt(4) != 0 || h.CumAt(-1) != 0 {
+		t.Error("out-of-range CumAt should be 0")
+	}
+}
+
+// TestRegistryRefs: every registered metric appears exactly once with
+// its typed handle, sorted by name, and NumMetrics tracks the count.
+func TestRegistryRefs(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_counter").Add(3)
+	reg.FCounter("a_fcounter").Add(1.5)
+	reg.Gauge("c_gauge").Set(7)
+	reg.Histogram("d_hist", []float64{1}).Observe(0.5)
+	if n := reg.NumMetrics(); n != 4 {
+		t.Fatalf("NumMetrics = %d, want 4", n)
+	}
+	refs := reg.Refs()
+	if len(refs) != 4 {
+		t.Fatalf("Refs returned %d handles, want 4", len(refs))
+	}
+	wantOrder := []string{"a_fcounter", "b_counter", "c_gauge", "d_hist"}
+	for i, name := range wantOrder {
+		if refs[i].Name != name {
+			t.Fatalf("refs[%d] = %s, want %s", i, refs[i].Name, name)
+		}
+	}
+	if refs[0].FCounter.Value() != 1.5 || refs[1].Counter.Value() != 3 ||
+		refs[2].Gauge.Value() != 7 || refs[3].Hist.Count() != 1 {
+		t.Error("ref handles do not read live values")
+	}
+	var nilReg *Registry
+	if nilReg.Refs() != nil || nilReg.NumMetrics() != 0 {
+		t.Error("nil registry Refs/NumMetrics should be nil/0")
+	}
+}

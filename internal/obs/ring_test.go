@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestTracerWraparoundOrdering drives the ring through several full
+// wraparounds and checks, after each emission, that Events() returns a
+// contiguous, strictly ascending suffix of everything emitted — i.e.
+// the ring always holds exactly the newest cap events in order, no
+// matter where the internal start index sits.
+func TestTracerWraparoundOrdering(t *testing.T) {
+	const cap = 7
+	tr := NewTracer(cap)
+	total := int64(0)
+	for i := 0; i < 5*cap+3; i++ {
+		total++
+		tr.Emit(Event{TimeS: float64(i), Scope: "w", Kind: "tick", V1: float64(i)})
+		evs := tr.Events()
+		wantLen := int(total)
+		if wantLen > cap {
+			wantLen = cap
+		}
+		if len(evs) != wantLen {
+			t.Fatalf("after %d emits: got %d events, want %d", total, len(evs), wantLen)
+		}
+		// Newest event is always last; sequence numbers are the final
+		// contiguous run ending at total.
+		for j, ev := range evs {
+			wantSeq := uint64(total) - uint64(wantLen) + uint64(j) + 1
+			if ev.Seq != wantSeq {
+				t.Fatalf("after %d emits: evs[%d].Seq = %d, want %d", total, j, ev.Seq, wantSeq)
+			}
+			if j > 0 && evs[j].TimeS <= evs[j-1].TimeS {
+				t.Fatalf("after %d emits: TimeS not ascending at %d", total, j)
+			}
+		}
+		wantDropped := uint64(total) - uint64(wantLen)
+		if tr.Dropped() != wantDropped {
+			t.Fatalf("after %d emits: Dropped = %d, want %d", total, tr.Dropped(), wantDropped)
+		}
+	}
+}
+
+// TestAuditLogEvictsOldestFirst fills the ring past capacity and checks
+// that eviction removes the oldest record each time: the survivors are
+// always the newest cap records, oldest first, with Seq still stamped
+// monotonically across evictions.
+func TestAuditLogEvictsOldestFirst(t *testing.T) {
+	const cap = 5
+	log := NewAuditLog(cap)
+	for i := 1; i <= 3*cap+2; i++ {
+		log.Add(AuditRecord{TimeS: float64(i), Health: fmt.Sprintf("h%d", i)})
+		recs := log.Records()
+		wantLen := i
+		if wantLen > cap {
+			wantLen = cap
+		}
+		if len(recs) != wantLen {
+			t.Fatalf("after %d adds: got %d records, want %d", i, len(recs), wantLen)
+		}
+		for j, r := range recs {
+			wantSeq := int64(i - wantLen + j + 1)
+			if r.Seq != wantSeq {
+				t.Fatalf("after %d adds: recs[%d].Seq = %d, want %d (oldest-first eviction violated)", i, j, r.Seq, wantSeq)
+			}
+			if want := fmt.Sprintf("h%d", wantSeq); r.Health != want {
+				t.Fatalf("after %d adds: recs[%d].Health = %q, want %q", i, j, r.Health, want)
+			}
+		}
+		wantDropped := int64(i) - int64(wantLen)
+		if log.Dropped() != wantDropped {
+			t.Fatalf("after %d adds: Dropped = %d, want %d", i, log.Dropped(), wantDropped)
+		}
+	}
+}
+
+// TestAuditRecordNote: records with a Note render it quoted at the end
+// of the line; plain policy records keep the golden format untouched.
+func TestAuditRecordNote(t *testing.T) {
+	plain := AuditRecord{Seq: 1, DisPolicy: "p", ChgPolicy: "p"}
+	if strings.Contains(plain.String(), "note=") {
+		t.Errorf("plain record should not render a note field: %s", plain)
+	}
+	noted := AuditRecord{Seq: 2, DisPolicy: "p", ChgPolicy: "p", Note: `alert "x" fired`}
+	s := noted.String()
+	if !strings.HasSuffix(s, ` note="alert \"x\" fired"`) {
+		t.Errorf("note not rendered/quoted: %s", s)
+	}
+}

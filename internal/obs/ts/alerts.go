@@ -1,0 +1,427 @@
+package ts
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdb/internal/obs"
+)
+
+// Alert rules are declarative threshold checks over recorded series,
+// evaluated after every sample. One rule per line:
+//
+//	alert <name> <signal> <op> <value> [for <duration>] [over <duration>]
+//
+//	signal   := <series> | rate(<series>) | delta(<series>) | abs(<signal>)
+//	op       := > | >= | < | <= | == | !=
+//	value    := number | healthy | degraded | safemode | failed
+//	duration := Go duration syntax (90s, 10m, 1h30m), in sim time
+//
+// `for` holds the condition pending until it has been continuously
+// true that long (0 = fire on first true sample). `over` sets the
+// rate/delta lookback window (default: one sample step). Blank lines
+// and #-comments are ignored. Examples:
+//
+//	alert brownout    rate(sdb_pmic_brownout_steps_total) > 0
+//	alert energy-leak abs(sdb_emulator_energy_residual_joules) > 1e-6
+//	alert degraded    sdb_core_health_state >= degraded for 10m
+type Rule struct {
+	// Name labels the alert in trace events and audit records.
+	Name string
+	// Series is the series the signal reads.
+	Series string
+	// Sig selects the derived signal.
+	Sig SignalKind
+	// Abs applies |x| to the signal before comparing.
+	Abs bool
+	// Op compares the signal against Threshold.
+	Op CmpOp
+	// Threshold is the right-hand side.
+	Threshold float64
+	// ForS holds the condition pending this many sim seconds before
+	// firing; 0 fires immediately.
+	ForS float64
+	// WindowS is the rate/delta lookback in sim seconds; 0 means one
+	// sample step.
+	WindowS float64
+}
+
+// SignalKind selects how a rule reads its series.
+type SignalKind uint8
+
+const (
+	// SigValue reads the newest sample.
+	SigValue SignalKind = iota
+	// SigRate reads the per-second rate over the rule's window.
+	SigRate
+	// SigDelta reads the change over the rule's window.
+	SigDelta
+)
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators, in grammar order.
+const (
+	OpGT CmpOp = iota
+	OpGE
+	OpLT
+	OpLE
+	OpEQ
+	OpNE
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpEQ:
+		return "=="
+	case OpNE:
+		return "!="
+	}
+	return "?"
+}
+
+func (o CmpOp) holds(v, threshold float64) bool {
+	switch o {
+	case OpGT:
+		return v > threshold
+	case OpGE:
+		return v >= threshold
+	case OpLT:
+		return v < threshold
+	case OpLE:
+		return v <= threshold
+	case OpEQ:
+		return v == threshold
+	case OpNE:
+		return v != threshold
+	}
+	return false
+}
+
+// String renders the rule back in grammar form.
+func (ru Rule) String() string {
+	var sb strings.Builder
+	sb.WriteString("alert ")
+	sb.WriteString(ru.Name)
+	sb.WriteByte(' ')
+	sig := ru.Series
+	switch ru.Sig {
+	case SigRate:
+		sig = "rate(" + sig + ")"
+	case SigDelta:
+		sig = "delta(" + sig + ")"
+	}
+	if ru.Abs {
+		sig = "abs(" + sig + ")"
+	}
+	fmt.Fprintf(&sb, "%s %s %g", sig, ru.Op, ru.Threshold)
+	if ru.ForS > 0 {
+		fmt.Fprintf(&sb, " for %s", time.Duration(ru.ForS*float64(time.Second)))
+	}
+	if ru.WindowS > 0 {
+		fmt.Fprintf(&sb, " over %s", time.Duration(ru.WindowS*float64(time.Second)))
+	}
+	return sb.String()
+}
+
+// healthSymbols maps the core degradation-ladder names to the values
+// sdb_core_health_state reports, so rules can say `>= degraded`
+// instead of a magic number. Mirrors core.Health's iota order.
+var healthSymbols = map[string]float64{
+	"healthy":  0,
+	"degraded": 1,
+	"safemode": 2,
+	"failed":   3,
+}
+
+// ParseRules parses a rule file. Errors carry 1-based line numbers.
+func ParseRules(src string) ([]Rule, error) {
+	var rules []Rule
+	seen := make(map[string]bool)
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ru, err := parseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("rules line %d: %w", i+1, err)
+		}
+		if seen[ru.Name] {
+			return nil, fmt.Errorf("rules line %d: duplicate alert name %q", i+1, ru.Name)
+		}
+		seen[ru.Name] = true
+		rules = append(rules, ru)
+	}
+	return rules, nil
+}
+
+func parseRule(line string) (Rule, error) {
+	f := strings.Fields(line)
+	if len(f) < 5 || f[0] != "alert" {
+		return Rule{}, fmt.Errorf("want `alert <name> <signal> <op> <value> [for <dur>] [over <dur>]`, got %q", line)
+	}
+	ru := Rule{Name: f[1]}
+
+	sig := f[2]
+	for {
+		switch {
+		case strings.HasPrefix(sig, "abs(") && strings.HasSuffix(sig, ")"):
+			if ru.Abs {
+				return Rule{}, fmt.Errorf("nested abs in %q", f[2])
+			}
+			ru.Abs = true
+			sig = sig[4 : len(sig)-1]
+		case strings.HasPrefix(sig, "rate(") && strings.HasSuffix(sig, ")"):
+			ru.Sig = SigRate
+			sig = sig[5 : len(sig)-1]
+		case strings.HasPrefix(sig, "delta(") && strings.HasSuffix(sig, ")"):
+			ru.Sig = SigDelta
+			sig = sig[6 : len(sig)-1]
+		default:
+			if strings.ContainsAny(sig, "() ") || sig == "" {
+				return Rule{}, fmt.Errorf("bad signal %q", f[2])
+			}
+			ru.Series = sig
+			goto signalDone
+		}
+		if ru.Sig != SigValue && strings.HasPrefix(sig, "abs(") {
+			return Rule{}, fmt.Errorf("abs must wrap rate/delta, not the reverse, in %q", f[2])
+		}
+	}
+signalDone:
+
+	switch f[3] {
+	case ">":
+		ru.Op = OpGT
+	case ">=":
+		ru.Op = OpGE
+	case "<":
+		ru.Op = OpLT
+	case "<=":
+		ru.Op = OpLE
+	case "==":
+		ru.Op = OpEQ
+	case "!=":
+		ru.Op = OpNE
+	default:
+		return Rule{}, fmt.Errorf("bad operator %q", f[3])
+	}
+
+	if v, ok := healthSymbols[strings.ToLower(f[4])]; ok {
+		ru.Threshold = v
+	} else {
+		v, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return Rule{}, fmt.Errorf("bad threshold %q", f[4])
+		}
+		ru.Threshold = v
+	}
+
+	rest := f[5:]
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return Rule{}, fmt.Errorf("trailing %q", strings.Join(rest, " "))
+		}
+		d, err := time.ParseDuration(rest[1])
+		if err != nil || d < 0 {
+			return Rule{}, fmt.Errorf("bad duration %q", rest[1])
+		}
+		switch rest[0] {
+		case "for":
+			ru.ForS = d.Seconds()
+		case "over":
+			ru.WindowS = d.Seconds()
+		default:
+			return Rule{}, fmt.Errorf("want `for` or `over`, got %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	return ru, nil
+}
+
+// AlertState is an alert's position in its lifecycle.
+type AlertState uint8
+
+const (
+	// StateInactive: condition false (or insufficient data).
+	StateInactive AlertState = iota
+	// StatePending: condition true, waiting out the for-duration.
+	StatePending
+	// StateFiring: condition held long enough; fire was emitted.
+	StateFiring
+)
+
+func (s AlertState) String() string {
+	switch s {
+	case StateInactive:
+		return "inactive"
+	case StatePending:
+		return "pending"
+	case StateFiring:
+		return "firing"
+	}
+	return "unknown"
+}
+
+// AlertStatus is one rule's live state, as reported by AlertStates.
+type AlertStatus struct {
+	Rule  Rule
+	State AlertState
+	// SinceS is when the current state began (sim seconds); 0 for
+	// never-evaluated inactive rules.
+	SinceS float64
+	// Value is the signal's most recent evaluation (NaN before data).
+	Value float64
+	// Fired counts fire transitions over the evaluator's lifetime.
+	Fired int
+}
+
+// Evaluator runs alert rules after every recorder sample. It emits a
+// trace event (scope "ts", kinds "alert.fire"/"alert.resolve") and an
+// audit record on each transition; steady-state evaluation with no
+// transitions is alloc-free.
+type Evaluator struct {
+	states []AlertStatus
+	tracer *obs.Tracer
+	audit  *obs.AuditLog
+}
+
+func newEvaluator(rules []Rule, reg *obs.Registry) *Evaluator {
+	e := &Evaluator{
+		states: make([]AlertStatus, len(rules)),
+		tracer: reg.Tracer(),
+		audit:  reg.Audit(),
+	}
+	for i, ru := range rules {
+		e.states[i] = AlertStatus{Rule: ru, Value: math.NaN()}
+	}
+	return e
+}
+
+// evalLocked evaluates every rule against the recorder at sim time t.
+// Called with r.mu held, right after each sample lands. Nil-safe.
+func (e *Evaluator) evalLocked(r *Recorder, t float64) {
+	if e == nil {
+		return
+	}
+	for i := range e.states {
+		st := &e.states[i]
+		v, ok := e.signalLocked(r, &st.Rule)
+		if !ok {
+			// Not enough history yet: stay/return to inactive silently
+			// (a firing alert holds until the condition is observably
+			// false, not when data momentarily thins).
+			if st.State == StatePending {
+				st.State = StateInactive
+				st.SinceS = t
+			}
+			continue
+		}
+		st.Value = v
+		cond := st.Rule.Op.holds(v, st.Rule.Threshold)
+		switch {
+		case cond && st.State == StateInactive:
+			if st.Rule.ForS <= 0 {
+				e.fire(st, t)
+			} else {
+				st.State = StatePending
+				st.SinceS = t
+			}
+		case cond && st.State == StatePending:
+			if t-st.SinceS >= st.Rule.ForS-1e-9 {
+				e.fire(st, t)
+			}
+		case !cond && st.State == StatePending:
+			st.State = StateInactive
+			st.SinceS = t
+		case !cond && st.State == StateFiring:
+			e.resolve(st, t)
+		}
+	}
+}
+
+func (e *Evaluator) signalLocked(r *Recorder, ru *Rule) (float64, bool) {
+	var v float64
+	var ok bool
+	switch ru.Sig {
+	case SigRate:
+		v, ok = r.rateLocked(ru.Series, ru.windowS(r))
+	case SigDelta:
+		v, ok = r.deltaLocked(ru.Series, ru.windowS(r))
+	default:
+		v, ok = r.latestLocked(ru.Series)
+	}
+	if ok && ru.Abs {
+		v = math.Abs(v)
+	}
+	return v, ok
+}
+
+// windowS resolves the rule's lookback: explicit `over`, else one
+// sample step.
+func (ru *Rule) windowS(r *Recorder) float64 {
+	if ru.WindowS > 0 {
+		return ru.WindowS
+	}
+	return r.stepS
+}
+
+func (e *Evaluator) fire(st *AlertStatus, t float64) {
+	st.State = StateFiring
+	st.SinceS = t
+	st.Fired++
+	e.emit(st, t, "alert.fire", "fired")
+}
+
+func (e *Evaluator) resolve(st *AlertStatus, t float64) {
+	st.State = StateInactive
+	st.SinceS = t
+	e.emit(st, t, "alert.resolve", "resolved")
+}
+
+// emit publishes one transition as a trace event plus an audit record.
+// Transitions are rare edges, so the fmt allocation here is acceptable
+// (same policy as trace-event emission elsewhere in the stack).
+func (e *Evaluator) emit(st *AlertStatus, t float64, kind, verb string) {
+	e.tracer.Emit(obs.Event{
+		TimeS:  t,
+		Scope:  "ts",
+		Kind:   kind,
+		V1:     st.Value,
+		V2:     st.Rule.Threshold,
+		Detail: st.Rule.Name,
+	})
+	e.audit.Add(obs.AuditRecord{
+		TimeS:     t,
+		DisPolicy: "-",
+		ChgPolicy: "-",
+		Health:    "-",
+		Note:      fmt.Sprintf("alert %q %s: %s (value %g)", st.Rule.Name, verb, st.Rule.String(), st.Value),
+	})
+}
+
+// AlertStates copies out the live alert table (nil when the recorder
+// has no rules).
+func (r *Recorder) AlertStates() []AlertStatus {
+	if r == nil || r.eval == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]AlertStatus, len(r.eval.states))
+	copy(out, r.eval.states)
+	return out
+}

@@ -1,0 +1,472 @@
+package ts
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sdb/internal/obs"
+)
+
+// DefaultStepS is the scrape cadence when Config.StepS is zero: one
+// sample per simulated minute, which keeps a full emulated day at 1440
+// samples per series.
+const DefaultStepS = 60
+
+// DefaultRetain is the per-series ring capacity when Config.Retain is
+// zero — comfortably more than a day at the default cadence.
+const DefaultRetain = 4096
+
+// Config sizes a Recorder.
+type Config struct {
+	// StepS is the sample cadence in sim seconds (DefaultStepS when 0).
+	// The recorder snaps samples to a uniform grid: a Sample(t) call
+	// records one sample per elapsed grid point, so cadences coarser
+	// than the caller's tick rate skip ticks and finer ones repeat the
+	// last-seen values. Use a multiple of the policy interval.
+	StepS float64
+	// Retain bounds samples kept per series (DefaultRetain when 0);
+	// the ring evicts oldest-first beyond it.
+	Retain int
+	// Rules, when non-empty, attaches an alert evaluator that runs
+	// after every sample. Parse them with ParseRules.
+	Rules []Rule
+}
+
+// column maps one registry metric to its series. Exactly one of the
+// metric handles is non-nil; histograms fan out into bucket/sum/count
+// series plus a shared histGroup for quantile queries.
+type column struct {
+	counter  *obs.Counter
+	fcounter *obs.FCounter
+	gauge    *obs.Gauge
+	hist     *obs.Histogram
+
+	s  *Series // scalar metrics
+	hg *histGroup
+}
+
+// histGroup ties a histogram's fan-out series together for windowed
+// quantile queries.
+type histGroup struct {
+	bounds  []float64
+	buckets []*Series // len(bounds)+1, cumulative counts, +Inf last
+	sum     *Series
+	count   *Series
+	scratch []float64 // windowed cum counts, reused per query
+}
+
+// Recorder scrapes an obs registry into bounded uniform-step series
+// and (optionally) evaluates alert rules after every sample. The zero
+// of usefulness is preserved: a nil *Recorder ignores every call, so
+// layers thread it unconditionally.
+//
+// Two ingestion paths share the engine: Sample reads a live registry
+// in-process (alloc-free steady state), Observe ingests parsed
+// expositions scraped over the wire (sdbctl watch). A recorder should
+// use one path, not both.
+type Recorder struct {
+	mu     sync.Mutex
+	reg    *obs.Registry
+	stepS  float64
+	retain int
+
+	// live-scrape state: refs/cols rebuilt only when the registry's
+	// metric count changes (registration is append-only).
+	refs    []obs.MetricRef
+	cols    []column
+	lastNum int
+
+	series []*Series
+	byName map[string]*Series
+	hists  map[string]*histGroup // histogram base name → group
+
+	started bool
+	nextT   float64
+	lastT   float64
+
+	eval *Evaluator
+}
+
+// NewRecorder builds a recorder over reg (nil reg is allowed for
+// Observe-only use). The returned recorder allocates its rings lazily,
+// per metric, at first sight.
+func NewRecorder(reg *obs.Registry, cfg Config) *Recorder {
+	if cfg.StepS <= 0 {
+		cfg.StepS = DefaultStepS
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = DefaultRetain
+	}
+	r := &Recorder{
+		reg:    reg,
+		stepS:  cfg.StepS,
+		retain: cfg.Retain,
+		byName: make(map[string]*Series),
+		hists:  make(map[string]*histGroup),
+	}
+	if len(cfg.Rules) > 0 {
+		r.eval = newEvaluator(cfg.Rules, reg)
+	}
+	return r
+}
+
+// StepS returns the sample cadence in sim seconds.
+func (r *Recorder) StepS() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.stepS
+}
+
+// Sample scrapes the live registry once per grid point elapsed up to
+// sim time t. Call it on policy-tick boundaries; between metric-set
+// changes it performs zero heap allocations. Nil-safe.
+func (r *Recorder) Sample(t float64) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.started {
+		r.started = true
+		r.nextT = t
+	}
+	for t >= r.nextT-1e-9 {
+		r.syncLocked(r.nextT)
+		r.scrapeLocked()
+		r.lastT = r.nextT
+		r.nextT += r.stepS
+		r.eval.evalLocked(r, r.lastT)
+	}
+	r.mu.Unlock()
+}
+
+// syncLocked rebuilds the ref→series columns when the registry's
+// metric set grew. Rare (typically once, on the first sample), so it
+// may allocate.
+func (r *Recorder) syncLocked(t float64) {
+	n := r.reg.NumMetrics()
+	if n == r.lastNum {
+		return
+	}
+	r.lastNum = n
+	r.refs = r.reg.Refs()
+	r.cols = r.cols[:0]
+	for _, ref := range r.refs {
+		var c column
+		switch {
+		case ref.Counter != nil:
+			c.counter = ref.Counter
+			c.s = r.seriesLocked(ref.Name, KindCounter, t)
+		case ref.FCounter != nil:
+			c.fcounter = ref.FCounter
+			c.s = r.seriesLocked(ref.Name, KindFCounter, t)
+		case ref.Gauge != nil:
+			c.gauge = ref.Gauge
+			c.s = r.seriesLocked(ref.Name, KindGauge, t)
+		case ref.Hist != nil:
+			c.hist = ref.Hist
+			c.hg = r.histGroupLocked(ref.Name, ref.Hist.Bounds(), t)
+		}
+		r.cols = append(r.cols, c)
+	}
+}
+
+// seriesLocked returns the named series, creating it (first sample at
+// time t) if new.
+func (r *Recorder) seriesLocked(name string, kind Kind, t float64) *Series {
+	if s, ok := r.byName[name]; ok {
+		return s
+	}
+	s := newSeries(name, kind, r.stepS, r.retain, t)
+	r.byName[name] = s
+	r.series = append(r.series, s)
+	return s
+}
+
+// histGroupLocked returns the fan-out group for a histogram base name,
+// creating bucket/sum/count series if new.
+func (r *Recorder) histGroupLocked(name string, bounds []float64, t float64) *histGroup {
+	if hg, ok := r.hists[name]; ok {
+		return hg
+	}
+	nb := len(bounds) + 1
+	hg := &histGroup{
+		bounds:  bounds,
+		buckets: make([]*Series, nb),
+		scratch: make([]float64, nb),
+	}
+	for i := 0; i < nb; i++ {
+		hg.buckets[i] = r.seriesLocked(name+"_bucket{"+bucketLabel(bounds, i)+"}", KindHistBucket, t)
+	}
+	hg.sum = r.seriesLocked(name+"_sum", KindHistSum, t)
+	hg.count = r.seriesLocked(name+"_count", KindHistCount, t)
+	r.hists[name] = hg
+	return hg
+}
+
+// bucketLabel renders le="..." exactly like the text exposition, so
+// live-scraped and wire-parsed series share names.
+func bucketLabel(bounds []float64, i int) string {
+	if i >= len(bounds) {
+		return `le="+Inf"`
+	}
+	return `le="` + strconv.FormatFloat(bounds[i], 'g', -1, 64) + `"`
+}
+
+// scrapeLocked appends one sample to every series. Alloc-free.
+func (r *Recorder) scrapeLocked() {
+	for i := range r.cols {
+		c := &r.cols[i]
+		switch {
+		case c.counter != nil:
+			c.s.append(float64(c.counter.Value()))
+		case c.fcounter != nil:
+			c.s.append(c.fcounter.Value())
+		case c.gauge != nil:
+			c.s.append(c.gauge.Value())
+		case c.hist != nil:
+			for b, bs := range c.hg.buckets {
+				bs.append(c.hist.CumAt(b))
+			}
+			c.hg.sum.append(c.hist.Sum())
+			c.hg.count.append(float64(c.hist.Count()))
+		}
+	}
+}
+
+// Observe ingests one parsed exposition (ParseText output) at sim time
+// t, appending one grid sample per series — the wire-side twin of
+// Sample for callers that only hold a scraped text dump. Follows the
+// same uniform grid: multiple elapsed grid points repeat the scraped
+// values. Nil-safe.
+func (r *Recorder) Observe(t float64, fams []obs.Family) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.started {
+		r.started = true
+		r.nextT = t
+	}
+	for t >= r.nextT-1e-9 {
+		r.observeOnceLocked(r.nextT, fams)
+		r.lastT = r.nextT
+		r.nextT += r.stepS
+		r.eval.evalLocked(r, r.lastT)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Recorder) observeOnceLocked(t float64, fams []obs.Family) {
+	for _, f := range fams {
+		switch f.Kind {
+		case obs.KindCounter:
+			if len(f.Samples) == 1 {
+				// Int and float counters are indistinguishable in the text
+				// format; record both as float counters.
+				r.seriesLocked(f.Name, KindFCounter, t).append(f.Samples[0].Value)
+			}
+		case obs.KindGauge:
+			if len(f.Samples) == 1 {
+				r.seriesLocked(f.Name, KindGauge, t).append(f.Samples[0].Value)
+			}
+		case obs.KindHistogram:
+			r.observeHistLocked(t, f)
+		}
+	}
+}
+
+func (r *Recorder) observeHistLocked(t float64, f obs.Family) {
+	hg := r.hists[f.Name]
+	if hg == nil {
+		// First sight: reconstruct the bucket layout from the labels.
+		var bounds []float64
+		for _, s := range f.Samples {
+			le, ok := cutLe(s.Label)
+			if !ok || le == "+Inf" {
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return // malformed family; skip whole
+			}
+			bounds = append(bounds, b)
+		}
+		hg = r.histGroupLocked(f.Name, bounds, t)
+	}
+	bi := 0
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasPrefix(s.Label, `le="`):
+			if bi < len(hg.buckets) {
+				hg.buckets[bi].append(s.Value)
+				bi++
+			}
+		case s.Label == "sum":
+			hg.sum.append(s.Value)
+		case s.Label == "count":
+			hg.count.append(s.Value)
+		}
+	}
+}
+
+func cutLe(label string) (string, bool) {
+	v, ok := strings.CutPrefix(label, `le="`)
+	if !ok || !strings.HasSuffix(v, `"`) {
+		return "", false
+	}
+	return strings.TrimSuffix(v, `"`), true
+}
+
+// LastT returns the sim time of the newest sample (false before any).
+func (r *Recorder) LastT() (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastT, r.started
+}
+
+// Names returns all series names, sorted.
+func (r *Recorder) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get copies out one series' retained window.
+func (r *Recorder) Get(name string) (Window, bool) {
+	if r == nil {
+		return Window{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byName[name]
+	if !ok {
+		return Window{}, false
+	}
+	return s.Window(), true
+}
+
+// Windows copies out every series, sorted by name — the unit handed to
+// the series-file writer and the wire handler.
+func (r *Recorder) Windows() []Window {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Window, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s.Window())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Load seeds the recorder with transported windows (file reader, wire
+// client) so the query engine runs over recorded data. Series already
+// present are replaced.
+func (r *Recorder) Load(ws []Window) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range ws {
+		s := seriesFromWindow(w, r.retain)
+		if old, ok := r.byName[w.Name]; ok {
+			for i := range r.series {
+				if r.series[i] == old {
+					r.series[i] = s
+				}
+			}
+		} else {
+			r.series = append(r.series, s)
+		}
+		r.byName[w.Name] = s
+		r.started = true
+		if t := s.TimeAt(s.n - 1); s.n > 0 && t > r.lastT {
+			r.lastT = t
+			r.nextT = t + r.stepS
+		}
+	}
+	r.rebuildHistsLocked()
+}
+
+// rebuildHistsLocked regroups loaded bucket series into histGroups so
+// QuantileOver works over recorded data.
+func (r *Recorder) rebuildHistsLocked() {
+	for _, s := range r.series {
+		if s.kind != KindHistBucket {
+			continue
+		}
+		if base, _, ok := splitBucketName(s.name); ok && r.hists[base] == nil {
+			r.hists[base] = &histGroup{}
+		}
+	}
+	// Rebuild each group's bounds and bucket order from scratch so
+	// repeated Loads stay idempotent.
+	for base, hg := range r.hists {
+		var bounds []float64
+		var finite []*Series
+		var inf *Series
+		for _, s := range r.series {
+			b, label, ok := splitBucketName(s.name)
+			if !ok || b != base {
+				continue
+			}
+			if label == "+Inf" {
+				inf = s
+				continue
+			}
+			v, err := strconv.ParseFloat(label, 64)
+			if err != nil {
+				continue
+			}
+			bounds = append(bounds, v)
+			finite = append(finite, s)
+		}
+		if inf == nil {
+			continue
+		}
+		sort.Sort(&boundSort{bounds, finite})
+		hg.bounds = bounds
+		hg.buckets = append(finite, inf)
+		hg.scratch = make([]float64, len(hg.buckets))
+		hg.sum = r.byName[base+"_sum"]
+		hg.count = r.byName[base+"_count"]
+	}
+}
+
+type boundSort struct {
+	bounds []float64
+	series []*Series
+}
+
+func (b *boundSort) Len() int           { return len(b.bounds) }
+func (b *boundSort) Less(i, j int) bool { return b.bounds[i] < b.bounds[j] }
+func (b *boundSort) Swap(i, j int) {
+	b.bounds[i], b.bounds[j] = b.bounds[j], b.bounds[i]
+	b.series[i], b.series[j] = b.series[j], b.series[i]
+}
+
+// splitBucketName parses `base_bucket{le="x"}` into (base, x).
+func splitBucketName(name string) (base, label string, ok bool) {
+	i := strings.Index(name, `_bucket{le="`)
+	if i < 0 || !strings.HasSuffix(name, `"}`) {
+		return "", "", false
+	}
+	return name[:i], name[i+len(`_bucket{le="`) : len(name)-2], true
+}

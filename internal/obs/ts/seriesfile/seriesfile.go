@@ -1,0 +1,251 @@
+// Package seriesfile is the versioned on-disk format for recorded
+// time series (.sdbts): what `sdbsim -record` writes and `sdbtrace
+// export` reads.
+//
+// Layout (all integers little-endian, varints are unsigned LEB128 as
+// in encoding/binary):
+//
+//	magic   "SDBTS"              5 bytes
+//	version u8                   currently 1
+//	nseries uvarint
+//	series × nseries:
+//	  name    uvarint length + bytes
+//	  kind    u8                 ts.Kind
+//	  stepS   f64                uniform sample spacing, sim seconds
+//	  firstT  f64                sim time of Values[0]
+//	  total   uvarint            samples ever recorded (≥ count)
+//	  count   uvarint            samples in this file
+//	  values  f64 raw bits, then (count-1) × uvarint XOR deltas
+//	crc     u16                  CRC-16/CCITT-FALSE over all prior bytes
+//
+// Values are delta-encoded by XORing consecutive float64 bit patterns:
+// uniform-step series change slowly, so consecutive bits share high
+// bytes and the varints stay short, while decoding reproduces every
+// sample bit-exactly. The CRC trailer reuses the bus frame polynomial,
+// so one checksum implementation guards both transports.
+package seriesfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"sdb/internal/bus"
+	"sdb/internal/obs/ts"
+)
+
+// Magic starts every series file.
+const Magic = "SDBTS"
+
+// Version is the format this package writes.
+const Version = 1
+
+// MaxNameLen bounds a series name on read, against corrupt length
+// prefixes.
+const MaxNameLen = 4096
+
+// ErrCorrupt wraps every structural decode failure.
+var ErrCorrupt = errors.New("seriesfile: corrupt")
+
+// Write serializes the windows. Deterministic: equal input produces
+// equal bytes.
+func Write(w io.Writer, windows []ts.Window) error {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(Version)
+	buf.Write(binary.AppendUvarint(nil, uint64(len(windows))))
+	var scratch [8]byte
+	for _, win := range windows {
+		if len(win.Name) > MaxNameLen {
+			return fmt.Errorf("seriesfile: name %q exceeds %d bytes", win.Name[:32], MaxNameLen)
+		}
+		if uint64(len(win.Values)) > win.Total {
+			return fmt.Errorf("seriesfile: %s: count %d exceeds total %d", win.Name, len(win.Values), win.Total)
+		}
+		buf.Write(binary.AppendUvarint(nil, uint64(len(win.Name))))
+		buf.WriteString(win.Name)
+		buf.WriteByte(byte(win.Kind))
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(win.StepS))
+		buf.Write(scratch[:])
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(win.FirstT))
+		buf.Write(scratch[:])
+		buf.Write(binary.AppendUvarint(nil, win.Total))
+		buf.Write(binary.AppendUvarint(nil, uint64(len(win.Values))))
+		var prev uint64
+		for i, v := range win.Values {
+			bits := math.Float64bits(v)
+			if i == 0 {
+				binary.LittleEndian.PutUint64(scratch[:], bits)
+				buf.Write(scratch[:])
+			} else {
+				buf.Write(binary.AppendUvarint(nil, prev^bits))
+			}
+			prev = bits
+		}
+	}
+	crc := bus.CRC16(buf.Bytes())
+	binary.LittleEndian.PutUint16(scratch[:2], crc)
+	buf.Write(scratch[:2])
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteFile writes the windows to path (0644, truncating).
+func WriteFile(path string, windows []ts.Window) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, windows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a whole series file. It never panics on corrupt input
+// and never allocates more than the input's size can justify: every
+// length field is validated against the bytes actually remaining
+// before any buffer is sized from it.
+func Read(r io.Reader) ([]ts.Window, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// ReadFile decodes the series file at path.
+func ReadFile(path string) ([]ts.Window, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Decode decodes an in-memory series file.
+func Decode(data []byte) ([]ts.Window, error) {
+	if len(data) < len(Magic)+1+2 {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := data[len(Magic)]; v != Version {
+		return nil, fmt.Errorf("seriesfile: unsupported version %d (want %d)", v, Version)
+	}
+	body, tail := data[:len(data)-2], data[len(data)-2:]
+	if got, want := binary.LittleEndian.Uint16(tail), bus.CRC16(body); got != want {
+		return nil, fmt.Errorf("%w: crc mismatch (got %#04x want %#04x)", ErrCorrupt, got, want)
+	}
+
+	d := decoder{buf: body[len(Magic)+1:]}
+	nseries := d.uvarint("series count")
+	// Each series needs at least 12 bytes (empty name, kind, 2×f64
+	// shortest encodings...) — cheap sanity cap before sizing the slice.
+	if nseries > uint64(len(d.buf)) {
+		return nil, fmt.Errorf("%w: series count %d exceeds input", ErrCorrupt, nseries)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	windows := make([]ts.Window, 0, nseries)
+	for i := uint64(0); i < nseries; i++ {
+		w, err := d.window()
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		windows = append(windows, w)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return windows, nil
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: bad %s varint", ErrCorrupt, what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) f64(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) window() (ts.Window, error) {
+	nameLen := d.uvarint("name length")
+	if d.err != nil {
+		return ts.Window{}, d.err
+	}
+	if nameLen > MaxNameLen || nameLen > uint64(len(d.buf)) {
+		return ts.Window{}, fmt.Errorf("%w: name length %d", ErrCorrupt, nameLen)
+	}
+	name := string(d.buf[:nameLen])
+	d.buf = d.buf[nameLen:]
+	if len(d.buf) < 1 {
+		return ts.Window{}, fmt.Errorf("%w: truncated kind", ErrCorrupt)
+	}
+	kind := ts.Kind(d.buf[0])
+	d.buf = d.buf[1:]
+	if kind.String() == "unknown" {
+		return ts.Window{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+	w := ts.Window{
+		Name:   name,
+		Kind:   kind,
+		StepS:  d.f64("step"),
+		FirstT: d.f64("firstT"),
+		Total:  d.uvarint("total"),
+	}
+	count := d.uvarint("count")
+	if d.err != nil {
+		return ts.Window{}, d.err
+	}
+	// A sample costs ≥1 byte after the first's fixed 8, so count can
+	// never legitimately exceed the bytes left: check BEFORE allocating.
+	if count > w.Total || (count > 0 && count-1 > uint64(len(d.buf))) {
+		return ts.Window{}, fmt.Errorf("%w: count %d implausible (total %d, %d bytes left)", ErrCorrupt, count, w.Total, len(d.buf))
+	}
+	if count == 0 {
+		return w, d.err
+	}
+	w.Values = make([]float64, count)
+	prev := math.Float64bits(d.f64("first value"))
+	w.Values[0] = math.Float64frombits(prev)
+	for i := uint64(1); i < count; i++ {
+		delta := d.uvarint("value delta")
+		prev ^= delta
+		w.Values[i] = math.Float64frombits(prev)
+	}
+	if d.err != nil {
+		return ts.Window{}, d.err
+	}
+	return w, nil
+}

@@ -1,0 +1,271 @@
+package seriesfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"sdb/internal/obs"
+	"sdb/internal/obs/ts"
+)
+
+func sampleWindows() []ts.Window {
+	return []ts.Window{
+		{Name: "sdb_pmic_steps_total", Kind: ts.KindCounter, StepS: 60, FirstT: 0,
+			Total: 10, Values: []float64{0, 100, 200, 300, 400}},
+		{Name: "sdb_core_health_state", Kind: ts.KindGauge, StepS: 60, FirstT: 300,
+			Total: 5, Values: []float64{0, 0, 1, 2, 0}},
+		{Name: `sdb_emulator_step_seconds_bucket{le="+Inf"}`, Kind: ts.KindHistBucket,
+			StepS: 60, FirstT: 0, Total: 3, Values: []float64{1, 2, 3}},
+		{Name: "empty_series", Kind: ts.KindFCounter, StepS: 60, FirstT: 0},
+		{Name: "awkward_values", Kind: ts.KindGauge, StepS: 0.25, FirstT: -12.5, Total: 6,
+			Values: []float64{math.Pi, -math.MaxFloat64, math.SmallestNonzeroFloat64, 0, math.Inf(1), 1e-300}},
+	}
+}
+
+// TestRoundTrip: every window field and value survives bit-exactly,
+// including infinities, denormals, and negative timestamps.
+func TestRoundTrip(t *testing.T) {
+	in := sampleWindows()
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d windows, want %d", len(out), len(in))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.Name != b.Name || a.Kind != b.Kind || a.StepS != b.StepS ||
+			a.FirstT != b.FirstT || a.Total != b.Total || len(a.Values) != len(b.Values) {
+			t.Fatalf("window %d meta: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Values {
+			if math.Float64bits(a.Values[j]) != math.Float64bits(b.Values[j]) {
+				t.Errorf("window %d value %d: %g vs %g (bits differ)", i, j, a.Values[j], b.Values[j])
+			}
+		}
+	}
+}
+
+// TestWriteDeterministic: equal inputs produce equal bytes, so
+// recorded artifacts diff cleanly.
+func TestWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Write(&a, sampleWindows()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, sampleWindows()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two writes of the same windows differ")
+	}
+}
+
+// TestFileRoundTrip exercises the path-based helpers.
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "day.sdbts")
+	if err := WriteFile(path, sampleWindows()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(sampleWindows()) {
+		t.Fatalf("got %d windows", len(out))
+	}
+}
+
+// TestRecorderRoundTrip: a live recorder's windows survive the file and
+// feed a loaded recorder that answers queries identically.
+func TestRecorderRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("ev_total")
+	h := reg.Histogram("lat", []float64{0.01, 0.1, 1})
+	rec := ts.NewRecorder(reg, ts.Config{StepS: 30, Retain: 64})
+	for i := 0; i < 20; i++ {
+		c.Add(int64(i % 3))
+		h.Observe(float64(i%7) / 10)
+		rec.Sample(float64(i) * 30)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rec.Windows()); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := ts.NewRecorder(nil, ts.Config{StepS: 30, Retain: 64})
+	loaded.Load(ws)
+
+	if a, _ := rec.Rate("ev_total", 300); true {
+		if b, ok := loaded.Rate("ev_total", 300); !ok || a != b {
+			t.Errorf("rate: live %g, loaded %g", a, b)
+		}
+	}
+	aq, aok := rec.QuantileOver("lat", 0.99, 300)
+	bq, bok := loaded.QuantileOver("lat", 0.99, 300)
+	if aok != bok || aq != bq {
+		t.Errorf("q99: live %g/%v, loaded %g/%v", aq, aok, bq, bok)
+	}
+}
+
+// TestRejectsCorruption flips or truncates bytes across the file and
+// requires a clean error every time.
+func TestRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleWindows()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	for cut := 1; cut < len(good); cut += 7 {
+		if _, err := Decode(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	for i := 0; i < len(good); i += 11 {
+		bad := bytes.Clone(good)
+		bad[i] ^= 0x5a
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("bit flip at %d accepted", i)
+		}
+	}
+	// Wrong version is a distinct, versioned error (not ErrCorrupt).
+	bad := bytes.Clone(good)
+	bad[len(Magic)] = 99
+	if _, err := Decode(bad); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Errorf("version error should not be ErrCorrupt: %v", err)
+	}
+	// Trailing garbage after a valid body fails the CRC.
+	if _, err := Decode(append(bytes.Clone(good), 0, 0, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestRejectsOversizedClaims: a forged count field with a valid CRC
+// must be rejected before any allocation is sized from it.
+func TestRejectsOversizedClaims(t *testing.T) {
+	// Hand-build: header + 1 series claiming 2^40 samples, then re-CRC.
+	var b []byte
+	b = append(b, Magic...)
+	b = append(b, Version)
+	b = binary.AppendUvarint(b, 1)
+	b = binary.AppendUvarint(b, 1) // name len
+	b = append(b, 'x')
+	b = append(b, byte(ts.KindGauge))
+	b = append(b, make([]byte, 16)...) // stepS, firstT
+	b = binary.AppendUvarint(b, 1<<40) // total
+	b = binary.AppendUvarint(b, 1<<40) // count — implausible
+	crc := crc16(b)
+	b = append(b, byte(crc), byte(crc>>8))
+	if _, err := Decode(b); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized count accepted: %v", err)
+	}
+}
+
+// crc16 mirrors bus.CRC16 (CCITT-FALSE) for test-side forgeries.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// FuzzSeriesFile: the reader must error on arbitrary input — never
+// panic, never over-allocate — and must round-trip anything it
+// accepts.
+func FuzzSeriesFile(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, sampleWindows())
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Add([]byte("SDBTS\x01\x00\xff\xff"))
+	trunc := bytes.Clone(buf.Bytes()[:buf.Len()/2])
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ws, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encode and re-decode to the same
+		// windows (canonical form round-trips).
+		var out bytes.Buffer
+		if err := Write(&out, ws); err != nil {
+			t.Fatalf("accepted windows failed to re-encode: %v", err)
+		}
+		ws2, err := Decode(out.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded output failed to decode: %v", err)
+		}
+		if len(ws2) != len(ws) {
+			t.Fatalf("round trip changed series count: %d vs %d", len(ws2), len(ws))
+		}
+		for i := range ws {
+			if ws[i].Name != ws2[i].Name || len(ws[i].Values) != len(ws2[i].Values) {
+				t.Fatalf("round trip changed series %d", i)
+			}
+			for j := range ws[i].Values {
+				if math.Float64bits(ws[i].Values[j]) != math.Float64bits(ws2[i].Values[j]) {
+					t.Fatalf("round trip changed value %d/%d", i, j)
+				}
+			}
+		}
+	})
+}
+
+// TestReaderAndFileErrorPaths covers the io.Reader entry point and the
+// file helpers' failure modes: unreadable paths error instead of
+// returning empty data, and a failing reader surfaces its error.
+func TestReaderAndFileErrorPaths(t *testing.T) {
+	ws := sampleWindows()
+	var buf bytes.Buffer
+	if err := Write(&buf, ws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ws) {
+		t.Fatalf("Read returned %d series, want %d", len(got), len(ws))
+	}
+	if _, err := Read(failingReader{}); err == nil {
+		t.Error("Read swallowed the reader's error")
+	}
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir", "f.sdbts")
+	if err := WriteFile(missing, ws); err == nil {
+		t.Error("WriteFile to an uncreatable path did not error")
+	}
+	if _, err := ReadFile(missing); err == nil {
+		t.Error("ReadFile on a missing file did not error")
+	}
+}
+
+// failingReader always errors, for the Read error path.
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("boom") }

@@ -10,6 +10,7 @@ import (
 
 	"sdb/internal/bus"
 	"sdb/internal/obs"
+	"sdb/internal/obs/ts"
 )
 
 // Client speaks the SDB control protocol to a remote controller over
@@ -349,6 +350,59 @@ func (c *Client) Metrics() (string, error) {
 		return "", fmt.Errorf("pmic: malformed metrics response: %w", err)
 	}
 	return text, nil
+}
+
+// SeriesNames lists the series the remote controller's recorder holds
+// (empty when recording is off). The firmware sends as many sorted
+// names as fit one frame.
+func (c *Client) SeriesNames() ([]string, error) {
+	var w bus.Writer
+	w.U8(SeriesList)
+	r, err := c.call(CmdSeries, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U16())
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Str())
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("pmic: malformed series list response: %w", err)
+	}
+	return out, nil
+}
+
+// Series fetches one recorded series from the remote controller. The
+// firmware keeps only the newest samples that fit one frame, advancing
+// the window's FirstT past anything dropped; Total still counts every
+// sample ever recorded.
+func (c *Client) Series(name string) (ts.Window, error) {
+	var w bus.Writer
+	w.U8(SeriesGet).Str(name)
+	r, err := c.call(CmdSeries, w.Bytes())
+	if err != nil {
+		return ts.Window{}, err
+	}
+	win := ts.Window{
+		Name:   r.Str(),
+		Kind:   ts.Kind(r.U8()),
+		StepS:  r.F64(),
+		FirstT: r.F64(),
+		Total:  r.UVarint(),
+	}
+	n := r.UVarint()
+	if n > uint64(r.Remaining())/8 {
+		return ts.Window{}, fmt.Errorf("pmic: malformed series response: count %d exceeds payload", n)
+	}
+	win.Values = make([]float64, n)
+	for i := range win.Values {
+		win.Values[i] = r.F64()
+	}
+	if err := r.Err(); err != nil {
+		return ts.Window{}, fmt.Errorf("pmic: malformed series response: %w", err)
+	}
+	return win, nil
 }
 
 // TraceEvents fetches the remote controller's trace ring, oldest

@@ -24,6 +24,7 @@ import (
 	"sdb/internal/circuit"
 	"sdb/internal/fuelgauge"
 	"sdb/internal/obs"
+	"sdb/internal/obs/ts"
 )
 
 // totalSteps counts firmware enforcement steps across every controller
@@ -220,6 +221,11 @@ type Controller struct {
 	om           ctrlMetrics
 	simTimeS     float64
 	lastBrownout bool
+
+	// rec is the optional time-series recorder served over CmdSeries.
+	// The controller never samples it (scraping happens on policy-tick
+	// boundaries, outside the hot loop); it only answers queries.
+	rec *ts.Recorder
 }
 
 // ctrlMetrics bundles the firmware's observables. Every field is
@@ -878,6 +884,23 @@ func (c *Controller) Gauge(i int) *fuelgauge.Gauge { return c.gauges[i] }
 // uninstrumented). The protocol layer serves it over CmdMetrics and
 // CmdTrace so a remote runtime can scrape firmware-side observables.
 func (c *Controller) Obs() *obs.Registry { return c.om.reg }
+
+// SetRecorder attaches a time-series recorder for CmdSeries to serve.
+// Call before traffic; a nil recorder (the default) answers SeriesList
+// with zero series and SeriesGet with a bad-index status.
+func (c *Controller) SetRecorder(rec *ts.Recorder) {
+	c.mu.Lock()
+	c.rec = rec
+	c.mu.Unlock()
+}
+
+// Recorder returns the attached time-series recorder (nil when
+// recording is off; the recorder's methods are nil-safe).
+func (c *Controller) Recorder() *ts.Recorder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rec
+}
 
 // Pack returns the managed pack.
 func (c *Controller) Pack() *battery.Pack { return c.pack }

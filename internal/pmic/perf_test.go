@@ -5,6 +5,7 @@ import (
 
 	"sdb/internal/battery"
 	"sdb/internal/obs"
+	"sdb/internal/obs/ts"
 )
 
 // benchController wires a two-cell controller the way the emulator
@@ -201,5 +202,50 @@ func BenchmarkControllerStepObs(b *testing.B) {
 		if _, err := ctrl.Step(3.0, 0, 1.0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestStepNoAllocsWithRecorder: the acceptance guard for recording —
+// a controller stepping with a live registry AND an attached recorder
+// (sampled on the policy-tick cadence, with an alert rule evaluating
+// every sample) still performs zero allocations per hot-loop step.
+func TestStepNoAllocsWithRecorder(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctrl := benchControllerObs(t, reg)
+	ctrl.SetWatchdog(100)
+	rules, err := ts.ParseRules(
+		"alert never rate(sdb_pmic_steps_total) > 1e18\n" +
+			"alert quiet abs(sdb_pmic_brownout_steps_total) >= 1e18 for 10m\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ts.NewRecorder(reg, ts.Config{StepS: 60, Retain: 2048, Rules: rules})
+	ctrl.SetRecorder(rec)
+
+	// Emulate the policy-tick structure: one recorder sample per 60
+	// simulated steps of 1 s.
+	simT := 0.0
+	step := func() {
+		if _, err := ctrl.Step(2.0, 0, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		simT++
+		if int64(simT)%60 == 0 {
+			rec.Sample(simT)
+		}
+	}
+	// Warm up past the recorder's first-sight resync (which may
+	// allocate) before measuring.
+	for i := 0; i < 120; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Errorf("Step+Sample allocates %g objects/op in steady state, want 0", allocs)
+	}
+	if w, ok := rec.Get("sdb_pmic_steps_total"); !ok || len(w.Values) < 2 {
+		t.Error("recorder did not record the steps (scrape detached?)")
+	}
+	if st := rec.AlertStates(); len(st) != 2 || st[0].Fired != 0 {
+		t.Errorf("never-firing rules misbehaved: %+v", st)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"sdb/internal/bus"
 	"sdb/internal/obs"
+	"sdb/internal/obs/ts"
 )
 
 // Command opcodes of the SDB control protocol. Responses echo the
@@ -28,7 +29,18 @@ const (
 	// that fit.
 	CmdMetrics = 0x09
 	CmdTrace   = 0x0A
-	RespFlag   = 0x80
+	// CmdSeries queries the controller's attached time-series recorder:
+	// mode SeriesList returns the recorded series names, SeriesGet one
+	// series' newest samples. Like CmdTrace, responses are bounded to
+	// one frame by dropping the oldest data first.
+	CmdSeries = 0x0B
+	RespFlag  = 0x80
+)
+
+// CmdSeries request modes.
+const (
+	SeriesList = 0x00
+	SeriesGet  = 0x01
 )
 
 // Protocol status codes (first payload byte of every response).
@@ -159,6 +171,32 @@ func (c *Controller) dispatch(req bus.Frame) bus.Frame {
 		events := c.om.tracer.Events()
 		encodeTrace(&w, events, bus.MaxPayload-3)
 
+	case CmdSeries:
+		r := bus.NewReader(req.Payload)
+		mode := r.U8()
+		switch {
+		case r.Err() != nil:
+			w.U8(StatusBadArgs)
+		case mode == SeriesList:
+			// Like CmdMetrics, a controller without a recorder answers OK
+			// with zero series: recording off is a normal state.
+			encodeSeriesList(&w, c.Recorder().Names(), bus.MaxPayload)
+		case mode == SeriesGet:
+			name := r.Str()
+			if r.Err() != nil {
+				w.U8(StatusBadArgs)
+				break
+			}
+			win, ok := c.Recorder().Get(name)
+			if !ok {
+				w.U8(StatusBadIndex)
+				break
+			}
+			encodeSeriesWindow(&w, win, bus.MaxPayload)
+		default:
+			w.U8(StatusBadArgs)
+		}
+
 	default:
 		w.U8(StatusBadCmd)
 	}
@@ -228,6 +266,50 @@ func encodeTrace(w *bus.Writer, events []obs.Event, budget int) {
 		}
 		w.U64(ev.Seq).F64(ev.TimeS).Str(ev.Scope).Str(ev.Kind)
 		w.U16(cell).F64(ev.V1).F64(ev.V2).Str(ev.Detail)
+	}
+}
+
+// encodeSeriesList writes status, a count, and as many series names as
+// fit in budget bytes (names arrive sorted; the alphabetical tail is
+// dropped first and the count reflects only what is sent).
+func encodeSeriesList(w *bus.Writer, names []string, budget int) {
+	budget -= 1 + 2 // status + count
+	n := 0
+	for _, name := range names {
+		cost := 2 + len(name)
+		if budget-cost < 0 {
+			break
+		}
+		budget -= cost
+		n++
+	}
+	w.U8(StatusOK).U16(uint16(n))
+	for _, name := range names[:n] {
+		w.Str(name)
+	}
+}
+
+// encodeSeriesWindow writes one series with as many of the NEWEST
+// samples as fit in budget bytes, mirroring CmdTrace's
+// keep-the-recent-past policy: FirstT advances past the dropped
+// samples so the transmitted window still places every value on the
+// sim clock, and Total still counts everything ever recorded.
+func encodeSeriesWindow(w *bus.Writer, win ts.Window, budget int) {
+	// Fixed cost: status, name, kind, stepS, firstT, and a worst-case
+	// 10 bytes for each of the two varints.
+	fixed := 1 + (2 + len(win.Name)) + 1 + 8 + 8 + 10 + 10
+	keep := (budget - fixed) / 8
+	if keep < 0 {
+		keep = 0
+	}
+	if drop := len(win.Values) - keep; drop > 0 {
+		win.Values = win.Values[drop:]
+		win.FirstT += float64(drop) * win.StepS
+	}
+	w.U8(StatusOK).Str(win.Name).U8(byte(win.Kind)).F64(win.StepS).F64(win.FirstT)
+	w.UVarint(win.Total).UVarint(uint64(len(win.Values)))
+	for _, v := range win.Values {
+		w.F64(v)
 	}
 }
 
