@@ -14,11 +14,19 @@
 # coverage against the floors committed in COVERAGE.ratchet: a change
 # that drops an enforced package below its floor fails CI. The bench
 # regression lane re-times every experiment against the committed
-# baseline (BENCH_PR5.json) and fails on a >3x wall-clock regression —
+# baseline (BENCH_PR6.json) and fails on a >3x wall-clock regression —
 # generous enough to absorb shared-runner noise, tight enough to catch
 # an accidental hot-loop allocation or O(n^2) slip. The recorder smoke
 # lane runs the record -> series file -> export pipeline end to end
 # through the real CLIs.
+#
+# Fleet lanes: the 1000-device byte-identity soak and the fleet serve/
+# protocol tests run in both plain and -race passes via the blanket
+# ./... invocations (the race pass keeps the full 1000 devices — see
+# internal/fleet/soak_size_race_test.go). The explicit fleet chaos lane
+# below surfaces the chaos seed with -v so a failure is replayable, and
+# the fleet bench smoke drives a small fleet through the real sdbbench
+# path to keep the BENCH_PR6 fleet figures reproducible.
 set -eux
 
 go build ./...
@@ -26,7 +34,11 @@ go vet ./...
 go test ./...
 go test -race ./...
 go test -race -short -run 'Chaos' -v ./internal/emulator/
+go test -race -run 'FleetChaos' -v ./internal/fleet/
 go test -short -run '^$' -bench . -benchtime=1x ./...
+
+# Fleet bench smoke: a scaled-down run of the 10k-device figure.
+go run ./cmd/sdbbench -fleet 200 -fleetshards 4
 
 go test -cover ./internal/... > cover.lane.txt
 cat cover.lane.txt
@@ -58,7 +70,7 @@ rm -f cover.lane.txt
 # Bench regression lane: every experiment, serially, vs the committed
 # baseline. 3x tolerance; newly added experiments (absent from the
 # baseline) pass until the baseline is regenerated.
-go run ./cmd/sdbbench -benchjson bench.lane.json -baseline BENCH_PR5.json -gate 3 -benchreps 2 -q
+go run ./cmd/sdbbench -benchjson bench.lane.json -baseline BENCH_PR6.json -gate 3 -benchreps 2 -q
 rm -f bench.lane.json
 
 # Recorder smoke lane: record a short run, export the series file both

@@ -1,0 +1,155 @@
+package main
+
+// Fleet-scale benchmark: build N emulated devices behind one fleet
+// endpoint, drain their traces through the shard pool, and measure
+// aggregate stepping throughput plus client-observed command latency
+// over a live connection during the run. This is the PR6 target
+// figure: devices x steps/sec and p99 command latency at N=10k.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"sdb/internal/battery"
+	"sdb/internal/core"
+	"sdb/internal/emulator"
+	"sdb/internal/fleet"
+	"sdb/internal/obs"
+	"sdb/internal/pmic"
+	"sdb/internal/workload"
+)
+
+// fleetBenchResult is the fleet section of the -benchjson report.
+type fleetBenchResult struct {
+	Devices     int     `json:"devices"`
+	Shards      int     `json:"shards"`
+	Batch       int     `json:"batch"`
+	TraceSteps  int     `json:"trace_steps"` // per device
+	Steps       uint64  `json:"steps"`       // aggregate across the fleet
+	BuildMS     float64 `json:"build_ms"`    // registry population time
+	WallMS      float64 `json:"wall_ms"`     // drain time
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// Client-observed round-trip latency for status queries issued over
+	// one connection while every shard was stepping. Exact quantiles
+	// from the full sample set, not histogram estimates.
+	Commands int     `json:"commands"`
+	CmdP50MS float64 `json:"cmd_p50_ms"`
+	CmdP99MS float64 `json:"cmd_p99_ms"`
+}
+
+// runFleetBench populates a fleet of n heterogeneous devices (same
+// id-derived variation the fleet tests use), drains a fixed-length
+// trace per device through the shard pool, and samples command
+// latency from a client goroutine the whole time.
+func runFleetBench(n, shards, batch int, quiet bool) (*fleetBenchResult, error) {
+	const traceSteps = 120
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet bench needs a positive device count, got %d", n)
+	}
+	if n > 0xFFFF {
+		return nil, fmt.Errorf("fleet bench: %d devices exceed the 16-bit id space", n)
+	}
+	f := fleet.New(fleet.Config{Shards: shards, Batch: batch, Obs: obs.NewRegistry()})
+	defer f.Close()
+
+	build0 := time.Now()
+	for i := 0; i < n; i++ {
+		id := uint16(i)
+		soc := 0.4 + 0.6*float64(id%50)/50
+		load := 1 + 0.4*float64(id%7)
+		st, err := emulator.NewStack(soc, core.Options{},
+			battery.MustByName("QuickCharge-2000"),
+			battery.MustByName("Standard-2000"))
+		if err != nil {
+			return nil, fmt.Errorf("device %d: %w", id, err)
+		}
+		cfg := emulator.Config{
+			Controller:   st.Controller,
+			Trace:        workload.Constant(fmt.Sprintf("dev-%d", id), load, traceSteps, 1),
+			PolicyEveryS: 60,
+		}
+		if id%3 == 0 {
+			cfg.Runtime = st.Runtime
+		}
+		if err := f.Add(id, cfg); err != nil {
+			return nil, fmt.Errorf("device %d: %w", id, err)
+		}
+	}
+	buildMS := float64(time.Since(build0).Nanoseconds()) / 1e6
+
+	// Latency probe: one client, one connection, status queries cycling
+	// through the fleet while the shards step. Every sample is kept so
+	// the quantiles below are exact.
+	srv, cli := net.Pipe()
+	go f.Serve(srv)
+	defer cli.Close()
+	c := pmic.NewClient(cli)
+	c.Timeout = 5 * time.Second
+	stop := make(chan struct{})
+	type probe struct {
+		lat []float64
+		err error
+	}
+	probed := make(chan probe, 1)
+	go func() {
+		var p probe
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				probed <- p
+				return
+			default:
+			}
+			id := uint16(i % n)
+			t0 := time.Now()
+			if _, err := c.Device(id).QueryBatteryStatus(); err != nil {
+				p.err = fmt.Errorf("device %d: %w", id, err)
+				probed <- p
+				return
+			}
+			p.lat = append(p.lat, float64(time.Since(t0).Nanoseconds())/1e6)
+		}
+	}()
+
+	wall0 := time.Now()
+	f.RunToCompletion(batch)
+	wall := time.Since(wall0)
+	close(stop)
+	p := <-probed
+	if p.err != nil {
+		return nil, fmt.Errorf("command probe: %w", p.err)
+	}
+	if len(p.lat) == 0 {
+		return nil, fmt.Errorf("command probe completed no queries during the run")
+	}
+	sort.Float64s(p.lat)
+	quantile := func(q float64) float64 {
+		i := int(q * float64(len(p.lat)-1))
+		return p.lat[i]
+	}
+
+	st := f.Stat()
+	res := &fleetBenchResult{
+		Devices:     n,
+		Shards:      shards,
+		Batch:       batch,
+		TraceSteps:  traceSteps,
+		Steps:       st.Steps,
+		BuildMS:     buildMS,
+		WallMS:      float64(wall.Nanoseconds()) / 1e6,
+		StepsPerSec: float64(st.Steps) / wall.Seconds(),
+		Commands:    len(p.lat),
+		CmdP50MS:    quantile(0.5),
+		CmdP99MS:    quantile(0.99),
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr,
+			"sdbbench: fleet %d devices x %d steps on %d shards: %.3gms build, %.3gms drain, %.3g steps/s, cmd p50/p99 %.3g/%.3gms (%d cmds)\n",
+			res.Devices, res.TraceSteps, res.Shards, res.BuildMS, res.WallMS,
+			res.StepsPerSec, res.CmdP50MS, res.CmdP99MS, res.Commands)
+	}
+	return res, nil
+}

@@ -23,6 +23,11 @@
 //	sdbbench -fast -metrics METRICS.txt     # dump aggregated run metrics at exit
 //	sdbbench -fast -trace -                 # dump trace events to stdout at exit
 //
+// Fleet scale:
+//
+//	sdbbench -fleet 10000                   # steps/sec + cmd p50/p99 for a 10k-device fleet
+//	sdbbench -benchjson B.json -fleet 10000 # same figures as a "fleet" section in the report
+//
 // -metrics and -trace enable the observability plane (every stack the
 // experiments build reports into one process-wide registry) and dump
 // it at exit; without them runs are uninstrumented and byte-identical
@@ -70,8 +75,11 @@ func run() int {
 		baseline   = flag.String("baseline", "", "prior -benchjson file to compare against (adds baseline_wall_ms and speedup fields)")
 		gate       = flag.Float64("gate", 0, "with -baseline: exit nonzero if any experiment's wall time exceeds gate x its baseline (0 disables)")
 		benchreps  = flag.Int("benchreps", 3, "repetitions per experiment in -benchjson mode (best rep is reported)")
-		metricsOut = flag.String("metrics", "", `write aggregated run metrics (text exposition) to this file at exit ("-" = stdout)`)
-		traceOut   = flag.String("trace", "", `write collected trace events to this file at exit ("-" = stdout)`)
+		metricsOut  = flag.String("metrics", "", `write aggregated run metrics (text exposition) to this file at exit ("-" = stdout)`)
+		traceOut    = flag.String("trace", "", `write collected trace events to this file at exit ("-" = stdout)`)
+		fleetN      = flag.Int("fleet", 0, "also benchmark a fleet of this many devices behind one endpoint (adds a fleet section to -benchjson; alone, prints the fleet figures)")
+		fleetShards = flag.Int("fleetshards", runtime.GOMAXPROCS(0), "fleet bench: worker shards")
+		fleetBatch  = flag.Int("fleetbatch", 64, "fleet bench: steps per device per scheduling slice")
 	)
 	flag.Parse()
 
@@ -129,10 +137,20 @@ func run() int {
 	}
 
 	if *benchjson != "" {
-		return runBenchJSON(ctx, *benchjson, *baseline, *gate, *benchreps, *quiet)
+		return runBenchJSON(ctx, *benchjson, *baseline, *gate, *benchreps, *quiet,
+			*fleetN, *fleetShards, *fleetBatch)
 	}
 	if *compare {
 		return runCompare(ctx, *jobs)
+	}
+	if *fleetN > 0 {
+		// Standalone fleet bench: just the fleet figures, no experiment
+		// tables.
+		if _, err := runFleetBench(*fleetN, *fleetShards, *fleetBatch, false); err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: fleet: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	var selected []sim.Experiment
@@ -292,6 +310,9 @@ type benchReport struct {
 	Reps        int               `json:"reps"`
 	TotalWallMS float64           `json:"total_wall_ms"`
 	Experiments []benchExperiment `json:"experiments"`
+	// Fleet carries the multi-tenant endpoint figures when the report
+	// was generated with -fleet N.
+	Fleet *fleetBenchResult `json:"fleet,omitempty"`
 }
 
 // runBenchJSON benchmarks every registry experiment serially (reps
@@ -301,7 +322,7 @@ type benchReport struct {
 // this mode forces a single worker. With gate > 0 it is a CI
 // regression lane: any experiment whose best wall time exceeds gate
 // times its baseline fails the run.
-func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, reps int, quiet bool) int {
+func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, reps int, quiet bool, fleetN, fleetShards, fleetBatch int) int {
 	if reps < 1 {
 		reps = 1
 	}
@@ -361,6 +382,15 @@ func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, 
 			fmt.Fprintf(os.Stderr, "sdbbench: bench [%d/%d] %s %.1fms (%d steps)\n",
 				i+1, len(exps), e.ID, best.WallMS, best.Steps)
 		}
+	}
+
+	if fleetN > 0 {
+		fb, err := runFleetBench(fleetN, fleetShards, fleetBatch, quiet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdbbench: fleet: %v\n", err)
+			return 1
+		}
+		report.Fleet = fb
 	}
 
 	out, err := json.MarshalIndent(report, "", "  ")

@@ -21,6 +21,17 @@
 //	sdbctl -addr localhost:7070 series sdb_pmic_steps_total
 //	sdbctl -addr localhost:7070 watch -every 2s -count 10 -rules alerts.txt
 //
+// Fleet endpoints (sdbctl serve -fleet N) host many devices behind one
+// address. Every per-device command above takes -dev to pick the
+// target (default 0, the id legacy frames land on), and the fleet
+// command group queries the fleet itself:
+//
+//	sdbctl serve -fleet 1000 -shards 8 -addr :7070
+//	sdbctl -addr localhost:7070 -dev 42 status
+//	sdbctl -addr localhost:7070 fleet list
+//	sdbctl -addr localhost:7070 fleet stat
+//	sdbctl -addr localhost:7070 fleet broadcast discharge 0.7,0.3
+//
 // The -timeout, -retries, and -backoff flags configure the resilient
 // bus client: each call retries retryable failures (lost or corrupted
 // frames) up to -retries times with exponentially growing -backoff,
@@ -47,9 +58,14 @@ import (
 	"time"
 
 	"sdb"
+	"sdb/internal/battery"
+	"sdb/internal/core"
+	"sdb/internal/emulator"
+	"sdb/internal/fleet"
 	"sdb/internal/obs"
 	"sdb/internal/obs/ts"
 	"sdb/internal/pmic"
+	"sdb/internal/workload"
 )
 
 func main() {
@@ -64,6 +80,7 @@ func main() {
 		return
 	}
 	addr := flag.String("addr", "localhost:7070", "controller address")
+	dev := flag.Uint("dev", 0, "target device id on a fleet endpoint (0 = legacy single device)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-attempt round-trip timeout")
 	retries := flag.Int("retries", 2, "retry attempts after a retryable failure")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
@@ -71,7 +88,10 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fatalf("missing command (ping|status|ratios|discharge|charge|transfer|profile|health|metrics|trace|series|watch)")
+		fatalf("missing command (ping|status|ratios|discharge|charge|transfer|profile|health|metrics|trace|series|watch|fleet)")
+	}
+	if *dev > 0xFFFF {
+		fatalf("-dev %d out of range (device ids are 16-bit)", *dev)
 	}
 
 	dial := func() (io.ReadWriter, error) {
@@ -87,13 +107,14 @@ func main() {
 	cl.Retries = *retries
 	cl.Backoff = *backoff
 	cl.Dial = dial
+	d := cl.Device(uint16(*dev))
 
 	switch args[0] {
 	case "ping":
-		must(cl.Ping())
+		must(d.Ping())
 		fmt.Println("ok")
 	case "status":
-		sts, err := cl.QueryBatteryStatus()
+		sts, err := d.QueryBatteryStatus()
 		must(err)
 		fmt.Printf("%-3s %-20s %-8s %7s %8s %8s %8s %9s\n",
 			"idx", "name", "chem", "SoC %", "volts", "cycles", "cap %", "maxW")
@@ -103,7 +124,7 @@ func main() {
 				s.CapacityFraction*100, s.MaxDischargeW)
 		}
 	case "ratios":
-		dis, chg, err := cl.Ratios()
+		dis, chg, err := d.Ratios()
 		must(err)
 		fmt.Printf("discharge: %v\ncharge:    %v\n", dis, chg)
 	case "discharge", "charge":
@@ -113,9 +134,9 @@ func main() {
 		ratios, err := parseRatios(args[1])
 		must(err)
 		if args[0] == "discharge" {
-			must(cl.Discharge(ratios))
+			must(d.Discharge(ratios))
 		} else {
-			must(cl.Charge(ratios))
+			must(d.Charge(ratios))
 		}
 		fmt.Println("ok")
 	case "transfer":
@@ -129,7 +150,7 @@ func main() {
 		for _, err := range []error{err1, err2, err3, err4} {
 			must(err)
 		}
-		must(cl.ChargeOneFromAnother(from, to, w, secs))
+		must(d.ChargeOneFromAnother(from, to, w, secs))
 		fmt.Println("ok")
 	case "profile":
 		if len(args) != 3 {
@@ -137,14 +158,14 @@ func main() {
 		}
 		batt, err := strconv.Atoi(args[1])
 		must(err)
-		must(cl.SetChargeProfile(batt, args[2]))
+		must(d.SetChargeProfile(batt, args[2]))
 		fmt.Println("ok")
 	case "health":
-		health(cl)
+		health(d)
 	case "metrics":
-		metrics(cl, *raw)
+		metrics(d, *raw)
 	case "trace":
-		events, err := cl.TraceEvents()
+		events, err := d.TraceEvents()
 		must(err)
 		if len(events) == 0 {
 			fmt.Println("trace ring empty")
@@ -154,18 +175,95 @@ func main() {
 			fmt.Println(ev.String())
 		}
 	case "series":
-		series(cl, args[1:])
+		series(d, args[1:])
 	case "watch":
-		watch(cl, args[1:])
+		watch(d, args[1:])
+	case "fleet":
+		fleetCmd(cl, args[1:])
 	default:
 		fatalf("unknown command %q", args[0])
+	}
+}
+
+// fleetCmd talks to the fleet endpoint itself rather than a single
+// hosted device: list the registry, print aggregate stats, or fan a
+// per-device command out to every listed device over the one
+// connection.
+func fleetCmd(cl *pmic.Client, args []string) {
+	if len(args) == 0 {
+		fatalf("fleet needs a subcommand (list|stat|broadcast)")
+	}
+	switch args[0] {
+	case "list":
+		ids, total, err := cl.FleetDevices()
+		must(err)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		if total > len(ids) {
+			fmt.Printf("... and %d more (listing truncated to one frame)\n", total-len(ids))
+		}
+		fmt.Printf("%d device(s)\n", total)
+	case "stat":
+		st, err := cl.FleetStat()
+		must(err)
+		fmt.Printf("devices:          %d across %d shard(s)\n", st.Devices, st.Shards)
+		fmt.Printf("steps:            %d total\n", st.Steps)
+		fmt.Printf("churn:            %d add/remove event(s)\n", st.Churn)
+		fmt.Printf("throughput:       %.0f device-steps/s (last tick)\n", st.DeviceStepsPerSec)
+		fmt.Printf("cmd p99:          %s\n", time.Duration(st.CmdP99Seconds*float64(time.Second)))
+	case "broadcast":
+		// broadcast discharge 0.7,0.3 | broadcast charge 0.5,0.5 |
+		// broadcast ping — apply one command to every device the
+		// endpoint lists, reporting per-device failures without
+		// aborting the sweep.
+		if len(args) < 2 {
+			fatalf("fleet broadcast needs a command (ping|discharge|charge)")
+		}
+		var apply func(pmic.DeviceClient) error
+		switch args[1] {
+		case "ping":
+			apply = pmic.DeviceClient.Ping
+		case "discharge", "charge":
+			if len(args) != 3 {
+				fatalf("fleet broadcast %s needs a ratio list, e.g. 0.7,0.3", args[1])
+			}
+			ratios, err := parseRatios(args[2])
+			must(err)
+			if args[1] == "discharge" {
+				apply = func(d pmic.DeviceClient) error { return d.Discharge(ratios) }
+			} else {
+				apply = func(d pmic.DeviceClient) error { return d.Charge(ratios) }
+			}
+		default:
+			fatalf("fleet broadcast: unknown command %q", args[1])
+		}
+		ids, total, err := cl.FleetDevices()
+		must(err)
+		failed := 0
+		for _, id := range ids {
+			if err := apply(cl.Device(id)); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "sdbctl: device %d: %v\n", id, err)
+			}
+		}
+		fmt.Printf("broadcast %s: %d ok, %d failed", args[1], len(ids)-failed, failed)
+		if total > len(ids) {
+			fmt.Printf(", %d unreachable (listing truncated)", total-len(ids))
+		}
+		fmt.Println()
+		if failed > 0 {
+			os.Exit(1)
+		}
+	default:
+		fatalf("unknown fleet subcommand %q (list|stat|broadcast)", args[0])
 	}
 }
 
 // health probes the control link and the pack: round-trip latency over
 // a burst of pings, then a status sweep flagging firmware-isolated
 // cells.
-func health(cl *pmic.Client) {
+func health(cl pmic.DeviceClient) {
 	const probes = 10
 	var okCount int
 	var min, max, sum time.Duration
@@ -214,7 +312,7 @@ func health(cl *pmic.Client) {
 // metrics scrapes the controller's registry and prints it. The wire
 // text always runs through obs.ParseText — even in -raw mode — so a
 // corrupted or truncated-mid-line response is reported, not echoed.
-func metrics(cl *pmic.Client, raw bool) {
+func metrics(cl pmic.DeviceClient, raw bool) {
 	text, err := cl.Metrics()
 	must(err)
 	if text == "" {
@@ -333,7 +431,7 @@ func metricsDiff(argv []string) {
 
 // series lists the controller's recorded time series, or fetches one
 // and prints its newest window.
-func series(cl *pmic.Client, args []string) {
+func series(cl pmic.DeviceClient, args []string) {
 	if len(args) == 0 {
 		names, err := cl.SeriesNames()
 		must(err)
@@ -359,7 +457,7 @@ func series(cl *pmic.Client, args []string) {
 // watch periodically scrapes the controller's registry, feeds the
 // samples into a local recorder, and prints derived counter rates,
 // gauge values, and alert states — a minimal top(1) for the firmware.
-func watch(cl *pmic.Client, args []string) {
+func watch(cl pmic.DeviceClient, args []string) {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	var (
 		every     = fs.Duration("every", 2*time.Second, "scrape interval")
@@ -433,7 +531,9 @@ func watch(cl *pmic.Client, args []string) {
 
 // serve hosts a demo controller: a system under a constant load whose
 // firmware answers the protocol on a TCP listener, stepping simulated
-// time at wall-clock rate scaled by -speed.
+// time at wall-clock rate scaled by -speed. With -fleet N it instead
+// hosts N emulated devices behind the same address, multiplexed by
+// device id in the frame header.
 func serve(argv []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":7070", "listen address")
@@ -441,8 +541,16 @@ func serve(argv []string) {
 	loadW := fs.Float64("load", 2.0, "constant system load in watts")
 	speed := fs.Float64("speed", 60, "simulated seconds per wall second")
 	watchdog := fs.Float64("watchdog", 0, "revert to uniform ratios after this many simulated seconds of command silence (0 disables)")
+	fleetN := fs.Int("fleet", 0, "host this many emulated devices behind one endpoint (0 = single demo controller)")
+	shards := fs.Int("shards", 4, "fleet: worker shards driving the devices")
+	batch := fs.Int("batch", 64, "fleet: steps per device per scheduling slice")
+	durS := fs.Float64("dur", 86400, "fleet: per-device trace length in simulated seconds")
 	if err := fs.Parse(argv); err != nil {
 		os.Exit(2)
+	}
+	if *fleetN > 0 {
+		serveFleet(*addr, *fleetN, *shards, *batch, *loadW, *speed, *durS)
+		return
 	}
 
 	// Install the process registry before building the stack so every
@@ -502,6 +610,79 @@ func serve(argv []string) {
 		go func() {
 			defer conn.Close()
 			if err := sys.Controller.Serve(conn); err != nil {
+				fmt.Fprintf(os.Stderr, "sdbctl: serve: %v\n", err)
+			}
+		}()
+	}
+}
+
+// serveFleet hosts n emulated devices behind one listener. Each device
+// gets its own firmware, pack, and (every third id) policy runtime;
+// initial charge and load vary by id so the fleet is heterogeneous.
+// Device 0 doubles as the management device: it carries the recorder,
+// so `sdbctl series`/`watch` against the endpoint read fleet-level
+// observables. A wall-clock ticker advances every device -speed
+// simulated seconds per second until its trace drains.
+func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64) {
+	if n > 0xFFFF {
+		fatalf("-fleet %d exceeds the 16-bit device id space", n)
+	}
+	obs.SetDefault(obs.NewRegistry())
+	f := fleet.New(fleet.Config{Shards: shards, Batch: batch, Obs: obs.Default()})
+	rec := sdb.NewRecorder(obs.Default(), sdb.RecorderConfig{StepS: speed})
+	for i := 0; i < n; i++ {
+		id := uint16(i)
+		soc := 0.4 + 0.6*float64(id%50)/50
+		load := loadW * (0.8 + 0.4*float64(id%7)/7)
+		st, err := emulator.NewStack(soc, core.Options{},
+			battery.MustByName("QuickCharge-2000"),
+			battery.MustByName("Standard-2000"))
+		if err != nil {
+			fatalf("device %d: %v", id, err)
+		}
+		cfg := emulator.Config{
+			Controller:   st.Controller,
+			Trace:        workload.Constant(fmt.Sprintf("dev-%d", id), load, durS, 1),
+			PolicyEveryS: 60,
+		}
+		if id%3 == 0 {
+			cfg.Runtime = st.Runtime
+		}
+		if id == 0 {
+			st.Controller.SetRecorder(rec)
+		}
+		if err := f.Add(id, cfg); err != nil {
+			fatalf("device %d: %v", id, err)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("sdbctl: serving fleet of %d devices on %s (%d shards, batch %d, %gx time)\n",
+		n, ln.Addr(), shards, batch, speed)
+
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		var simT float64
+		for range tick.C {
+			rec.Sample(simT)
+			if f.Tick(int(speed)) == 0 {
+				fmt.Fprintln(os.Stderr, "sdbctl: fleet traces drained; serving final state")
+				return
+			}
+			simT += speed
+		}
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		go func() {
+			defer conn.Close()
+			if err := f.Serve(conn); err != nil {
 				fmt.Fprintf(os.Stderr, "sdbctl: serve: %v\n", err)
 			}
 		}()

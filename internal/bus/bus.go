@@ -15,6 +15,26 @@
 //	6       n     payload
 //	6+n     2     CRC-16/CCITT-FALSE over bytes 1..6+n-1
 //
+// Version 2 extends the header with a 16-bit device id so one
+// connection can multiplex many emulated devices behind a fleet
+// endpoint:
+//
+//	offset  size  field
+//	0       1     SOF (0xA5)
+//	1       1     version (2)
+//	2       1     command
+//	3       1     sequence
+//	4       2     device id, big endian
+//	6       2     payload length, big endian
+//	8       n     payload
+//	8+n     2     CRC-16/CCITT-FALSE over bytes 1..8+n-1
+//
+// The versions interoperate: a version-1 frame addresses device 0, and
+// Encode emits the version-1 layout whenever Device is 0, so a new
+// client talking to device 0 is byte-identical to an old client and an
+// old client against a fleet server lands on device 0. Decoders accept
+// both layouts on the same stream.
+//
 // The package is transport-agnostic: any io.Reader/io.Writer pair
 // works (net.Conn, net.Pipe, an in-process buffer).
 package bus
@@ -31,17 +51,26 @@ import (
 const (
 	SOF     = 0xA5
 	Version = 1
+	// Version2 is the fleet-era header carrying a device id between the
+	// sequence number and the payload length.
+	Version2 = 2
 	// MaxPayload bounds frame payloads; a microcontroller has little
 	// RAM, so the limit is deliberately small.
-	MaxPayload = 4096
-	headerLen  = 6
-	crcLen     = 2
+	MaxPayload  = 4096
+	headerLen   = 6 // version-1 header: SOF..length
+	headerLenV2 = 8 // version-2 header: SOF..length incl. device id
+	crcLen      = 2
 )
 
 // Frame is one protocol data unit.
 type Frame struct {
-	Cmd     byte
-	Seq     byte
+	Cmd byte
+	Seq byte
+	// Device addresses one device behind a fleet endpoint. Zero is the
+	// default (single-device) target: Encode emits the legacy version-1
+	// header for it, so device-0 traffic is byte-identical to the
+	// pre-fleet protocol, and version-1 frames decode with Device 0.
+	Device  uint16
 	Payload []byte
 }
 
@@ -53,20 +82,29 @@ var (
 	ErrTooLarge   = fmt.Errorf("bus: payload exceeds %d bytes", MaxPayload)
 )
 
-// Encode serializes the frame.
+// Encode serializes the frame: the version-1 layout for device 0, the
+// version-2 layout (device id in the header) for any other device.
 func Encode(f Frame) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
 		return nil, ErrTooLarge
 	}
-	buf := make([]byte, headerLen+len(f.Payload)+crcLen)
+	hdr := headerLen
+	if f.Device != 0 {
+		hdr = headerLenV2
+	}
+	buf := make([]byte, hdr+len(f.Payload)+crcLen)
 	buf[0] = SOF
 	buf[1] = Version
 	buf[2] = f.Cmd
 	buf[3] = f.Seq
-	binary.BigEndian.PutUint16(buf[4:6], uint16(len(f.Payload)))
-	copy(buf[headerLen:], f.Payload)
-	crc := CRC16(buf[1 : headerLen+len(f.Payload)])
-	binary.BigEndian.PutUint16(buf[headerLen+len(f.Payload):], crc)
+	if f.Device != 0 {
+		buf[1] = Version2
+		binary.BigEndian.PutUint16(buf[4:6], f.Device)
+	}
+	binary.BigEndian.PutUint16(buf[hdr-2:hdr], uint16(len(f.Payload)))
+	copy(buf[hdr:], f.Payload)
+	crc := CRC16(buf[1 : hdr+len(f.Payload)])
+	binary.BigEndian.PutUint16(buf[hdr+len(f.Payload):], crc)
 	return buf, nil
 }
 
@@ -94,14 +132,26 @@ func ReadFrame(r io.Reader) (Frame, error) {
 			break
 		}
 	}
-	var hdr [headerLen - 1]byte // version..length
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var hdr [headerLenV2 - 1]byte // version..length, worst case
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
 		return Frame{}, err
 	}
-	if hdr[0] != Version {
+	hlen := headerLen
+	switch hdr[0] {
+	case Version:
+	case Version2:
+		hlen = headerLenV2
+	default:
 		return Frame{}, ErrBadVersion
 	}
-	n := int(binary.BigEndian.Uint16(hdr[3:5]))
+	if _, err := io.ReadFull(r, hdr[1:hlen-1]); err != nil {
+		return Frame{}, err
+	}
+	var dev uint16
+	if hdr[0] == Version2 {
+		dev = binary.BigEndian.Uint16(hdr[3:5])
+	}
+	n := int(binary.BigEndian.Uint16(hdr[hlen-3 : hlen-1]))
 	if n > MaxPayload {
 		return Frame{}, ErrTooLarge
 	}
@@ -109,13 +159,13 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, rest); err != nil {
 		return Frame{}, err
 	}
-	full := make([]byte, 0, headerLen-1+n)
-	full = append(full, hdr[:]...)
+	full := make([]byte, 0, hlen-1+n)
+	full = append(full, hdr[:hlen-1]...)
 	full = append(full, rest[:n]...)
 	if CRC16(full) != binary.BigEndian.Uint16(rest[n:]) {
 		return Frame{}, ErrBadCRC
 	}
-	return Frame{Cmd: hdr[1], Seq: hdr[2], Payload: rest[:n]}, nil
+	return Frame{Cmd: hdr[1], Seq: hdr[2], Device: dev, Payload: rest[:n]}, nil
 }
 
 // CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).

@@ -15,10 +15,18 @@ func FuzzScanFrame(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	goodV2, err := Encode(Frame{Cmd: 0x05, Seq: 7, Device: 0x0203, Payload: []byte{1, 2, 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{SOF, Version})
+	f.Add([]byte{SOF, Version2})
+	f.Add([]byte{SOF, Version2, 0x05, 0x07, 0x02})
 	f.Add(good)
+	f.Add(goodV2)
 	f.Add(append([]byte{0x00, SOF, 0xFF, 0x13, SOF}, good...))
+	f.Add(append(append([]byte{SOF, Version2, 0x00}, good...), goodV2...))
 	f.Add(bytes.Repeat([]byte{SOF}, 64))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {

@@ -46,11 +46,12 @@ func (s *Scanner) Instrument(junkBytes, rejectedCandidates *obs.Counter) {
 // maximum-size frame so a full candidate can be inspected without
 // consuming it.
 func NewScanner(r io.Reader) *Scanner {
-	return &Scanner{br: bufio.NewReaderSize(r, headerLen+MaxPayload+crcLen)}
+	return &Scanner{br: bufio.NewReaderSize(r, headerLenV2+MaxPayload+crcLen)}
 }
 
 // ReadFrame returns the next valid frame, skipping any amount of
-// garbage before it.
+// garbage before it. Version-1 and version-2 frames may interleave on
+// one stream; a version-1 frame decodes with Device 0.
 func (s *Scanner) ReadFrame() (Frame, error) {
 	for {
 		b, err := s.br.ReadByte()
@@ -63,20 +64,37 @@ func (s *Scanner) ReadFrame() (Frame, error) {
 		}
 		// Candidate frame: peek the remainder without consuming it, so
 		// rejecting the candidate costs only the SOF byte already read.
-		body, err := s.peek(headerLen - 1)
+		// The version byte picks the header layout.
+		ver, err := s.peek(1)
 		if err != nil {
 			return Frame{}, err
 		}
-		if body == nil || body[0] != Version {
+		hlen := headerLen
+		switch {
+		case ver == nil:
+			s.rejects.Inc()
+			continue
+		case ver[0] == Version:
+		case ver[0] == Version2:
+			hlen = headerLenV2
+		default:
 			s.rejects.Inc()
 			continue
 		}
-		n := int(binary.BigEndian.Uint16(body[3:5]))
+		body, err := s.peek(hlen - 1)
+		if err != nil {
+			return Frame{}, err
+		}
+		if body == nil {
+			s.rejects.Inc()
+			continue
+		}
+		n := int(binary.BigEndian.Uint16(body[hlen-3 : hlen-1]))
 		if n > MaxPayload {
 			s.rejects.Inc()
 			continue
 		}
-		full, err := s.peek(headerLen - 1 + n + crcLen)
+		full, err := s.peek(hlen - 1 + n + crcLen)
 		if err != nil {
 			return Frame{}, err
 		}
@@ -84,15 +102,18 @@ func (s *Scanner) ReadFrame() (Frame, error) {
 			s.rejects.Inc()
 			continue
 		}
-		body = full[: headerLen-1+n : headerLen-1+n]
-		if CRC16(body) != binary.BigEndian.Uint16(full[headerLen-1+n:]) {
+		body = full[: hlen-1+n : hlen-1+n]
+		if CRC16(body) != binary.BigEndian.Uint16(full[hlen-1+n:]) {
 			s.rejects.Inc()
 			continue
 		}
 		f := Frame{
 			Cmd:     body[1],
 			Seq:     body[2],
-			Payload: append([]byte(nil), body[headerLen-1:]...),
+			Payload: append([]byte(nil), body[hlen-1:]...),
+		}
+		if body[0] == Version2 {
+			f.Device = binary.BigEndian.Uint16(body[3:5])
 		}
 		// The frame checked out: consume it.
 		if _, err := s.br.Discard(len(full)); err != nil {

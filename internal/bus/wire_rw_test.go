@@ -1,0 +1,94 @@
+package bus
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"sdb/internal/obs"
+)
+
+// TestWriterReaderRoundTrip walks every payload primitive through an
+// encode/decode cycle, then checks the Reader's sticky-error contract:
+// the first short read poisons all later reads with zero values.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(0xAB).U16(0xBEEF).U64(1<<63 | 12345).F64(-2.5).Str("pack").UVarint(1 << 40)
+	r := NewReader(w.Bytes())
+	if v := r.U8(); v != 0xAB {
+		t.Errorf("U8 = %#x", v)
+	}
+	if v := r.U16(); v != 0xBEEF {
+		t.Errorf("U16 = %#x", v)
+	}
+	if v := r.U64(); v != 1<<63|12345 {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := r.F64(); v != -2.5 {
+		t.Errorf("F64 = %g", v)
+	}
+	if v := r.Str(); v != "pack" {
+		t.Errorf("Str = %q", v)
+	}
+	if v := r.UVarint(); v != 1<<40 {
+		t.Errorf("UVarint = %#x", v)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("clean decode: err %v, %d bytes left", r.Err(), r.Remaining())
+	}
+
+	// Truncation mid-field sticks: every later read is a zero value and
+	// Err reports the original failure.
+	r = NewReader(w.Bytes()[:4])
+	r.U8()
+	r.U16()
+	if r.U64() != 0 || r.U16() != 0 || r.F64() != 0 || r.Str() != "" || r.UVarint() != 0 {
+		t.Fatal("reads after a short buffer returned non-zero values")
+	}
+	if r.Err() != io.ErrUnexpectedEOF {
+		t.Fatalf("sticky error = %v", r.Err())
+	}
+	// A string whose length prefix overruns the buffer is the same
+	// failure, not a partial string.
+	var ws Writer
+	ws.U16(100)
+	rs := NewReader(ws.Bytes())
+	if rs.Str() != "" || rs.Err() != io.ErrUnexpectedEOF {
+		t.Fatalf("overlong Str: %q, %v", "", rs.Err())
+	}
+}
+
+// TestScannerInstrument: resync counters see the junk bytes and
+// rejected SOF candidates a dirty stream produces, and a nil counter
+// pair stays a no-op.
+func TestScannerInstrument(t *testing.T) {
+	good, err := Encode(Frame{Cmd: 0x01, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise, then a lone SOF with a bad version (a rejected candidate),
+	// then a valid frame.
+	stream := append([]byte{0x00, 0xFF, SOF, 0x7F}, good...)
+	reg := obs.NewRegistry()
+	junk := reg.Counter("junk")
+	rejects := reg.Counter("rejects")
+	sc := NewScanner(bytes.NewReader(stream))
+	sc.Instrument(junk, rejects)
+	f, err := sc.ReadFrame()
+	if err != nil || f.Cmd != 0x01 {
+		t.Fatalf("frame after noise: %+v, %v", f, err)
+	}
+	if junk.Value() == 0 {
+		t.Error("junk counter never incremented across discarded bytes")
+	}
+	if rejects.Value() == 0 {
+		t.Error("rejects counter missed the bad-version SOF candidate")
+	}
+
+	// Uninstrumented scanner on the same stream: same frame, no panic.
+	sc = NewScanner(bytes.NewReader(stream))
+	sc.Instrument(nil, nil)
+	if f, err := sc.ReadFrame(); err != nil || f.Cmd != 0x01 {
+		t.Fatalf("uninstrumented scan: %+v, %v", f, err)
+	}
+}

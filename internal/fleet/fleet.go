@@ -1,0 +1,463 @@
+// Package fleet hosts many emulated SDB devices behind one protocol
+// endpoint. Each device is a full stack — pmic.Controller firmware, an
+// optional core.Runtime policy loop, and an emulator.Machine stepping
+// a workload trace — registered under a 16-bit device id. A fixed pool
+// of worker shards drives the machines in batched ticks (one goroutine
+// advances many devices per wakeup), and Serve multiplexes the framed
+// wire protocol onto the registry: the version-2 frame header carries
+// the device id, so one bus connection commands any device, and legacy
+// version-1 frames land on device 0 unchanged.
+//
+// Devices are mutually independent: no state is shared between
+// machines, so a device's results are byte-identical to running the
+// same emulator.Config alone, whatever the shard count — the fleet
+// soak test enforces exactly that. Commands never queue behind another
+// device's stepping: Serve only contends on the addressed device's own
+// controller mutex, held for at most one firmware step at a time.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdb/internal/bus"
+	"sdb/internal/emulator"
+	"sdb/internal/obs"
+	"sdb/internal/pmic"
+)
+
+// Config sizes the fleet server.
+type Config struct {
+	// Shards is the number of worker goroutines driving devices.
+	// Default 4.
+	Shards int
+	// Batch is how many firmware steps one device advances per shard
+	// wakeup — the fairness quantum. Small batches interleave devices
+	// (and bound how long a command can wait on a stepping device);
+	// large ones amortize wakeups. Default 64.
+	Batch int
+	// Obs receives the fleet's aggregate metrics. Nil falls back to the
+	// process default registry.
+	Obs *obs.Registry
+}
+
+// Fleet is a registry of emulated devices plus the shard pool that
+// drives them. Add/Remove/Serve/Stat are safe from any goroutine;
+// Tick and RunToCompletion must be called from one driver goroutine
+// at a time.
+type Fleet struct {
+	cfg Config
+
+	// regMu guards the device registry and shard membership. Ticks hold
+	// it shared — membership is frozen while shards step — so Serve
+	// lookups stay concurrent and Add/Remove wait for the tick.
+	regMu   sync.RWMutex
+	devices map[uint16]*device
+	shards  []*shard
+	nextRR  int // round-robin shard assignment cursor
+
+	tickMu    sync.Mutex // serializes Tick barriers
+	steps     atomic.Uint64
+	churn     atomic.Uint64
+	tickWallS float64 // driver-goroutine only
+
+	om fleetMetrics
+
+	closeOnce sync.Once
+}
+
+type device struct {
+	id    uint16
+	shard int
+	m     *emulator.Machine
+	ctrl  *pmic.Controller
+
+	// err and res are written by the owning shard / driver goroutine;
+	// reads outside a tick are ordered by the barrier.
+	err error
+	res *emulator.Result
+}
+
+type shard struct {
+	idx     int
+	devices []*device
+	wake    chan tickReq
+	hist    *obs.Histogram
+}
+
+type tickReq struct {
+	steps  int
+	active *atomic.Int64 // devices still running, summed across shards
+	wg     *sync.WaitGroup
+}
+
+// fleetMetrics bundles the aggregate observables.
+type fleetMetrics struct {
+	devices *obs.Gauge
+	churn   *obs.Counter
+	steps   *obs.Counter
+	rate    *obs.Gauge
+	cmd     *obs.Histogram
+}
+
+// New builds a fleet and starts its shard pool. Close stops it.
+func New(cfg Config) *Fleet {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	reg := cfg.Obs.Or(obs.Default())
+	f := &Fleet{
+		cfg:     cfg,
+		devices: make(map[uint16]*device),
+		om: fleetMetrics{
+			devices: reg.Gauge("sdb_fleet_devices"),
+			churn:   reg.Counter("sdb_fleet_device_churn_total"),
+			steps:   reg.Counter("sdb_fleet_steps_total"),
+			rate:    reg.Gauge("sdb_fleet_device_steps_per_sec"),
+			cmd: reg.Histogram("sdb_fleet_cmd_seconds",
+				[]float64{1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 1e-1, 1}),
+		},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			idx:  i,
+			wake: make(chan tickReq),
+			hist: reg.Histogram(fmt.Sprintf("sdb_fleet_shard%d_batch_seconds", i),
+				[]float64{1e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1}),
+		}
+		f.shards = append(f.shards, s)
+		go f.shardLoop(s)
+	}
+	return f
+}
+
+// Close stops the shard pool. The registry stays queryable (Serve,
+// Stat, Result); only ticking ends. Safe to call more than once.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() {
+		f.tickMu.Lock()
+		defer f.tickMu.Unlock()
+		for _, s := range f.shards {
+			close(s.wake)
+		}
+	})
+}
+
+// Add registers a device: the emulator config is compiled into a
+// Machine (validating it) and the device joins the least-recently
+// assigned shard. The config's Controller becomes the device's command
+// target. Ids are free-form; id 0 is what legacy version-1 clients
+// address.
+func (f *Fleet) Add(id uint16, cfg emulator.Config) error {
+	m, err := emulator.NewMachine(cfg)
+	if err != nil {
+		return err
+	}
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	if _, dup := f.devices[id]; dup {
+		return fmt.Errorf("fleet: device %d already registered", id)
+	}
+	d := &device{id: id, shard: f.nextRR, m: m, ctrl: cfg.Controller}
+	f.nextRR = (f.nextRR + 1) % len(f.shards)
+	f.devices[id] = d
+	s := f.shards[d.shard]
+	s.devices = append(s.devices, d)
+	f.churn.Add(1)
+	f.om.churn.Inc()
+	f.om.devices.Set(float64(len(f.devices)))
+	return nil
+}
+
+// Remove unregisters a device, reporting whether it existed. Its
+// controller and any finished result are dropped with it.
+func (f *Fleet) Remove(id uint16) bool {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	d, ok := f.devices[id]
+	if !ok {
+		return false
+	}
+	delete(f.devices, id)
+	s := f.shards[d.shard]
+	for i, sd := range s.devices {
+		if sd == d {
+			s.devices = append(s.devices[:i], s.devices[i+1:]...)
+			break
+		}
+	}
+	f.churn.Add(1)
+	f.om.churn.Inc()
+	f.om.devices.Set(float64(len(f.devices)))
+	return true
+}
+
+// Len returns the number of registered devices.
+func (f *Fleet) Len() int {
+	f.regMu.RLock()
+	defer f.regMu.RUnlock()
+	return len(f.devices)
+}
+
+// IDs returns the registered device ids, lowest first.
+func (f *Fleet) IDs() []uint16 {
+	f.regMu.RLock()
+	ids := make([]uint16, 0, len(f.devices))
+	for id := range f.devices {
+		ids = append(ids, id)
+	}
+	f.regMu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Controller returns a device's firmware for direct in-process access
+// (nil if the id is unknown).
+func (f *Fleet) Controller(id uint16) *pmic.Controller {
+	f.regMu.RLock()
+	defer f.regMu.RUnlock()
+	if d := f.devices[id]; d != nil {
+		return d.ctrl
+	}
+	return nil
+}
+
+// shardLoop drives one shard: each wakeup advances every still-running
+// device on the shard by the requested number of steps, a batch at a
+// time. A device that errors is parked (its error is kept for Result)
+// and never blocks its neighbors — the loop always moves on.
+func (f *Fleet) shardLoop(s *shard) {
+	for req := range s.wake {
+		start := time.Now()
+		var ran int64
+		var active int64
+		for _, d := range s.devices {
+			if d.err != nil || d.m.Done() {
+				continue
+			}
+			left := req.steps
+			for left > 0 {
+				n := f.cfg.Batch
+				if n > left {
+					n = left
+				}
+				did, err := d.m.StepBatch(n)
+				ran += int64(did)
+				left -= n
+				if err != nil {
+					d.err = err
+					break
+				}
+				if d.m.Done() {
+					break
+				}
+			}
+			if d.err == nil && !d.m.Done() {
+				active++
+			}
+		}
+		s.hist.Observe(time.Since(start).Seconds())
+		f.steps.Add(uint64(ran))
+		f.om.steps.Add(ran)
+		req.active.Add(active)
+		req.wg.Done()
+	}
+}
+
+// Tick advances every running device by steps firmware steps and
+// returns how many devices are still running. The call is a barrier:
+// it returns once all shards finish. Membership is frozen for the
+// duration; protocol commands are not — they only contend on the
+// addressed device's controller.
+func (f *Fleet) Tick(steps int) int {
+	f.tickMu.Lock()
+	defer f.tickMu.Unlock()
+	f.regMu.RLock()
+	defer f.regMu.RUnlock()
+	start := time.Now()
+	var active atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(len(f.shards))
+	req := tickReq{steps: steps, active: &active, wg: &wg}
+	for _, s := range f.shards {
+		s.wake <- req
+	}
+	wg.Wait()
+	f.tickWallS += time.Since(start).Seconds()
+	if f.tickWallS > 0 {
+		f.om.rate.Set(float64(f.steps.Load()) / f.tickWallS)
+	}
+	return int(active.Load())
+}
+
+// RunToCompletion ticks until every device has consumed its trace (or
+// parked on an error).
+func (f *Fleet) RunToCompletion(stepsPerTick int) {
+	if stepsPerTick <= 0 {
+		stepsPerTick = f.cfg.Batch
+	}
+	for f.Tick(stepsPerTick) > 0 {
+	}
+}
+
+// Result finishes a device's run and returns its summary. The first
+// call computes the Result (legal mid-trace: it snapshots the steps
+// run so far); later calls return the same value. A device that
+// stepped into an error returns that error instead. Call from the
+// driver goroutine, not concurrently with a tick.
+func (f *Fleet) Result(id uint16) (*emulator.Result, error) {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	d := f.devices[id]
+	if d == nil {
+		return nil, fmt.Errorf("fleet: no device %d", id)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.res == nil {
+		res, err := d.m.Finish()
+		if err != nil {
+			d.err = err
+			return nil, err
+		}
+		d.res = res
+	}
+	return d.res, nil
+}
+
+// Err returns the error a device parked on, if any.
+func (f *Fleet) Err(id uint16) error {
+	f.regMu.RLock()
+	defer f.regMu.RUnlock()
+	if d := f.devices[id]; d != nil {
+		return d.err
+	}
+	return fmt.Errorf("fleet: no device %d", id)
+}
+
+// Stat is the fleet's aggregate self-description, the payload of a
+// FleetStat protocol query.
+type Stat struct {
+	Devices int
+	Shards  int
+	Steps   uint64
+	Churn   uint64
+	// DeviceStepsPerSec is aggregate devices x steps per wall second
+	// spent ticking (zero before the first tick).
+	DeviceStepsPerSec float64
+	// CmdP99Seconds is the server-side 99th-percentile command latency,
+	// an upper bound read from bucketed histograms (zero before any
+	// command).
+	CmdP99Seconds float64
+}
+
+// Stat snapshots the aggregate counters.
+func (f *Fleet) Stat() Stat {
+	p99 := f.om.cmd.Quantile(0.99)
+	if math.IsNaN(p99) { // empty or unregistered histogram
+		p99 = 0
+	}
+	return Stat{
+		Devices:           f.Len(),
+		Shards:            len(f.shards),
+		Steps:             f.steps.Load(),
+		Churn:             f.churn.Load(),
+		DeviceStepsPerSec: f.om.rate.Value(),
+		CmdP99Seconds:     p99,
+	}
+}
+
+// Serve runs the multiplexed command loop on one connection until the
+// transport closes, routing each frame to the controller registered
+// under its device id. Version-1 frames carry no id and land on device
+// 0, so a pre-fleet client drives device 0 of a fleet server without
+// knowing fleets exist. Frames addressing an unknown id are answered
+// with StatusNoDevice; CmdFleetInfo is answered by the fleet itself.
+// Run one Serve goroutine per accepted connection.
+func (f *Fleet) Serve(rw io.ReadWriter) error {
+	sc := bus.NewScanner(rw)
+	for {
+		req, err := sc.ReadFrame()
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+			errors.Is(err, io.ErrClosedPipe), errors.Is(err, net.ErrClosed):
+			return nil
+		default:
+			return fmt.Errorf("fleet: serve: %w", err)
+		}
+		t0 := time.Now()
+		resp := f.dispatch(req)
+		if err := bus.WriteFrame(rw, resp); err != nil {
+			return fmt.Errorf("fleet: serve write: %w", err)
+		}
+		f.om.cmd.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// dispatch routes one request frame.
+func (f *Fleet) dispatch(req bus.Frame) bus.Frame {
+	if req.Cmd == pmic.CmdFleetInfo {
+		return f.fleetInfo(req)
+	}
+	f.regMu.RLock()
+	d := f.devices[req.Device]
+	f.regMu.RUnlock()
+	if d == nil {
+		var w bus.Writer
+		w.U8(pmic.StatusNoDevice)
+		return bus.Frame{Cmd: req.Cmd | pmic.RespFlag, Seq: req.Seq, Device: req.Device, Payload: w.Bytes()}
+	}
+	return d.ctrl.Dispatch(req)
+}
+
+// fleetInfo answers CmdFleetInfo: mode FleetList returns device ids
+// lowest-first (as many as fit one frame, after the total count), mode
+// FleetStat the aggregate counters.
+func (f *Fleet) fleetInfo(req bus.Frame) bus.Frame {
+	var w bus.Writer
+	r := bus.NewReader(req.Payload)
+	mode := r.U8()
+	switch {
+	case r.Err() != nil:
+		w.U8(pmic.StatusBadArgs)
+	case mode == pmic.FleetList:
+		ids := f.IDs()
+		w.U8(pmic.StatusOK)
+		w.UVarint(uint64(len(ids)))
+		// Bound the list to one frame: ids are 2 bytes each; leave
+		// headroom for status + the two varint counts.
+		max := (bus.MaxPayload - 24) / 2
+		n := len(ids)
+		if n > max {
+			n = max
+		}
+		w.UVarint(uint64(n))
+		for _, id := range ids[:n] {
+			w.U16(id)
+		}
+	case mode == pmic.FleetStat:
+		st := f.Stat()
+		w.U8(pmic.StatusOK)
+		w.UVarint(uint64(st.Devices))
+		w.UVarint(uint64(st.Shards))
+		w.UVarint(st.Steps)
+		w.UVarint(st.Churn)
+		w.F64(st.DeviceStepsPerSec)
+		w.F64(st.CmdP99Seconds)
+	default:
+		w.U8(pmic.StatusBadArgs)
+	}
+	return bus.Frame{Cmd: req.Cmd | pmic.RespFlag, Seq: req.Seq, Device: req.Device, Payload: w.Bytes()}
+}

@@ -1,0 +1,13 @@
+//go:build race
+
+package fleet
+
+// Race-lane soak sizes; see soak_size_test.go. The byte-identity soak
+// keeps its full 1000 devices — fleet-at-scale race-clean is an
+// acceptance bar, and it holds under 30s — while the chaos soak,
+// which multiplies cost again with solo baselines and live lossy-link
+// traffic, runs smaller.
+const (
+	soakDevices  = 1000
+	chaosDevices = 60
+)

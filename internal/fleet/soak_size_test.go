@@ -1,0 +1,12 @@
+//go:build !race
+
+package fleet
+
+// Soak sizes for the regular lanes. The race lane (see
+// soak_size_race_test.go) runs the same soaks smaller: the race
+// detector multiplies step cost ~10x, and the determinism and
+// isolation properties it checks are size-independent.
+const (
+	soakDevices  = 1000
+	chaosDevices = 120
+)

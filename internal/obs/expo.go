@@ -47,6 +47,15 @@ func (r *Registry) Text() string {
 	return sb.String()
 }
 
+// Text renders one family in the exposition format — its header plus
+// every sample line. The control protocol uses it to page a registry
+// too big for one frame across several whole-family chunks.
+func (f Family) Text() string {
+	var sb strings.Builder
+	writeFamily(&sb, f) // strings.Builder never errors
+	return sb.String()
+}
+
 func writeFamily(w io.Writer, f Family) error {
 	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
 		return err

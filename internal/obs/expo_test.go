@@ -43,6 +43,20 @@ sdb_pmic_steps_total 86400
 	}
 }
 
+// TestFamilyTextConcatenation: per-family rendering is exactly the
+// whole-registry rendering split at family boundaries — the contract
+// the control protocol's paged metrics fetch reassembles under.
+func TestFamilyTextConcatenation(t *testing.T) {
+	r := goldenRegistry()
+	var sb strings.Builder
+	for _, f := range r.Snapshot() {
+		sb.WriteString(f.Text())
+	}
+	if sb.String() != r.Text() {
+		t.Errorf("joined Family.Text drifted from Registry.Text:\n--- joined ---\n%s--- whole ---\n%s", sb.String(), r.Text())
+	}
+}
+
 func TestParseRoundTrip(t *testing.T) {
 	r := goldenRegistry()
 	fams, err := ParseText(r.Text())

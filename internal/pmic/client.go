@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,7 +21,13 @@ import (
 // in-process one.
 //
 // The protocol is strictly request/response; Client serializes calls
-// with a mutex and matches responses by sequence number.
+// with a mutex and matches responses by sequence number and device id.
+//
+// Against a fleet endpoint (internal/fleet), one Client multiplexes
+// every device behind the connection: Device(id) returns a view whose
+// calls carry that device id in the frame header. The Client's own
+// methods address device 0, byte-identical on the wire to the
+// pre-fleet protocol.
 //
 // Resilience: the prototype's Bluetooth link drops and corrupts frames
 // routinely, so the client can retry. Each failed attempt is classified
@@ -138,6 +145,8 @@ func (e *StatusError) Error() string {
 		what = "internal controller error"
 	case StatusBadCmd:
 		what = "unknown command"
+	case StatusNoDevice:
+		what = "no such device"
 	default:
 		what = fmt.Sprintf("status %#02x", e.Status)
 	}
@@ -159,9 +168,30 @@ func statusToError(cmd byte, status byte) error {
 // comes from responses to earlier timed-out requests draining through.
 var ErrStaleFlood = errors.New("pmic: too many mismatched responses")
 
+// Device returns a view of the connection addressing one device of a
+// fleet endpoint. Views share the client's transport, sequence space,
+// retry configuration, and mutex; any number may be used concurrently.
+// Device(0) behaves exactly like the Client's own methods.
+func (c *Client) Device(id uint16) DeviceClient {
+	return DeviceClient{c: c, dev: id}
+}
+
+// DeviceClient routes the control protocol to one device behind a
+// shared connection. The zero device is the single-device default; its
+// frames use the legacy version-1 header so old servers interoperate.
+type DeviceClient struct {
+	c   *Client
+	dev uint16
+}
+
+// ID returns the device id this view addresses.
+func (d DeviceClient) ID() uint16 { return d.dev }
+
+var _ API = DeviceClient{}
+
 // call performs one request/response exchange, retrying retryable
 // failures per the client's Retries/Backoff/Dial configuration.
-func (c *Client) call(cmd byte, payload []byte) (*bus.Reader, error) {
+func (c *Client) call(dev uint16, cmd byte, payload []byte) (*bus.Reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	attempts := 1 + c.Retries
@@ -178,7 +208,7 @@ func (c *Client) call(cmd byte, payload []byte) (*bus.Reader, error) {
 				backoff *= 2
 			}
 		}
-		r, err := c.attempt(cmd, payload)
+		r, err := c.attempt(dev, cmd, payload)
 		if err == nil {
 			return r, nil
 		}
@@ -214,7 +244,7 @@ func connDead(err error) bool {
 }
 
 // attempt performs one round trip.
-func (c *Client) attempt(cmd byte, payload []byte) (*bus.Reader, error) {
+func (c *Client) attempt(dev uint16, cmd byte, payload []byte) (*bus.Reader, error) {
 	if c.Timeout > 0 {
 		if d, ok := c.rw.(deadliner); ok {
 			if err := d.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
@@ -230,7 +260,7 @@ func (c *Client) attempt(cmd byte, payload []byte) (*bus.Reader, error) {
 		c.seq = 1
 	}
 	seq := c.seq
-	if err := bus.WriteFrame(c.rw, bus.Frame{Cmd: cmd, Seq: seq, Payload: payload}); err != nil {
+	if err := bus.WriteFrame(c.rw, bus.Frame{Cmd: cmd, Seq: seq, Device: dev, Payload: payload}); err != nil {
 		return nil, fmt.Errorf("pmic: client write: %w", err)
 	}
 	maxStale := c.MaxStale
@@ -242,7 +272,7 @@ func (c *Client) attempt(cmd byte, payload []byte) (*bus.Reader, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pmic: client read: %w", err)
 		}
-		if resp.Seq != seq || resp.Cmd != cmd|RespFlag {
+		if resp.Seq != seq || resp.Cmd != cmd|RespFlag || resp.Device != dev {
 			c.om.staleFrames.Inc()
 			continue // stale response from a timed-out earlier call
 		}
@@ -256,8 +286,8 @@ func (c *Client) attempt(cmd byte, payload []byte) (*bus.Reader, error) {
 }
 
 // Ping implements API.
-func (c *Client) Ping() error {
-	_, err := c.call(CmdPing, nil)
+func (d DeviceClient) Ping() error {
+	_, err := d.c.call(d.dev, CmdPing, nil)
 	return err
 }
 
@@ -271,28 +301,28 @@ func ratioPayload(ratios []float64) []byte {
 }
 
 // Discharge implements API.
-func (c *Client) Discharge(ratios []float64) error {
-	_, err := c.call(CmdSetDischg, ratioPayload(ratios))
+func (d DeviceClient) Discharge(ratios []float64) error {
+	_, err := d.c.call(d.dev, CmdSetDischg, ratioPayload(ratios))
 	return err
 }
 
 // Charge implements API.
-func (c *Client) Charge(ratios []float64) error {
-	_, err := c.call(CmdSetCharge, ratioPayload(ratios))
+func (d DeviceClient) Charge(ratios []float64) error {
+	_, err := d.c.call(d.dev, CmdSetCharge, ratioPayload(ratios))
 	return err
 }
 
 // ChargeOneFromAnother implements API.
-func (c *Client) ChargeOneFromAnother(x, y int, w, t float64) error {
+func (d DeviceClient) ChargeOneFromAnother(x, y int, w, t float64) error {
 	var p bus.Writer
 	p.U8(byte(x)).U8(byte(y)).F64(w).F64(t)
-	_, err := c.call(CmdTransfer, p.Bytes())
+	_, err := d.c.call(d.dev, CmdTransfer, p.Bytes())
 	return err
 }
 
 // QueryBatteryStatus implements API.
-func (c *Client) QueryBatteryStatus() ([]BatteryStatus, error) {
-	r, err := c.call(CmdQueryStatus, nil)
+func (d DeviceClient) QueryBatteryStatus() ([]BatteryStatus, error) {
+	r, err := d.c.call(d.dev, CmdQueryStatus, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -308,17 +338,17 @@ func (c *Client) QueryBatteryStatus() ([]BatteryStatus, error) {
 }
 
 // SetChargeProfile implements API.
-func (c *Client) SetChargeProfile(batt int, profile string) error {
+func (d DeviceClient) SetChargeProfile(batt int, profile string) error {
 	var p bus.Writer
 	p.U8(byte(batt)).Str(profile)
-	_, err := c.call(CmdSetProfile, p.Bytes())
+	_, err := d.c.call(d.dev, CmdSetProfile, p.Bytes())
 	return err
 }
 
 // Ratios fetches the firmware's latched discharge and charge ratio
 // registers.
-func (c *Client) Ratios() (dis, chg []float64, err error) {
-	r, err := c.call(CmdGetRatios, nil)
+func (d DeviceClient) Ratios() (dis, chg []float64, err error) {
+	r, err := d.c.call(d.dev, CmdGetRatios, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -338,27 +368,43 @@ func (c *Client) Ratios() (dis, chg []float64, err error) {
 }
 
 // Metrics fetches the remote controller's registry rendered in the
-// text exposition format. A trailing "# truncated" comment means the
-// registry outgrew one frame and the tail was cut at a line boundary.
-func (c *Client) Metrics() (string, error) {
-	r, err := c.call(CmdMetrics, nil)
-	if err != nil {
-		return "", err
+// text exposition format. Registries too big for one frame are paged
+// across several requests by whole families and reassembled here, so
+// the result is always the complete exposition. (A trailing
+// "# truncated" comment can only appear in the degenerate case of a
+// single family outgrowing a frame.)
+func (d DeviceClient) Metrics() (string, error) {
+	var sb strings.Builder
+	var cursor uint64
+	for {
+		var w bus.Writer
+		w.UVarint(cursor)
+		r, err := d.c.call(d.dev, CmdMetrics, w.Bytes())
+		if err != nil {
+			return "", err
+		}
+		next := r.UVarint()
+		sb.WriteString(r.Str())
+		if err := r.Err(); err != nil {
+			return "", fmt.Errorf("pmic: malformed metrics response: %w", err)
+		}
+		if next == 0 {
+			return sb.String(), nil
+		}
+		if next <= cursor {
+			return "", fmt.Errorf("pmic: metrics page cursor went backwards (%d after %d)", next, cursor)
+		}
+		cursor = next
 	}
-	text := r.Str()
-	if err := r.Err(); err != nil {
-		return "", fmt.Errorf("pmic: malformed metrics response: %w", err)
-	}
-	return text, nil
 }
 
 // SeriesNames lists the series the remote controller's recorder holds
 // (empty when recording is off). The firmware sends as many sorted
 // names as fit one frame.
-func (c *Client) SeriesNames() ([]string, error) {
+func (d DeviceClient) SeriesNames() ([]string, error) {
 	var w bus.Writer
 	w.U8(SeriesList)
-	r, err := c.call(CmdSeries, w.Bytes())
+	r, err := d.c.call(d.dev, CmdSeries, w.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -377,10 +423,10 @@ func (c *Client) SeriesNames() ([]string, error) {
 // firmware keeps only the newest samples that fit one frame, advancing
 // the window's FirstT past anything dropped; Total still counts every
 // sample ever recorded.
-func (c *Client) Series(name string) (ts.Window, error) {
+func (d DeviceClient) Series(name string) (ts.Window, error) {
 	var w bus.Writer
 	w.U8(SeriesGet).Str(name)
-	r, err := c.call(CmdSeries, w.Bytes())
+	r, err := d.c.call(d.dev, CmdSeries, w.Bytes())
 	if err != nil {
 		return ts.Window{}, err
 	}
@@ -407,8 +453,8 @@ func (c *Client) Series(name string) (ts.Window, error) {
 
 // TraceEvents fetches the remote controller's trace ring, oldest
 // first. The firmware keeps only the newest events that fit one frame.
-func (c *Client) TraceEvents() ([]obs.Event, error) {
-	r, err := c.call(CmdTrace, nil)
+func (d DeviceClient) TraceEvents() ([]obs.Event, error) {
+	r, err := d.c.call(d.dev, CmdTrace, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -437,8 +483,8 @@ func (c *Client) TraceEvents() ([]obs.Event, error) {
 }
 
 // BatteryCount implements API.
-func (c *Client) BatteryCount() (int, error) {
-	r, err := c.call(CmdBattCount, nil)
+func (d DeviceClient) BatteryCount() (int, error) {
+	r, err := d.c.call(d.dev, CmdBattCount, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -447,4 +493,116 @@ func (c *Client) BatteryCount() (int, error) {
 		return 0, err
 	}
 	return n, nil
+}
+
+// The Client's own methods address device 0, preserving the pre-fleet
+// single-device API (and its v1 wire image) unchanged.
+
+// Ping implements API.
+func (c *Client) Ping() error { return c.Device(0).Ping() }
+
+// Discharge implements API.
+func (c *Client) Discharge(ratios []float64) error { return c.Device(0).Discharge(ratios) }
+
+// Charge implements API.
+func (c *Client) Charge(ratios []float64) error { return c.Device(0).Charge(ratios) }
+
+// ChargeOneFromAnother implements API.
+func (c *Client) ChargeOneFromAnother(x, y int, w, t float64) error {
+	return c.Device(0).ChargeOneFromAnother(x, y, w, t)
+}
+
+// QueryBatteryStatus implements API.
+func (c *Client) QueryBatteryStatus() ([]BatteryStatus, error) {
+	return c.Device(0).QueryBatteryStatus()
+}
+
+// SetChargeProfile implements API.
+func (c *Client) SetChargeProfile(batt int, profile string) error {
+	return c.Device(0).SetChargeProfile(batt, profile)
+}
+
+// Ratios fetches device 0's latched ratio registers.
+func (c *Client) Ratios() (dis, chg []float64, err error) { return c.Device(0).Ratios() }
+
+// Metrics fetches device 0's registry rendering.
+func (c *Client) Metrics() (string, error) { return c.Device(0).Metrics() }
+
+// SeriesNames lists device 0's recorded series.
+func (c *Client) SeriesNames() ([]string, error) { return c.Device(0).SeriesNames() }
+
+// Series fetches one of device 0's recorded series.
+func (c *Client) Series(name string) (ts.Window, error) { return c.Device(0).Series(name) }
+
+// TraceEvents fetches device 0's trace ring.
+func (c *Client) TraceEvents() ([]obs.Event, error) { return c.Device(0).TraceEvents() }
+
+// BatteryCount implements API.
+func (c *Client) BatteryCount() (int, error) { return c.Device(0).BatteryCount() }
+
+// FleetInfo is the fleet endpoint's aggregate self-description, as
+// reported by a FleetStat query.
+type FleetInfo struct {
+	Devices int // registered devices
+	Shards  int // worker shards driving them
+	Steps   uint64
+	Churn   uint64 // devices ever added + removed
+
+	// DeviceStepsPerSec is the aggregate emulation rate over the
+	// server's lifetime (devices x steps / wall seconds); zero until the
+	// fleet has stepped.
+	DeviceStepsPerSec float64
+
+	// CmdP99Seconds is the 99th-percentile protocol command latency
+	// observed server-side, from bucketed histograms (an upper-bound
+	// estimate); zero until commands have been served.
+	CmdP99Seconds float64
+}
+
+// FleetDevices lists the device ids registered on a fleet endpoint,
+// lowest first. The server sends as many as fit one frame; Total is the
+// full registry size, so len(ids) < total means the list was cut.
+// A plain single-device server answers StatusBadCmd.
+func (c *Client) FleetDevices() (ids []uint16, total int, err error) {
+	var w bus.Writer
+	w.U8(FleetList)
+	r, err := c.call(0, CmdFleetInfo, w.Bytes())
+	if err != nil {
+		return nil, 0, err
+	}
+	total = int(r.UVarint())
+	n := int(r.UVarint())
+	if n > r.Remaining()/2 {
+		return nil, 0, fmt.Errorf("pmic: malformed fleet list response: count %d exceeds payload", n)
+	}
+	ids = make([]uint16, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, r.U16())
+	}
+	if err := r.Err(); err != nil {
+		return nil, 0, fmt.Errorf("pmic: malformed fleet list response: %w", err)
+	}
+	return ids, total, nil
+}
+
+// FleetStat fetches the fleet endpoint's aggregate counters.
+func (c *Client) FleetStat() (FleetInfo, error) {
+	var w bus.Writer
+	w.U8(FleetStat)
+	r, err := c.call(0, CmdFleetInfo, w.Bytes())
+	if err != nil {
+		return FleetInfo{}, err
+	}
+	fi := FleetInfo{
+		Devices:           int(r.UVarint()),
+		Shards:            int(r.UVarint()),
+		Steps:             r.UVarint(),
+		Churn:             r.UVarint(),
+		DeviceStepsPerSec: r.F64(),
+		CmdP99Seconds:     r.F64(),
+	}
+	if err := r.Err(); err != nil {
+		return FleetInfo{}, fmt.Errorf("pmic: malformed fleet stat response: %w", err)
+	}
+	return fi, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 
 	"sdb/internal/bus"
 	"sdb/internal/obs"
@@ -34,13 +35,25 @@ const (
 	// series' newest samples. Like CmdTrace, responses are bounded to
 	// one frame by dropping the oldest data first.
 	CmdSeries = 0x0B
-	RespFlag  = 0x80
+	// CmdFleetInfo queries a fleet endpoint about the fleet itself
+	// rather than any one device: mode FleetList returns registered
+	// device ids (lowest first, as many as fit one frame), FleetStat
+	// the aggregate counters. A single-device controller answers
+	// StatusBadCmd — it has no fleet.
+	CmdFleetInfo = 0x0C
+	RespFlag     = 0x80
 )
 
 // CmdSeries request modes.
 const (
 	SeriesList = 0x00
 	SeriesGet  = 0x01
+)
+
+// CmdFleetInfo request modes.
+const (
+	FleetList = 0x00
+	FleetStat = 0x01
 )
 
 // Protocol status codes (first payload byte of every response).
@@ -50,6 +63,9 @@ const (
 	StatusBadIndex = 0x02
 	StatusInternal = 0x03
 	StatusBadCmd   = 0x04
+	// StatusNoDevice is a fleet endpoint's answer to a frame addressing
+	// a device id with no registered device behind it.
+	StatusNoDevice = 0x05
 )
 
 // statusErr converts a controller error into a protocol status code.
@@ -82,15 +98,18 @@ func (c *Controller) Serve(rw io.ReadWriter) error {
 		default:
 			return fmt.Errorf("pmic: serve: %w", err)
 		}
-		resp := c.dispatch(req)
+		resp := c.Dispatch(req)
 		if err := bus.WriteFrame(rw, resp); err != nil {
 			return fmt.Errorf("pmic: serve write: %w", err)
 		}
 	}
 }
 
-// dispatch executes one request frame and builds the response.
-func (c *Controller) dispatch(req bus.Frame) bus.Frame {
+// Dispatch executes one request frame and builds the response. It is
+// exported for multiplexing endpoints (internal/fleet) that route
+// frames from one connection to many controllers; the response echoes
+// the request's sequence number and device id.
+func (c *Controller) Dispatch(req bus.Frame) bus.Frame {
 	var w bus.Writer
 	switch req.Cmd {
 	case CmdPing:
@@ -164,8 +183,24 @@ func (c *Controller) dispatch(req bus.Frame) bus.Frame {
 
 	case CmdMetrics:
 		// An uninstrumented controller answers OK with an empty body:
-		// "no metrics" is a normal state, not a protocol error.
-		w.U8(StatusOK).Str(truncateExposition(c.om.reg.Text(), bus.MaxPayload-3))
+		// "no metrics" is a normal state, not a protocol error. An
+		// empty request is the legacy single-frame form — a whole-family
+		// prefix of the exposition, cut marked — so pre-cursor clients
+		// keep working. A UVarint family cursor instead pages the full
+		// registry: the response carries the next cursor (0 = done)
+		// before the chunk.
+		if len(req.Payload) == 0 {
+			w.U8(StatusOK).Str(truncateExposition(c.om.reg.Text(), bus.MaxPayload-3))
+			break
+		}
+		r := bus.NewReader(req.Payload)
+		start := r.UVarint()
+		if r.Err() != nil {
+			w.U8(StatusBadArgs)
+			break
+		}
+		chunk, next := metricsPage(c.om.reg.Snapshot(), int(start), bus.MaxPayload-16)
+		w.U8(StatusOK).UVarint(uint64(next)).Str(chunk)
 
 	case CmdTrace:
 		events := c.om.tracer.Events()
@@ -200,45 +235,63 @@ func (c *Controller) dispatch(req bus.Frame) bus.Frame {
 	default:
 		w.U8(StatusBadCmd)
 	}
-	return bus.Frame{Cmd: req.Cmd | RespFlag, Seq: req.Seq, Payload: w.Bytes()}
+	return bus.Frame{Cmd: req.Cmd | RespFlag, Seq: req.Seq, Device: req.Device, Payload: w.Bytes()}
 }
 
 // truncateExposition bounds an exposition text to max bytes without
-// splitting a sample line; a cut is marked with a trailing comment the
-// parser ignores.
+// splitting a family; a cut is marked with a trailing comment the
+// parser ignores. Line boundaries are not enough: a histogram family
+// is only valid with its +Inf bucket, sum, and count lines, so the
+// cut keeps whole families only.
 func truncateExposition(text string, max int) string {
 	const marker = "# truncated\n"
 	if len(text) <= max {
 		return text
 	}
-	cut := max - len(marker)
-	if cut < 0 {
-		cut = 0
-	}
-	i := lastNewline(text[:cut])
-	// A cut right after a family's "# TYPE" header would leave a
-	// sample-less family the parser rejects; back up over any trailing
-	// comment lines so the text always ends on a whole family.
-	for i >= 0 {
-		lineStart := lastNewline(text[:i]) + 1
-		if text[lineStart] != '#' {
+	budget := max - len(marker)
+	end := 0
+	for end < len(text) {
+		i := strings.Index(text[end:], "\n# TYPE ")
+		famEnd := len(text)
+		if i >= 0 {
+			famEnd = end + i + 1
+		}
+		if famEnd > budget {
 			break
 		}
-		i = lineStart - 1
+		end = famEnd
 	}
-	if i >= 0 {
-		return text[:i+1] + marker
-	}
-	return marker
+	return text[:end] + marker
 }
 
-func lastNewline(s string) int {
-	for i := len(s) - 1; i >= 0; i-- {
-		if s[i] == '\n' {
-			return i
-		}
+// metricsPage renders whole families of a sorted snapshot starting at
+// index start into at most budget bytes and returns the next cursor —
+// the index of the first family that did not fit, or 0 once the last
+// family has been emitted. It always advances: a single family bigger
+// than a frame (not reachable with the registry's bounded histograms)
+// is cut marked rather than looping the client forever.
+func metricsPage(fams []obs.Family, start, budget int) (string, int) {
+	if start < 0 || start > len(fams) {
+		start = len(fams)
 	}
-	return -1
+	var sb strings.Builder
+	i := start
+	for i < len(fams) {
+		t := fams[i].Text()
+		if len(t) > budget-sb.Len() {
+			if sb.Len() == 0 {
+				sb.WriteString(truncateExposition(t, budget))
+				i++
+			}
+			break
+		}
+		sb.WriteString(t)
+		i++
+	}
+	if i >= len(fams) {
+		i = 0
+	}
+	return sb.String(), i
 }
 
 // encodedEventLen is the wire size of one trace event: fixed fields

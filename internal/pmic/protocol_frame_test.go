@@ -19,7 +19,7 @@ import (
 // and returns the response payload reader after checking the envelope.
 func dispatchFrame(t *testing.T, c *Controller, req bus.Frame) *bus.Reader {
 	t.Helper()
-	resp := c.dispatch(req)
+	resp := c.Dispatch(req)
 	if resp.Cmd != req.Cmd|RespFlag {
 		t.Fatalf("response cmd = %#x, want %#x", resp.Cmd, req.Cmd|RespFlag)
 	}

@@ -101,49 +101,148 @@ func TestClientMetricsUninstrumented(t *testing.T) {
 	}
 }
 
-// TestClientMetricsTruncatedToOneFrame: a registry too big for one
-// frame must come back cut at a line boundary, marked, and still
-// parseable.
-func TestClientMetricsTruncatedToOneFrame(t *testing.T) {
+// bigTestRegistry builds a registry several frames large, with
+// multi-line histogram families interleaved so page and cut points
+// almost certainly land inside one — the fleet's per-shard batch
+// histograms are what first pushed a live registry past the one-frame
+// budget.
+func bigTestRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
 	reg := obs.NewRegistry()
 	for i := 0; i < 400; i++ {
 		reg.Counter(fmt.Sprintf("sdb_test_padding_counter_%04d_total", i)).Inc()
+		if i%4 == 0 {
+			reg.Histogram(fmt.Sprintf("sdb_test_padding_%04d_seconds", i), nil).Observe(0.001)
+		}
 	}
-	if len(reg.Text()) <= bus.MaxPayload {
-		t.Fatal("test registry not big enough to force truncation")
+	if len(reg.Text()) <= 2*bus.MaxPayload {
+		t.Fatal("test registry not big enough to force paging")
 	}
+	return reg
+}
+
+// TestClientMetricsPagedAcrossFrames: a registry too big for one frame
+// comes back complete — the client walks the family cursor and joins
+// the chunks into the exact exposition text, nothing truncated.
+func TestClientMetricsPagedAcrossFrames(t *testing.T) {
+	reg := bigTestRegistry(t)
 	_, cl := startServedObs(t, reg)
 	text, err := cl.Metrics()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(text) > bus.MaxPayload-3 {
-		t.Errorf("response %d bytes exceeds the one-frame budget %d", len(text), bus.MaxPayload-3)
+	if want := reg.Text(); text != want {
+		t.Errorf("paged metrics differ from registry text: got %d bytes, want %d", len(text), len(want))
 	}
-	if !strings.HasSuffix(text, "# truncated\n") {
-		t.Errorf("truncated response missing marker; ends %q", text[len(text)-30:])
+	if strings.Contains(text, "# truncated") {
+		t.Error("paged fetch must not truncate")
 	}
 	if _, err := obs.ParseText(text); err != nil {
-		t.Errorf("truncated exposition does not parse: %v", err)
-	}
-	// Every line before the marker is whole (ends in a value, not a cut).
-	body := strings.TrimSuffix(text, "# truncated\n")
-	if !strings.HasSuffix(body, "\n") {
-		t.Error("truncation split a sample line")
+		t.Errorf("paged exposition does not parse: %v", err)
 	}
 }
 
-// TestTruncateExposition unit-tests the cut rule directly.
+// TestMetricsLegacyRequestStillOneFrame: an empty-payload request — a
+// pre-cursor client — gets the old single-frame form: a whole-family
+// prefix, marked, still parseable.
+func TestMetricsLegacyRequestStillOneFrame(t *testing.T) {
+	reg := bigTestRegistry(t)
+	ctrl, _ := startServedObs(t, reg)
+	resp := ctrl.Dispatch(bus.Frame{Cmd: CmdMetrics, Seq: 9})
+	r := bus.NewReader(resp.Payload)
+	if st := r.U8(); st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+	text := r.Str()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(text) > bus.MaxPayload-3 {
+		t.Errorf("legacy response %d bytes exceeds the one-frame budget", len(text))
+	}
+	if !strings.HasSuffix(text, "# truncated\n") {
+		t.Errorf("legacy response missing marker; ends %q", text[len(text)-30:])
+	}
+	if _, err := obs.ParseText(text); err != nil {
+		t.Errorf("legacy truncated exposition does not parse: %v", err)
+	}
+}
+
+// TestMetricsPage unit-tests the cursor walk: chunks join to the full
+// text, every cursor advances, and an oversized single family still
+// advances instead of looping.
+func TestMetricsPage(t *testing.T) {
+	reg := bigTestRegistry(t)
+	fams := reg.Snapshot()
+	var joined strings.Builder
+	cursor, pages := 0, 0
+	for {
+		chunk, next := metricsPage(fams, cursor, bus.MaxPayload-16)
+		joined.WriteString(chunk)
+		pages++
+		if next == 0 {
+			break
+		}
+		if next <= cursor {
+			t.Fatalf("cursor did not advance: %d after %d", next, cursor)
+		}
+		cursor = next
+	}
+	if pages < 2 {
+		t.Fatalf("big registry paged in %d frame(s); want several", pages)
+	}
+	if joined.String() != reg.Text() {
+		t.Error("joined pages differ from registry text")
+	}
+	// Out-of-range cursor: empty final page, done.
+	if chunk, next := metricsPage(fams, len(fams)+5, 100); chunk != "" || next != 0 {
+		t.Errorf("out-of-range cursor = (%q, %d), want empty done page", chunk, next)
+	}
+	// A single family bigger than the budget is cut marked but the
+	// cursor still moves past it.
+	chunk, next := metricsPage(fams, 0, 10)
+	if next != 1 {
+		t.Errorf("oversized family cursor = %d, want 1", next)
+	}
+	if !strings.HasSuffix(chunk, "# truncated\n") {
+		t.Errorf("oversized family chunk missing marker: %q", chunk)
+	}
+}
+
+// TestTruncateExposition unit-tests the cut rule directly: the cut
+// keeps whole families, never part of one.
 func TestTruncateExposition(t *testing.T) {
-	if got := truncateExposition("a 1\nb 2\n", 100); got != "a 1\nb 2\n" {
+	const (
+		famA = "# TYPE sdb_a_total counter\nsdb_a_total 1\n"
+		famB = "# TYPE sdb_b_total counter\nsdb_b_total 2\n"
+		hist = "# TYPE sdb_h_seconds histogram\n" +
+			"sdb_h_seconds_bucket{le=\"0.001\"} 3\n" +
+			"sdb_h_seconds_bucket{le=\"+Inf\"} 5\n" +
+			"sdb_h_seconds_sum 0.25\n" +
+			"sdb_h_seconds_count 5\n"
+		marker = "# truncated\n"
+	)
+	if got := truncateExposition(famA+famB, 1000); got != famA+famB {
 		t.Errorf("under-budget text modified: %q", got)
 	}
-	got := truncateExposition("aaaa 1\nbbbb 2\ncccc 3\n", 20)
-	if got != "aaaa 1\n# truncated\n" {
-		t.Errorf("cut = %q", got)
+	// Budget lands inside famB: only famA survives.
+	got := truncateExposition(famA+famB, len(famA)+len(marker)+10)
+	if got != famA+marker {
+		t.Errorf("mid-family cut = %q", got)
 	}
-	if got := truncateExposition(strings.Repeat("x", 100), 20); got != "# truncated\n" {
-		t.Errorf("no-newline pathological case = %q", got)
+	// Budget lands inside the histogram's bucket lines: a line-boundary
+	// cut would emit a histogram without +Inf/sum/count; the family cut
+	// must drop the whole histogram instead.
+	got = truncateExposition(famA+hist+famB, len(famA)+len(hist)-5)
+	if got != famA+marker {
+		t.Errorf("mid-histogram cut = %q", got)
+	}
+	if _, err := obs.ParseText(got); err != nil {
+		t.Errorf("mid-histogram cut does not parse: %v", err)
+	}
+	// Even the first family over budget: marker only.
+	if got := truncateExposition(famA+famB, 5); got != marker {
+		t.Errorf("nothing-fits case = %q", got)
 	}
 }
 

@@ -164,25 +164,25 @@ func TestSeriesBadRequests(t *testing.T) {
 	ctrl.SetRecorder(rec)
 	rec.Sample(0)
 
-	resp := ctrl.dispatch(bus.Frame{Cmd: CmdSeries, Seq: 1})
+	resp := ctrl.Dispatch(bus.Frame{Cmd: CmdSeries, Seq: 1})
 	if resp.Payload[0] != StatusBadArgs {
 		t.Errorf("empty payload status = %#02x, want BadArgs", resp.Payload[0])
 	}
 	var w bus.Writer
 	w.U8(7)
-	resp = ctrl.dispatch(bus.Frame{Cmd: CmdSeries, Seq: 2, Payload: w.Bytes()})
+	resp = ctrl.Dispatch(bus.Frame{Cmd: CmdSeries, Seq: 2, Payload: w.Bytes()})
 	if resp.Payload[0] != StatusBadArgs {
 		t.Errorf("unknown mode status = %#02x, want BadArgs", resp.Payload[0])
 	}
 	w = bus.Writer{}
 	w.U8(SeriesGet).Str("not_a_series")
-	resp = ctrl.dispatch(bus.Frame{Cmd: CmdSeries, Seq: 3, Payload: w.Bytes()})
+	resp = ctrl.Dispatch(bus.Frame{Cmd: CmdSeries, Seq: 3, Payload: w.Bytes()})
 	if resp.Payload[0] != StatusBadIndex {
 		t.Errorf("unknown series status = %#02x, want BadIndex", resp.Payload[0])
 	}
 	w = bus.Writer{}
 	w.U8(SeriesGet) // missing name
-	resp = ctrl.dispatch(bus.Frame{Cmd: CmdSeries, Seq: 4, Payload: w.Bytes()})
+	resp = ctrl.Dispatch(bus.Frame{Cmd: CmdSeries, Seq: 4, Payload: w.Bytes()})
 	if resp.Payload[0] != StatusBadArgs {
 		t.Errorf("missing name status = %#02x, want BadArgs", resp.Payload[0])
 	}
