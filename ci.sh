@@ -14,7 +14,7 @@
 # coverage against the floors committed in COVERAGE.ratchet: a change
 # that drops an enforced package below its floor fails CI. The bench
 # regression lane re-times every experiment against the committed
-# baseline (BENCH_PR6.json) and fails on a >3x wall-clock regression —
+# baseline (BENCH_PR7.json) and fails on a >3x wall-clock regression —
 # generous enough to absorb shared-runner noise, tight enough to catch
 # an accidental hot-loop allocation or O(n^2) slip. The recorder smoke
 # lane runs the record -> series file -> export pipeline end to end
@@ -26,7 +26,16 @@
 # internal/fleet/soak_size_race_test.go). The explicit fleet chaos lane
 # below surfaces the chaos seed with -v so a failure is replayable, and
 # the fleet bench smoke drives a small fleet through the real sdbbench
-# path to keep the BENCH_PR6 fleet figures reproducible.
+# path — both backends — to keep the BENCH_PR7 fleet figures
+# reproducible.
+#
+# Batch-equivalence lanes: the struct-of-arrays engine
+# (internal/battery/batch) is only acceptable while it is bit-identical
+# to the scalar reference and allocation-free per step. The explicit
+# lanes below run the differential/fuzz-seed equivalence suite and the
+# emulator byte-identity tests under -race, then assert the
+# zero-allocation contract (testing.AllocsPerRun) in a plain pass where
+# allocation counts are exact.
 set -eux
 
 go build ./...
@@ -37,8 +46,16 @@ go test -race -short -run 'Chaos' -v ./internal/emulator/
 go test -race -run 'FleetChaos' -v ./internal/fleet/
 go test -short -run '^$' -bench . -benchtime=1x ./...
 
-# Fleet bench smoke: a scaled-down run of the 10k-device figure.
+# Batch-equivalence lane: scalar vs struct-of-arrays bit-identity
+# (differential + fuzz seeds + emulator byte-identity) under -race,
+# then the zero-alloc assertion without -race so AllocsPerRun is exact.
+go test -race -run 'Batch|FastPath' -v ./internal/battery/batch/ ./internal/emulator/
+go test -run 'TestBatchStepNoAllocs' -v ./internal/battery/batch/
+
+# Fleet bench smoke: a scaled-down run of the 10k-device figure, once
+# per stepping backend.
 go run ./cmd/sdbbench -fleet 200 -fleetshards 4
+go run ./cmd/sdbbench -fleet 200 -fleetshards 4 -backend scalar
 
 go test -cover ./internal/... > cover.lane.txt
 cat cover.lane.txt
@@ -70,7 +87,7 @@ rm -f cover.lane.txt
 # Bench regression lane: every experiment, serially, vs the committed
 # baseline. 3x tolerance; newly added experiments (absent from the
 # baseline) pass until the baseline is regenerated.
-go run ./cmd/sdbbench -benchjson bench.lane.json -baseline BENCH_PR6.json -gate 3 -benchreps 2 -q
+go run ./cmd/sdbbench -benchjson bench.lane.json -baseline BENCH_PR7.json -gate 3 -benchreps 2 -q
 rm -f bench.lane.json
 
 # Recorder smoke lane: record a short run, export the series file both

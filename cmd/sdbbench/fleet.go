@@ -27,6 +27,7 @@ type fleetBenchResult struct {
 	Devices     int     `json:"devices"`
 	Shards      int     `json:"shards"`
 	Batch       int     `json:"batch"`
+	Backend     string  `json:"backend"`     // "soa" or "scalar" stepping engine
 	TraceSteps  int     `json:"trace_steps"` // per device
 	Steps       uint64  `json:"steps"`       // aggregate across the fleet
 	BuildMS     float64 `json:"build_ms"`    // registry population time
@@ -44,7 +45,7 @@ type fleetBenchResult struct {
 // id-derived variation the fleet tests use), drains a fixed-length
 // trace per device through the shard pool, and samples command
 // latency from a client goroutine the whole time.
-func runFleetBench(n, shards, batch int, quiet bool) (*fleetBenchResult, error) {
+func runFleetBench(n, shards, batch int, backend string, quiet bool) (*fleetBenchResult, error) {
 	const traceSteps = 120
 	if n <= 0 {
 		return nil, fmt.Errorf("fleet bench needs a positive device count, got %d", n)
@@ -52,7 +53,7 @@ func runFleetBench(n, shards, batch int, quiet bool) (*fleetBenchResult, error) 
 	if n > 0xFFFF {
 		return nil, fmt.Errorf("fleet bench: %d devices exceed the 16-bit id space", n)
 	}
-	f := fleet.New(fleet.Config{Shards: shards, Batch: batch, Obs: obs.NewRegistry()})
+	f := fleet.New(fleet.Config{Shards: shards, Batch: batch, Backend: backend, Obs: obs.NewRegistry()})
 	defer f.Close()
 
 	build0 := time.Now()
@@ -136,6 +137,7 @@ func runFleetBench(n, shards, batch int, quiet bool) (*fleetBenchResult, error) 
 		Devices:     n,
 		Shards:      shards,
 		Batch:       batch,
+		Backend:     f.Backend(),
 		TraceSteps:  traceSteps,
 		Steps:       st.Steps,
 		BuildMS:     buildMS,
@@ -147,8 +149,8 @@ func runFleetBench(n, shards, batch int, quiet bool) (*fleetBenchResult, error) 
 	}
 	if !quiet {
 		fmt.Fprintf(os.Stderr,
-			"sdbbench: fleet %d devices x %d steps on %d shards: %.3gms build, %.3gms drain, %.3g steps/s, cmd p50/p99 %.3g/%.3gms (%d cmds)\n",
-			res.Devices, res.TraceSteps, res.Shards, res.BuildMS, res.WallMS,
+			"sdbbench: fleet %d devices x %d steps on %d shards (%s): %.3gms build, %.3gms drain, %.3g steps/s, cmd p50/p99 %.3g/%.3gms (%d cmds)\n",
+			res.Devices, res.TraceSteps, res.Shards, res.Backend, res.BuildMS, res.WallMS,
 			res.StepsPerSec, res.CmdP50MS, res.CmdP99MS, res.Commands)
 	}
 	return res, nil

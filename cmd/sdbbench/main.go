@@ -26,6 +26,7 @@
 // Fleet scale:
 //
 //	sdbbench -fleet 10000                   # steps/sec + cmd p50/p99 for a 10k-device fleet
+//	sdbbench -fleet 10000 -backend scalar   # same, on the reference scalar stepping path
 //	sdbbench -benchjson B.json -fleet 10000 # same figures as a "fleet" section in the report
 //
 // -metrics and -trace enable the observability plane (every stack the
@@ -61,25 +62,26 @@ func main() {
 // process exits (os.Exit in main would skip them).
 func run() int {
 	var (
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		fast       = flag.Bool("fast", false, "skip slow experiments")
-		runIDs     = flag.String("run", "", "comma-separated experiment ids to run")
-		plot       = flag.Bool("plot", false, "render numeric experiments as ASCII charts too")
-		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run in parallel")
-		timeout    = flag.Duration("timeout", 0, "overall deadline (0 = none); pending jobs are canceled")
-		compare    = flag.Bool("compare", false, "run the fast subset serially then with -j workers and report the speedup")
-		quiet      = flag.Bool("q", false, "suppress progress lines")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
-		benchjson  = flag.String("benchjson", "", "benchmark every experiment serially and write per-experiment JSON (wall ms, steps, ns/step, allocs/step) to this file")
-		baseline   = flag.String("baseline", "", "prior -benchjson file to compare against (adds baseline_wall_ms and speedup fields)")
-		gate       = flag.Float64("gate", 0, "with -baseline: exit nonzero if any experiment's wall time exceeds gate x its baseline (0 disables)")
-		benchreps  = flag.Int("benchreps", 3, "repetitions per experiment in -benchjson mode (best rep is reported)")
-		metricsOut  = flag.String("metrics", "", `write aggregated run metrics (text exposition) to this file at exit ("-" = stdout)`)
-		traceOut    = flag.String("trace", "", `write collected trace events to this file at exit ("-" = stdout)`)
-		fleetN      = flag.Int("fleet", 0, "also benchmark a fleet of this many devices behind one endpoint (adds a fleet section to -benchjson; alone, prints the fleet figures)")
-		fleetShards = flag.Int("fleetshards", runtime.GOMAXPROCS(0), "fleet bench: worker shards")
-		fleetBatch  = flag.Int("fleetbatch", 64, "fleet bench: steps per device per scheduling slice")
+		list         = flag.Bool("list", false, "list experiment ids and exit")
+		fast         = flag.Bool("fast", false, "skip slow experiments")
+		runIDs       = flag.String("run", "", "comma-separated experiment ids to run")
+		plot         = flag.Bool("plot", false, "render numeric experiments as ASCII charts too")
+		jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run in parallel")
+		timeout      = flag.Duration("timeout", 0, "overall deadline (0 = none); pending jobs are canceled")
+		compare      = flag.Bool("compare", false, "run the fast subset serially then with -j workers and report the speedup")
+		quiet        = flag.Bool("q", false, "suppress progress lines")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		benchjson    = flag.String("benchjson", "", "benchmark every experiment serially and write per-experiment JSON (wall ms, steps, ns/step, allocs/step) to this file")
+		baseline     = flag.String("baseline", "", "prior -benchjson file to compare against (adds baseline_wall_ms and speedup fields)")
+		gate         = flag.Float64("gate", 0, "with -baseline: exit nonzero if any experiment's wall time exceeds gate x its baseline (0 disables)")
+		benchreps    = flag.Int("benchreps", 3, "repetitions per experiment in -benchjson mode (best rep is reported)")
+		metricsOut   = flag.String("metrics", "", `write aggregated run metrics (text exposition) to this file at exit ("-" = stdout)`)
+		traceOut     = flag.String("trace", "", `write collected trace events to this file at exit ("-" = stdout)`)
+		fleetN       = flag.Int("fleet", 0, "also benchmark a fleet of this many devices behind one endpoint (adds a fleet section to -benchjson; alone, prints the fleet figures)")
+		fleetShards  = flag.Int("fleetshards", runtime.GOMAXPROCS(0), "fleet bench: worker shards")
+		fleetBatch   = flag.Int("fleetbatch", 64, "fleet bench: steps per device per scheduling slice")
+		fleetBackend = flag.String("backend", "soa", "fleet bench: stepping engine, soa (struct-of-arrays batch kernel) or scalar (reference path)")
 	)
 	flag.Parse()
 
@@ -138,7 +140,7 @@ func run() int {
 
 	if *benchjson != "" {
 		return runBenchJSON(ctx, *benchjson, *baseline, *gate, *benchreps, *quiet,
-			*fleetN, *fleetShards, *fleetBatch)
+			*runIDs, *fleetN, *fleetShards, *fleetBatch, *fleetBackend)
 	}
 	if *compare {
 		return runCompare(ctx, *jobs)
@@ -146,7 +148,7 @@ func run() int {
 	if *fleetN > 0 {
 		// Standalone fleet bench: just the fleet figures, no experiment
 		// tables.
-		if _, err := runFleetBench(*fleetN, *fleetShards, *fleetBatch, false); err != nil {
+		if _, err := runFleetBench(*fleetN, *fleetShards, *fleetBatch, *fleetBackend, false); err != nil {
 			fmt.Fprintf(os.Stderr, "sdbbench: fleet: %v\n", err)
 			return 1
 		}
@@ -292,8 +294,9 @@ type benchExperiment struct {
 	ID     string  `json:"id"`
 	Cost   string  `json:"cost"`
 	WallMS float64 `json:"wall_ms"`
-	// Steps is the number of firmware enforcement steps the experiment
-	// drove (0 for analytic drivers that never step an emulator).
+	// Steps counts every cell integration step the experiment drove,
+	// whether through the PMIC firmware path or bare on the virtual rig
+	// (0 only for purely analytic drivers).
 	Steps         int64   `json:"steps"`
 	NsPerStep     float64 `json:"ns_per_step,omitempty"`
 	AllocsPerStep float64 `json:"allocs_per_step,omitempty"`
@@ -321,8 +324,11 @@ type benchReport struct {
 // counts come from runtime.MemStats deltas around the run, which is why
 // this mode forces a single worker. With gate > 0 it is a CI
 // regression lane: any experiment whose best wall time exceeds gate
-// times its baseline fails the run.
-func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, reps int, quiet bool, fleetN, fleetShards, fleetBatch int) int {
+// times its baseline fails the run. A non-empty runIDs restricts the
+// bench to those experiments — the cheap way to re-time one figure
+// when deciding whether a wall-time delta is noise or a regression
+// (see the perf protocol in DESIGN.md).
+func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, reps int, quiet bool, runIDs string, fleetN, fleetShards, fleetBatch int, fleetBackend string) int {
 	if reps < 1 {
 		reps = 1
 	}
@@ -349,6 +355,17 @@ func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, 
 		Reps:      reps,
 	}
 	exps := sim.All()
+	if runIDs != "" {
+		exps = exps[:0]
+		for _, id := range strings.Split(runIDs, ",") {
+			e, ok := sim.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sdbbench: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			exps = append(exps, e)
+		}
+	}
 	for i, e := range exps {
 		best := benchExperiment{ID: e.ID, Cost: e.Cost.String()}
 		for rep := 0; rep < reps; rep++ {
@@ -385,12 +402,19 @@ func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, 
 	}
 
 	if fleetN > 0 {
-		fb, err := runFleetBench(fleetN, fleetShards, fleetBatch, quiet)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sdbbench: fleet: %v\n", err)
-			return 1
+		// Best of reps, like the experiments above: the fleet figure is a
+		// throughput measurement, and the best rep is the least disturbed
+		// by scheduler noise.
+		for rep := 0; rep < reps; rep++ {
+			fb, err := runFleetBench(fleetN, fleetShards, fleetBatch, fleetBackend, quiet)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdbbench: fleet: %v\n", err)
+				return 1
+			}
+			if report.Fleet == nil || fb.StepsPerSec > report.Fleet.StepsPerSec {
+				report.Fleet = fb
+			}
 		}
-		report.Fleet = fb
 	}
 
 	out, err := json.MarshalIndent(report, "", "  ")

@@ -258,6 +258,20 @@ func (c Curve) DenseResolution() int {
 	return len(c.dense.ys) - 1
 }
 
+// DenseTable exposes the dense uniform-grid form for read-only use by
+// the batch execution engine: the grid samples plus the parameters of
+// the index mapping (clamp below lo / above hi, else interpolate cell
+// int((x-lo)*invStep)). The returned slice is the curve's own table —
+// immutable by construction — so batch engines may alias it across
+// thousands of packs without copying; callers must not write to it.
+// Reference curves (no dense form) return a nil slice.
+func (c Curve) DenseTable() (ys []float64, lo, hi, invStep float64) {
+	if c.dense == nil {
+		return nil, 0, 0, 0
+	}
+	return c.dense.ys, c.dense.lo, c.dense.hi, c.dense.invStep
+}
+
 // DenseError returns the maximum absolute deviation of the dense form
 // from the piecewise-linear reference over the domain, measured at
 // construction. It is 0 for reference curves.

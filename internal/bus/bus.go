@@ -168,11 +168,13 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return Frame{Cmd: hdr[1], Seq: hdr[2], Device: dev, Payload: rest[:n]}, nil
 }
 
-// CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
-func CRC16(data []byte) uint16 {
-	crc := uint16(0xFFFF)
-	for _, b := range data {
-		crc ^= uint16(b) << 8
+// crc16Table holds the byte-at-a-time lookup table for poly 0x1021.
+// Entry b is the CRC register after shifting byte b through the
+// bitwise loop with a zero initial register, so the table-driven form
+// below computes exactly the same values as the reference bit loop.
+var crc16Table = func() (t [256]uint16) {
+	for b := 0; b < 256; b++ {
+		crc := uint16(b) << 8
 		for i := 0; i < 8; i++ {
 			if crc&0x8000 != 0 {
 				crc = crc<<1 ^ 0x1021
@@ -180,6 +182,16 @@ func CRC16(data []byte) uint16 {
 				crc <<= 1
 			}
 		}
+		t[b] = crc
+	}
+	return t
+}()
+
+// CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
 	}
 	return crc
 }

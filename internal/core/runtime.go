@@ -407,7 +407,6 @@ func (r *Runtime) pushBestEffort(dis, chg []float64) {
 	r.mu.Unlock()
 }
 
-
 // LastRatios returns the ratio vectors most recently pushed (nil
 // before the first Update).
 func (r *Runtime) LastRatios() (dis, chg []float64) {

@@ -24,6 +24,11 @@ import (
 type Cycler struct {
 	cell *battery.Cell
 	dt   float64
+	// n counts integration steps since the last flush. Each protocol
+	// method publishes it to battery.AddSteps in one bulk add, so the
+	// rig's throughput shows up in the runner's steps/second without an
+	// atomic in the integration loop.
+	n int64
 }
 
 // New attaches the rig to a cell with the given integration step.
@@ -40,10 +45,24 @@ func New(cell *battery.Cell, dt float64) (*Cycler, error) {
 // Cell returns the cell under test.
 func (cy *Cycler) Cell() *battery.Cell { return cy.cell }
 
+// step advances the cell one integration interval, counting it for the
+// process-wide step accounting.
+func (cy *Cycler) step(currentA float64) battery.StepResult {
+	cy.n++
+	return cy.cell.StepCurrent(currentA, cy.dt)
+}
+
+// flush publishes the steps run since the last flush. Protocol methods
+// defer it so every public entry point reports exactly once.
+func (cy *Cycler) flush() {
+	battery.AddSteps(cy.n)
+	cy.n = 0
+}
+
 // chargeFull charges at the given current until full.
 func (cy *Cycler) chargeFull(currentA float64) {
 	for !cy.cell.Full() {
-		res := cy.cell.StepCurrent(-currentA, cy.dt)
+		res := cy.step(-currentA)
 		if res.ChargeMoved == 0 && res.Clamped {
 			break
 		}
@@ -54,7 +73,7 @@ func (cy *Cycler) chargeFull(currentA float64) {
 func (cy *Cycler) dischargeEmpty(currentA float64) float64 {
 	var coulombs float64
 	for !cy.cell.Empty() {
-		res := cy.cell.StepCurrent(currentA, cy.dt)
+		res := cy.step(currentA)
 		coulombs += res.ChargeMoved
 		if res.ChargeMoved == 0 {
 			break
@@ -66,7 +85,7 @@ func (cy *Cycler) dischargeEmpty(currentA float64) float64 {
 // rest holds the cell open-circuit for the given seconds.
 func (cy *Cycler) rest(seconds float64) {
 	for t := 0.0; t < seconds; t += cy.dt {
-		cy.cell.StepCurrent(0, cy.dt)
+		cy.step(0)
 	}
 }
 
@@ -81,6 +100,7 @@ type CapacityResult struct {
 // CapacityTest fully charges the cell (at 0.3C) and then discharges it
 // at the given current, measuring delivered charge and energy.
 func (cy *Cycler) CapacityTest(dischargeA float64) (CapacityResult, error) {
+	defer cy.flush()
 	if dischargeA <= 0 {
 		return CapacityResult{}, fmt.Errorf("cycler: discharge current %g must be positive", dischargeA)
 	}
@@ -88,7 +108,7 @@ func (cy *Cycler) CapacityTest(dischargeA float64) (CapacityResult, error) {
 	var out CapacityResult
 	out.DischargeA = dischargeA
 	for !cy.cell.Empty() {
-		res := cy.cell.StepCurrent(dischargeA, cy.dt)
+		res := cy.step(dischargeA)
 		out.Coulombs += res.ChargeMoved
 		out.EnergyJ += res.PowerW * cy.dt
 		if res.ChargeMoved == 0 {
@@ -109,6 +129,7 @@ type VPoint struct {
 // constant discharge current, the raw data behind Figure 10. The cell
 // is fully charged first.
 func (cy *Cycler) DischargeCurve(currentA float64, points int) ([]VPoint, error) {
+	defer cy.flush()
 	if currentA <= 0 || points < 2 {
 		return nil, fmt.Errorf("cycler: bad discharge curve request (I=%g, points=%d)", currentA, points)
 	}
@@ -118,7 +139,7 @@ func (cy *Cycler) DischargeCurve(currentA float64, points int) ([]VPoint, error)
 	nextAt := 1.0
 	step := 1.0 / float64(points)
 	for !cy.cell.Empty() {
-		res := cy.cell.StepCurrent(currentA, cy.dt)
+		res := cy.step(currentA)
 		if cy.cell.SoC() <= nextAt {
 			out = append(out, VPoint{SoC: cy.cell.SoC(), Voltage: res.TerminalV, CurrentA: currentA})
 			nextAt -= step
@@ -143,6 +164,7 @@ type RPoint struct {
 // the pulse method: at each target state of charge the rig rests the
 // cell, applies a current pulse, and computes (Vrest - Vpulse)/I.
 func (cy *Cycler) DCIRSweep(points int, pulseA float64) ([]RPoint, error) {
+	defer cy.flush()
 	if points < 2 || pulseA <= 0 {
 		return nil, fmt.Errorf("cycler: bad DCIR sweep request (points=%d, I=%g)", points, pulseA)
 	}
@@ -152,14 +174,14 @@ func (cy *Cycler) DCIRSweep(points int, pulseA float64) ([]RPoint, error) {
 	for k := 0; k < points; k++ {
 		target := 1.0 - (float64(k)+0.5)/float64(points)
 		for cy.cell.SoC() > target && !cy.cell.Empty() {
-			cy.cell.StepCurrent(drainA, cy.dt)
+			cy.step(drainA)
 		}
 		cy.rest(1800) // let the RC pair relax
 		vRest := cy.cell.TerminalVoltage(0)
-		res := cy.cell.StepCurrent(pulseA, cy.dt)
+		res := cy.step(pulseA)
 		r := (vRest - res.TerminalV) / res.Current
 		// Undo the pulse so the sweep stays on schedule.
-		cy.cell.StepCurrent(-res.Current, cy.dt)
+		cy.step(-res.Current)
 		out = append(out, RPoint{SoC: cy.cell.SoC(), Ohm: r})
 	}
 	return out, nil
@@ -174,6 +196,7 @@ type OCVPoint struct {
 // OCVSweep measures the rest voltage at evenly spaced states of charge
 // (Figure 8(b)).
 func (cy *Cycler) OCVSweep(points int) ([]OCVPoint, error) {
+	defer cy.flush()
 	if points < 2 {
 		return nil, fmt.Errorf("cycler: OCV sweep needs >= 2 points, got %d", points)
 	}
@@ -183,7 +206,7 @@ func (cy *Cycler) OCVSweep(points int) ([]OCVPoint, error) {
 	for k := 0; k < points; k++ {
 		target := 1.0 - float64(k)/float64(points-1)
 		for cy.cell.SoC() > target && !cy.cell.Empty() {
-			cy.cell.StepCurrent(drainA, cy.dt)
+			cy.step(drainA)
 		}
 		cy.rest(3600)
 		out = append(out, OCVPoint{SoC: cy.cell.SoC(), OCV: cy.cell.TerminalVoltage(0)})
@@ -205,20 +228,21 @@ type Relaxation struct {
 // MeasureRelaxation runs the pulse-relaxation protocol at the given
 // current from 60% state of charge.
 func (cy *Cycler) MeasureRelaxation(currentA float64) (Relaxation, error) {
+	defer cy.flush()
 	if currentA <= 0 {
 		return Relaxation{}, fmt.Errorf("cycler: relaxation current %g must be positive", currentA)
 	}
 	cy.chargeFull(0.3 * cy.cell.Capacity() / 3600)
 	drainA := 0.5 * cy.cell.Capacity() / 3600
 	for cy.cell.SoC() > 0.6 {
-		cy.cell.StepCurrent(drainA, cy.dt)
+		cy.step(drainA)
 	}
 	cy.rest(3600)
 	// Sustained load long enough to saturate the RC pair (a few time
 	// constants), but short enough not to drain the cell.
 	var lastV float64
 	for t := 0.0; t < 1800 && !cy.cell.Empty(); t += cy.dt {
-		res := cy.cell.StepCurrent(currentA, cy.dt)
+		res := cy.step(currentA)
 		lastV = res.TerminalV
 	}
 	// Open the circuit: the immediate recovery is the ohmic term.
@@ -229,7 +253,7 @@ func (cy *Cycler) MeasureRelaxation(currentA float64) (Relaxation, error) {
 	var elapsed float64
 	var tau float64
 	for {
-		cy.cell.StepCurrent(0, cy.dt)
+		cy.step(0)
 		elapsed += cy.dt
 		v := cy.cell.TerminalVoltage(0)
 		if tau == 0 && v-start >= (1-1/math.E)*(cy.cell.OCV()-start) {
@@ -257,6 +281,7 @@ type CyclePoint struct {
 // CycleLife runs n full cycles, charging at chargeA and discharging at
 // 1C, recording capacity retention every recordEvery cycles.
 func (cy *Cycler) CycleLife(n int, chargeA float64, recordEvery int) ([]CyclePoint, error) {
+	defer cy.flush()
 	if n < 1 || chargeA <= 0 || recordEvery < 1 {
 		return nil, fmt.Errorf("cycler: bad cycle-life request (n=%d, I=%g, every=%d)", n, chargeA, recordEvery)
 	}
@@ -280,6 +305,7 @@ type HeatLossPoint struct {
 // HeatLossSweep discharges the cell fully at each C rate and reports
 // the fraction of chemical energy lost to internal heat.
 func (cy *Cycler) HeatLossSweep(cRates []float64) ([]HeatLossPoint, error) {
+	defer cy.flush()
 	if len(cRates) == 0 {
 		return nil, errors.New("cycler: heat-loss sweep needs rates")
 	}
@@ -294,7 +320,7 @@ func (cy *Cycler) HeatLossSweep(cRates []float64) ([]HeatLossPoint, error) {
 		currentA := c * cy.cell.Capacity() / 3600
 		var delivered float64
 		for !cy.cell.Empty() {
-			res := cy.cell.StepCurrent(currentA, cy.dt)
+			res := cy.step(currentA)
 			delivered += res.PowerW * cy.dt
 			if res.ChargeMoved == 0 {
 				break

@@ -185,8 +185,11 @@ func ValidateModel(design, fitted battery.Params, currentA, dt float64) (Validat
 	// points.
 	out := ValidationResult{CurrentA: currentA}
 	idx := 0
+	var steps int64
+	defer func() { battery.AddSteps(steps) }()
 	var sumRelErr float64
 	for !modelCell.Empty() && idx < len(measured) {
+		steps++
 		res := modelCell.StepCurrent(currentA, dt)
 		if modelCell.SoC() <= measured[idx].SoC {
 			m := measured[idx]

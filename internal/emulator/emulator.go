@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sdb/internal/battery"
+	"sdb/internal/battery/batch"
 	"sdb/internal/core"
 	"sdb/internal/faults"
 	"sdb/internal/obs"
@@ -126,6 +127,10 @@ type Machine struct {
 	res  *Result
 	k    int  // next step index
 	done bool // trace exhausted or brownout-stopped
+
+	// batchEng, when non-nil, routes StepBatch through the
+	// struct-of-arrays fast path (see fast.go). Set by EnableBatch.
+	batchEng *batch.Engine
 }
 
 // NewMachine validates the config and prepares a run. No simulated
@@ -322,6 +327,9 @@ func (m *Machine) Step() (bool, error) {
 // fleet shard amortizes its wakeup across many devices without letting
 // one device monopolize the goroutine.
 func (m *Machine) StepBatch(max int) (int, error) {
+	if m.batchEng != nil {
+		return m.stepBatchFast(max)
+	}
 	ran := 0
 	for ran < max {
 		more, err := m.Step()

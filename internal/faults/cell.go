@@ -118,6 +118,16 @@ func (s *Schedule) Applied() []CellEvent { return s.applied }
 // Pending reports how many events have not fired yet.
 func (s *Schedule) Pending() int { return len(s.events) - s.next }
 
+// NextAt returns the simulated time of the next unfired event, if any.
+// Batch steppers use it to size fault-free fast segments: any run of
+// steps strictly before the next event time cannot observe a fault.
+func (s *Schedule) NextAt() (tS float64, ok bool) {
+	if s.next >= len(s.events) {
+		return 0, false
+	}
+	return s.events[s.next].AtS, true
+}
+
 // EnergyRemovedJ returns the chemical energy destroyed by capacity-fade
 // events so far — the correction term for energy-conservation checks
 // spanning the faults.

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"sdb/internal/battery"
+	"sdb/internal/battery/batch"
 	"sdb/internal/circuit"
 	"sdb/internal/fuelgauge"
 	"sdb/internal/obs"
@@ -226,6 +227,19 @@ type Controller struct {
 	// The controller never samples it (scraping happens on policy-tick
 	// boundaries, outside the hot loop); it only answers queries.
 	rec *ts.Recorder
+
+	// Fast-segment state (see fast.go): the struct-of-arrays engine the
+	// cells are checked out into, this pack's lane window, the
+	// per-segment memoized realized discharge ratios, and per-step
+	// curve-entry scratch. All nil/zero until AttachFast.
+	fastEng      *batch.Engine
+	fastPk       batch.Pack
+	fastRealized []float64
+	fastOCV      []float64
+	fastDCIR     []float64
+	fastDerate   []float64
+	fastHeat     float64
+	fastSplitErr error
 }
 
 // ctrlMetrics bundles the firmware's observables. Every field is

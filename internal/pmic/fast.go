@@ -1,0 +1,262 @@
+package pmic
+
+import (
+	"errors"
+	"math"
+
+	"sdb/internal/battery/batch"
+)
+
+// Fast-segment stepping: the batched counterpart of Step for the
+// discharge-only hot path. A caller (the emulator's batch stepper)
+// brackets a run of steps with BeginFast/EndFast; in between, FastStep
+// advances the firmware one enforcement interval through the
+// struct-of-arrays engine instead of the scalar cells.
+//
+// Bit-identity contract: a fast segment must leave the controller and
+// its cells in exactly the state the same sequence of Step(loadW, 0, dt)
+// calls would have produced. FastStep is therefore a transcription of
+// Step's discharge path, with three verified-safe deviations:
+//
+//   - OCV/DCIR/derate are looked up once per cell per step and shared
+//     between the capability query, the integration, and the gauge
+//     feed (the scalar path re-derives them from unchanged state, so
+//     the values are equal). The lookup happens after the integration
+//     so the same entry also serves the NEXT step: lane state cannot
+//     change between steps of a segment, making the post-step values
+//     and the next step's entry values the same bits.
+//   - The realized discharge ratios are memoized per segment: they
+//     depend only on the latched ratio registers, which cannot change
+//     while the firmware mutex is held — except by the watchdog, which
+//     re-memoizes in place. The pack heat sum is carried the same way:
+//     this step's post-step sum is the next step's pre-step sum.
+//   - Step counters are published once per segment (EndFast) instead of
+//     per step. StepCount/TotalSteps lag by at most one segment.
+//
+// Everything else — watchdog arithmetic, redistribution rounds,
+// brownout detection, gauge feeding — runs the same code or a per-step
+// transcription of it.
+//
+// The fast path requires an uninstrumented controller (nil obs
+// registry): with a registry attached, Step's metric and trace calls
+// are observable side effects a skipped transcription would lose, so
+// AttachFast refuses.
+
+// FastStepOut is the slimmed step report of the fast path: exactly the
+// fields the emulator consumes between steps. Per-cell arrays stay
+// internal; lane state is read through FastLanes.
+type FastStepOut struct {
+	DeliveredW   float64
+	CircuitLossW float64
+	BatteryLossW float64
+	Brownout     bool
+}
+
+// AttachFast checks the controller's cells out into a struct-of-arrays
+// engine, enabling BeginFast segments. The engine is typically shared
+// by every device on a fleet shard so their lanes pack into contiguous
+// arrays. Fails if the controller is instrumented (see package comment)
+// or any cell lacks dense curves.
+func (c *Controller) AttachFast(eng *batch.Engine) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.om.reg != nil {
+		return errors.New("pmic: fast stepping requires an uninstrumented controller")
+	}
+	pk, err := eng.Checkout(c.cells)
+	if err != nil {
+		return err
+	}
+	n := len(c.cells)
+	c.fastEng, c.fastPk = eng, pk
+	c.fastRealized = make([]float64, n)
+	c.fastOCV = make([]float64, n)
+	c.fastDCIR = make([]float64, n)
+	c.fastDerate = make([]float64, n)
+	return nil
+}
+
+// FastLanes returns the attached engine and this controller's pack
+// within it, for lane reads (SoC, Empty) between fast steps. The
+// engine is nil if AttachFast has not succeeded.
+func (c *Controller) FastLanes() (*batch.Engine, batch.Pack) {
+	return c.fastEng, c.fastPk
+}
+
+// BeginFast opens a fast segment: it takes the firmware mutex, loads
+// the cells' state into the engine lanes, and memoizes the realized
+// discharge ratios. It returns false — without holding the mutex — if
+// the controller is not in a fast-steppable state (no engine attached,
+// a transfer in flight, or a cell isolated open); the caller then steps
+// scalar for this batch. On true, the mutex is held until EndFast:
+// API calls (ratio commands, transfers, status queries) block for the
+// duration of the segment, which is bounded by the caller's batch size.
+func (c *Controller) BeginFast() bool {
+	if c.fastEng == nil {
+		return false
+	}
+	c.mu.Lock()
+	if c.xfer != nil {
+		c.mu.Unlock()
+		return false
+	}
+	for _, o := range c.open {
+		if o {
+			c.mu.Unlock()
+			return false
+		}
+	}
+	c.fastEng.SyncIn(c.fastPk, c.cells)
+	c.fastSplitErr = c.dpath.RealizedRatiosInto(c.fastRealized, c.dischargeRatios)
+	// Prime the per-lane step-entry cache and the pack heat sum; both
+	// stay valid across steps because nothing else can touch lane state
+	// while the mutex is held.
+	heat := 0.0
+	for i := range c.cells {
+		c.fastOCV[i], c.fastDCIR[i], c.fastDerate[i] = c.fastEng.Entry(c.fastPk, i)
+		heat += c.fastEng.TotalLoss(c.fastPk, i)
+	}
+	c.fastHeat = heat
+	return true
+}
+
+// FastStep advances one enforcement interval on battery power (the
+// externalW == 0 branch of Step). Preconditions, guaranteed by the
+// emulator: a BeginFast segment is open, dt > 0, loadW >= 0.
+func (c *Controller) FastStep(loadW, dt float64) FastStepOut {
+	eng, pk := c.fastEng, c.fastPk
+	n := len(c.cells)
+	c.simTimeS += dt
+
+	// Watchdog, transcribed from Step: revert to the uniform safe split
+	// after watchdogS silent seconds. The revert invalidates the
+	// memoized realized ratios, so re-derive them.
+	if c.watchdogS > 0 {
+		c.sinceCmdS += dt
+		if c.sinceCmdS >= c.watchdogS {
+			for i := 0; i < n; i++ {
+				c.dischargeRatios[i] = 1 / float64(n)
+				c.chargeRatios[i] = 1 / float64(n)
+			}
+			c.watchdogFires++
+			c.sinceCmdS = 0
+			c.fastSplitErr = c.dpath.RealizedRatiosInto(c.fastRealized, c.dischargeRatios)
+		}
+	}
+
+	var out FastStepOut
+	heatBefore := c.fastHeat
+	stepped := true
+
+	currents := c.stepA
+	switch {
+	case loadW == 0:
+		// Idle: every cell relaxes at zero current.
+		for i := 0; i < n; i++ {
+			res := eng.StepCurrentAt(pk, i, c.fastOCV[i], c.fastDCIR[i], c.fastDerate[i], 0, dt)
+			currents[i] = res.Current
+		}
+	case c.fastSplitErr != nil:
+		// Mirror of stepDischarging's SplitInto error path: brownout,
+		// cells untouched this interval, gauges observe zero current.
+		// Lane state is unchanged, so the entry cache and heat sum stay
+		// valid as-is.
+		out.Brownout = true
+		stepped = false
+		for i := 0; i < n; i++ {
+			currents[i] = 0
+		}
+	default:
+		// SplitInto, with the ratio realization memoized: the per-cell
+		// demand is realized[i] * (loadW + lossW), identical to the
+		// scalar computation because the realized ratios depend only on
+		// the latched registers.
+		lossW := loadW * c.dpath.LossFraction(loadW)
+		out.CircuitLossW = lossW
+		total := loadW + lossW
+
+		// Demand and capability per cell in one pass; the capability
+		// comes from the cached step-entry values (the scalar path's
+		// fresh lookups at the same unchanged state return the same
+		// bits).
+		perCell, caps := c.split, c.caps
+		ocvs, dcirs, derates := c.fastOCV, c.fastDCIR, c.fastDerate
+		for i := 0; i < n; i++ {
+			perCell[i] = c.fastRealized[i] * total
+			caps[i] = eng.MaxDischargePowerAt(pk, i, ocvs[i], dcirs[i], derates[i])
+			if 0.9*eng.EnergyRemainingLowerBoundJ(pk, i)/dt < caps[i] {
+				if eCap := 0.9 * eng.EnergyRemainingJ(pk, i) / dt; eCap < caps[i] {
+					caps[i] = eCap
+				}
+			}
+		}
+		for round := 0; round < 3; round++ {
+			var excess float64
+			var headroom float64
+			for i := 0; i < n; i++ {
+				if perCell[i] > caps[i] {
+					excess += perCell[i] - caps[i]
+					perCell[i] = caps[i]
+				} else {
+					headroom += caps[i] - perCell[i]
+				}
+			}
+			if excess <= 1e-12 || headroom <= 1e-12 {
+				break
+			}
+			scale := math.Min(1, excess/headroom)
+			for i := 0; i < n; i++ {
+				if perCell[i] < caps[i] {
+					perCell[i] += (caps[i] - perCell[i]) * scale
+				}
+			}
+		}
+
+		var realized float64
+		for i := 0; i < n; i++ {
+			res := eng.StepPowerAt(pk, i, ocvs[i], dcirs[i], derates[i], perCell[i], dt)
+			currents[i] = res.Current
+			realized += res.PowerW
+		}
+		const brownoutTolerance = 0.05
+		want := loadW + lossW
+		if realized < want*(1-brownoutTolerance)-1e-9 {
+			out.Brownout = true
+		}
+		out.DeliveredW = math.Max(0, realized-lossW)
+	}
+
+	heatAfter := heatBefore
+	if stepped {
+		// One pass: re-sum the pack heat and refresh the entry cache at
+		// the post-step state. The refreshed values feed the gauges
+		// below and are the next step's entries.
+		heatAfter = 0.0
+		for i := 0; i < n; i++ {
+			heatAfter += eng.TotalLoss(pk, i)
+			c.fastOCV[i], c.fastDCIR[i], c.fastDerate[i] = eng.Entry(pk, i)
+		}
+	}
+	c.fastHeat = heatAfter
+	out.BatteryLossW = (heatAfter - heatBefore) / dt
+
+	// Gauges run the real estimator code against post-step lane state.
+	for i, g := range c.gauges {
+		g.Observe(currents[i], eng.TerminalVoltageAt(pk, i, c.fastOCV[i], c.fastDCIR[i], currents[i]), dt)
+	}
+
+	c.lastBrownout = out.Brownout
+	return out
+}
+
+// EndFast closes a fast segment of k steps: lane state flows back into
+// the scalar cells, the step counters catch up, and the firmware mutex
+// is released.
+func (c *Controller) EndFast(k int) {
+	c.fastEng.SyncOut(c.fastPk, c.cells)
+	if k > 0 {
+		c.steps.Add(int64(k))
+		totalSteps.Add(int64(k))
+	}
+	c.mu.Unlock()
+}

@@ -105,13 +105,16 @@ func AblationDirective() (*Table, error) {
 
 // preAge runs n quick cycles on a cell to advance its wear counters.
 func preAge(c *battery.Cell, n int) {
+	var steps int64
 	for k := 0; k < n; k++ {
 		c.SetSoC(0.1)
 		for !c.Full() {
+			steps++
 			c.StepCurrent(-c.Capacity()/3600, 60)
 		}
 	}
 	c.SetSoC(1)
+	battery.AddSteps(steps)
 }
 
 // SpiceRipple reruns the Section 3.2.1 LTSPICE-style validation: the

@@ -45,10 +45,13 @@ func runThermalCase(ambientC float64, cycles int) (thermalCase, error) {
 	cell.SetAmbient(ambientC)
 	var out thermalCase
 	var chargeSecs float64
+	var steps int64
+	defer func() { battery.AddSteps(steps) }()
 	const dt = 30
 	for k := 0; k < cycles; k++ {
 		disA := cell.Capacity() / 3600
 		for !cell.Empty() {
+			steps++
 			cell.StepCurrent(disA, dt)
 			if tc := cell.Temperature(); tc > out.peakC {
 				out.peakC = tc
@@ -56,6 +59,7 @@ func runThermalCase(ambientC float64, cycles int) (thermalCase, error) {
 		}
 		chgA := 2.5 * cell.Capacity() / 3600
 		for !cell.Full() {
+			steps++
 			res := cell.StepCurrent(-chgA, dt)
 			chargeSecs += dt
 			if tc := cell.Temperature(); tc > out.peakC {
@@ -63,6 +67,7 @@ func runThermalCase(ambientC float64, cycles int) (thermalCase, error) {
 			}
 			if res.ChargeMoved == 0 && res.Clamped && cell.MaxChargeCurrent() == 0 {
 				// Fully throttled: cool down at rest.
+				steps++
 				cell.StepCurrent(0, dt)
 				chargeSecs += dt
 			}

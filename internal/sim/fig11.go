@@ -211,14 +211,18 @@ func figure11c(ctx context.Context, cycles int) (*Table, error) {
 		cell := battery.MustNew(battery.MustByName(name))
 		chargeA := rateFor(cell.Params().Chem) * cell.Capacity() / 3600
 		disA := cell.Capacity() / 3600 // 1C
+		var steps int64
 		for k := 0; k < cycles; k++ {
 			for !cell.Empty() {
+				steps++
 				cell.StepCurrent(disA, 60)
 			}
 			for !cell.Full() {
+				steps++
 				cell.StepCurrent(-chargeA, 60)
 			}
 		}
+		battery.AddSteps(steps)
 		capNow[j] = cell.Capacity()
 		capDesign[j] = cell.DesignCapacity()
 		return nil

@@ -121,4 +121,3 @@ func (t *Table) Cell(row int, column string) (string, bool) {
 	}
 	return "", false
 }
-

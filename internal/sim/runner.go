@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"sdb/internal/battery"
 	"sdb/internal/pmic"
 )
 
@@ -144,8 +145,13 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) *BatchResult {
 		r.Progress(ev)
 	}
 
+	// Steps are counted at two layers: full-stack experiments step cells
+	// through the PMIC, while rig and battery-direct drivers (cycler
+	// protocols, aging sweeps) step cells bare and publish bulk counts to
+	// the battery package. Summing both deltas covers every experiment.
+	totalSteps := func() int64 { return pmic.TotalSteps() + battery.TotalSteps() }
 	start := time.Now()
-	stepsBefore := pmic.TotalSteps()
+	stepsBefore := totalSteps()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -161,14 +167,14 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) *BatchResult {
 				}
 				emit(Event{ID: e.ID})
 				jobStart := time.Now()
-				jobSteps := pmic.TotalSteps()
+				jobSteps := totalSteps()
 				tab, err := e.Run(ctx)
 				res := JobResult{
 					Experiment: e,
 					Table:      tab,
 					Err:        err,
 					Wall:       time.Since(jobStart),
-					Steps:      pmic.TotalSteps() - jobSteps,
+					Steps:      totalSteps() - jobSteps,
 				}
 				batch.Jobs[i] = res
 				emit(Event{ID: e.ID, Done: true, Err: err, Wall: res.Wall})
@@ -181,6 +187,6 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) *BatchResult {
 	close(jobs)
 	wg.Wait()
 	batch.Wall = time.Since(start)
-	batch.Steps = pmic.TotalSteps() - stepsBefore
+	batch.Steps = totalSteps() - stepsBefore
 	return batch
 }
