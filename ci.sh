@@ -27,7 +27,9 @@
 # below surfaces the chaos seed with -v so a failure is replayable, and
 # the fleet bench smoke drives a small fleet through the real sdbbench
 # path — both backends — to keep the BENCH_PR7 fleet figures
-# reproducible.
+# reproducible. The crash-chaos lane covers the crash-safety tentpole:
+# kill-point process death, checkpoint restore byte-identity, panic
+# quarantine, and graceful drain.
 #
 # Batch-equivalence lanes: the struct-of-arrays engine
 # (internal/battery/batch) is only acceptable while it is bit-identical
@@ -51,6 +53,16 @@ go test -short -run '^$' -bench . -benchtime=1x ./...
 # then the zero-alloc assertion without -race so AllocsPerRun is exact.
 go test -race -run 'Batch|FastPath' -v ./internal/battery/batch/ ./internal/emulator/
 go test -run 'TestBatchStepNoAllocs' -v ./internal/battery/batch/
+
+# Crash-chaos lane: SIGKILL-equivalent process death at a tick barrier
+# (an armed SDB_KILLPOINT re-execs the test binary and asserts exit
+# 137), restore from the surviving auto-checkpoint, and byte-identity
+# with the uninterrupted run; then the supervision suite — seeded
+# device panics quarantining exactly the poison device while shard
+# neighbors keep stepping, shard-restart escalation, and drain
+# semantics — under the race detector.
+go test -run 'TestCrashRestoreByteIdentical' -v ./internal/fleet/
+go test -race -run 'TestQuarantine|TestShardRestart|TestDrain|TestCloseIdempotent' -v ./internal/fleet/
 
 # Fleet bench smoke: a scaled-down run of the 10k-device figure, once
 # per stepping backend.

@@ -27,10 +27,23 @@
 // command group queries the fleet itself:
 //
 //	sdbctl serve -fleet 1000 -shards 8 -addr :7070
+//	sdbctl serve -fleet 1000 -checkpoint fleet.ckpt -every 10
 //	sdbctl -addr localhost:7070 -dev 42 status
 //	sdbctl -addr localhost:7070 fleet list
 //	sdbctl -addr localhost:7070 fleet stat
 //	sdbctl -addr localhost:7070 fleet broadcast discharge 0.7,0.3
+//	sdbctl -addr localhost:7070 fleet snapshot
+//	sdbctl fleet restore fleet.ckpt
+//
+// With -checkpoint the fleet server writes a durable snapshot of every
+// device's state to the path every -every ticks (atomically: temp file
+// + rename), restores from it at startup when it exists, and drains
+// gracefully on SIGINT/SIGTERM — refusing new commands with the
+// retryable draining status, finishing the in-flight tick, and writing
+// a final checkpoint before exiting. `fleet snapshot` asks a live
+// server to write its checkpoint now; `fleet restore` is a local
+// command that validates a checkpoint file and summarizes what a
+// restart would load.
 //
 // The -timeout, -retries, and -backoff flags configure the resilient
 // bus client: each call retries retryable failures (lost or corrupted
@@ -47,14 +60,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"sdb"
@@ -62,6 +78,7 @@ import (
 	"sdb/internal/core"
 	"sdb/internal/emulator"
 	"sdb/internal/fleet"
+	"sdb/internal/fleet/snapshot"
 	"sdb/internal/obs"
 	"sdb/internal/obs/ts"
 	"sdb/internal/pmic"
@@ -77,6 +94,11 @@ func main() {
 	// require (or dial) a live controller.
 	if len(os.Args) > 2 && os.Args[1] == "metrics" && os.Args[2] == "-diff" {
 		metricsDiff(os.Args[3:])
+		return
+	}
+	// `fleet restore` inspects a local checkpoint file — no endpoint.
+	if len(os.Args) > 2 && os.Args[1] == "fleet" && os.Args[2] == "restore" {
+		fleetRestore(os.Args[3:])
 		return
 	}
 	addr := flag.String("addr", "localhost:7070", "controller address")
@@ -191,7 +213,7 @@ func main() {
 // connection.
 func fleetCmd(cl *pmic.Client, args []string) {
 	if len(args) == 0 {
-		fatalf("fleet needs a subcommand (list|stat|broadcast)")
+		fatalf("fleet needs a subcommand (list|stat|broadcast|snapshot|restore)")
 	}
 	switch args[0] {
 	case "list":
@@ -212,6 +234,16 @@ func fleetCmd(cl *pmic.Client, args []string) {
 		fmt.Printf("churn:            %d add/remove event(s)\n", st.Churn)
 		fmt.Printf("throughput:       %.0f device-steps/s (last tick)\n", st.DeviceStepsPerSec)
 		fmt.Printf("cmd p99:          %s\n", time.Duration(st.CmdP99Seconds*float64(time.Second)))
+		fmt.Printf("quarantined:      %d device(s)\n", st.Quarantined)
+		draining := "no"
+		if st.Draining {
+			draining = "yes"
+		}
+		fmt.Printf("draining:         %s\n", draining)
+	case "snapshot":
+		path, size, err := cl.FleetSnapshot()
+		must(err)
+		fmt.Printf("checkpoint written: %s (%d bytes)\n", path, size)
 	case "broadcast":
 		// broadcast discharge 0.7,0.3 | broadcast charge 0.5,0.5 |
 		// broadcast ping — apply one command to every device the
@@ -256,7 +288,7 @@ func fleetCmd(cl *pmic.Client, args []string) {
 			os.Exit(1)
 		}
 	default:
-		fatalf("unknown fleet subcommand %q (list|stat|broadcast)", args[0])
+		fatalf("unknown fleet subcommand %q (list|stat|broadcast|snapshot|restore)", args[0])
 	}
 }
 
@@ -529,6 +561,41 @@ func watch(cl pmic.DeviceClient, args []string) {
 	}
 }
 
+// fleetRestore validates a local checkpoint file and summarizes what a
+// `serve -fleet -checkpoint` restart would load from it. It needs no
+// live endpoint: the point is to vet a checkpoint (after a crash, or
+// before shipping one to another host) without starting a fleet.
+func fleetRestore(args []string) {
+	if len(args) != 1 {
+		fatalf("fleet restore needs exactly one checkpoint file")
+	}
+	snap, err := snapshot.ReadFile(args[0])
+	must(err)
+	quarantined := 0
+	errored := 0
+	for i := range snap.Devices {
+		switch {
+		case snap.Devices[i].Quarantined:
+			quarantined++
+		case snap.Devices[i].ErrMsg != "":
+			errored++
+		}
+	}
+	fmt.Printf("checkpoint:  %s\n", args[0])
+	fmt.Printf("devices:     %d\n", len(snap.Devices))
+	fmt.Printf("fleet steps: %d\n", snap.FleetSteps)
+	fmt.Printf("quarantined: %d\n", quarantined)
+	fmt.Printf("errored:     %d\n", errored)
+	for i := range snap.Devices {
+		d := &snap.Devices[i]
+		if d.Quarantined {
+			fmt.Printf("  device %d quarantined: %s\n", d.ID, d.QuarantineReason)
+		} else if d.ErrMsg != "" {
+			fmt.Printf("  device %d errored: %s\n", d.ID, d.ErrMsg)
+		}
+	}
+}
+
 // serve hosts a demo controller: a system under a constant load whose
 // firmware answers the protocol on a TCP listener, stepping simulated
 // time at wall-clock rate scaled by -speed. With -fleet N it instead
@@ -545,11 +612,13 @@ func serve(argv []string) {
 	shards := fs.Int("shards", 4, "fleet: worker shards driving the devices")
 	batch := fs.Int("batch", 64, "fleet: steps per device per scheduling slice")
 	durS := fs.Float64("dur", 86400, "fleet: per-device trace length in simulated seconds")
+	ckpt := fs.String("checkpoint", "", "fleet: durable checkpoint path (written every -every ticks, restored at startup when present)")
+	every := fs.Int("every", 10, "fleet: ticks between automatic checkpoints")
 	if err := fs.Parse(argv); err != nil {
 		os.Exit(2)
 	}
 	if *fleetN > 0 {
-		serveFleet(*addr, *fleetN, *shards, *batch, *loadW, *speed, *durS)
+		serveFleet(*addr, *fleetN, *shards, *batch, *loadW, *speed, *durS, *ckpt, *every)
 		return
 	}
 
@@ -623,22 +692,26 @@ func serve(argv []string) {
 // so `sdbctl series`/`watch` against the endpoint read fleet-level
 // observables. A wall-clock ticker advances every device -speed
 // simulated seconds per second until its trace drains.
-func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64) {
+//
+// With ckpt set the server checkpoints every `every` ticks, restores
+// from an existing checkpoint at startup (the device builder doubles
+// as the fleet's Provision hook), and drains gracefully on
+// SIGINT/SIGTERM: in-flight tick finished, final checkpoint written,
+// then exit.
+func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64, ckpt string, every int) {
 	if n > 0xFFFF {
 		fatalf("-fleet %d exceeds the 16-bit device id space", n)
 	}
 	obs.SetDefault(obs.NewRegistry())
-	f := fleet.New(fleet.Config{Shards: shards, Batch: batch, Obs: obs.Default()})
 	rec := sdb.NewRecorder(obs.Default(), sdb.RecorderConfig{StepS: speed})
-	for i := 0; i < n; i++ {
-		id := uint16(i)
+	provision := func(id uint16) (emulator.Config, error) {
 		soc := 0.4 + 0.6*float64(id%50)/50
 		load := loadW * (0.8 + 0.4*float64(id%7)/7)
 		st, err := emulator.NewStack(soc, core.Options{},
 			battery.MustByName("QuickCharge-2000"),
 			battery.MustByName("Standard-2000"))
 		if err != nil {
-			fatalf("device %d: %v", id, err)
+			return emulator.Config{}, err
 		}
 		cfg := emulator.Config{
 			Controller:   st.Controller,
@@ -651,8 +724,36 @@ func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64) {
 		if id == 0 {
 			st.Controller.SetRecorder(rec)
 		}
-		if err := f.Add(id, cfg); err != nil {
-			fatalf("device %d: %v", id, err)
+		return cfg, nil
+	}
+	fcfg := fleet.Config{
+		Shards: shards, Batch: batch, Obs: obs.Default(),
+		Checkpoint: ckpt, CheckpointEvery: every, Provision: provision,
+	}
+	var f *fleet.Fleet
+	if ckpt != "" {
+		if _, err := os.Stat(ckpt); err == nil {
+			restored, err := fleet.RestoreFile(ckpt, fcfg)
+			if err != nil {
+				fatalf("restore %s: %v", ckpt, err)
+			}
+			f = restored
+			st := f.Stat()
+			fmt.Printf("sdbctl: restored %d devices (%d steps, %d quarantined) from %s\n",
+				st.Devices, st.Steps, st.Quarantined, ckpt)
+		}
+	}
+	if f == nil {
+		f = fleet.New(fcfg)
+		for i := 0; i < n; i++ {
+			id := uint16(i)
+			cfg, err := provision(id)
+			if err != nil {
+				fatalf("device %d: %v", id, err)
+			}
+			if err := f.Add(id, cfg); err != nil {
+				fatalf("device %d: %v", id, err)
+			}
 		}
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -660,7 +761,29 @@ func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64) {
 		fatalf("%v", err)
 	}
 	fmt.Printf("sdbctl: serving fleet of %d devices on %s (%d shards, batch %d, %gx time)\n",
-		n, ln.Addr(), shards, batch, speed)
+		f.Len(), ln.Addr(), shards, batch, speed)
+
+	// Graceful drain on SIGINT/SIGTERM: stop admitting commands, finish
+	// the in-flight tick, write the final checkpoint (when configured),
+	// close, exit 0. A second signal during the drain kills the process
+	// the default way.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		signal.Stop(sigc)
+		fmt.Fprintf(os.Stderr, "sdbctl: %v: draining fleet\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := f.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "sdbctl: drain: %v\n", err)
+			os.Exit(1)
+		}
+		if ckpt != "" {
+			fmt.Fprintf(os.Stderr, "sdbctl: drained; final checkpoint at %s\n", ckpt)
+		}
+		os.Exit(0)
+	}()
 
 	go func() {
 		tick := time.NewTicker(time.Second)

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is the runtime's complete mutable state — the degradation
+// ladder, directive parameters, last-pushed ratio vectors, and the
+// bounded transition log — exported so a fleet checkpoint can freeze a
+// policy stack mid-run and a restore can resume it byte-identically.
+// Policies themselves are code, reconstructed from configuration; only
+// the directive parameters they read are carried.
+type State struct {
+	Health      Health
+	ConsecFails int
+	TotalFails  int64
+	EventSeq    int64
+	ChgDir      float64
+	DisDir      float64
+	SimTimeS    float64
+	// LastDis and LastChg are nil before the first successful update.
+	LastDis []float64
+	LastChg []float64
+	// LastErr is the message of the most recent failed update ("" when
+	// none). The restored error compares equal by message, not identity.
+	LastErr   string
+	HealthLog []HealthEvent
+}
+
+// ExportState snapshots the runtime's mutable state.
+func (r *Runtime) ExportState() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := State{
+		Health:      r.health,
+		ConsecFails: r.consecFails,
+		TotalFails:  r.totalFails,
+		EventSeq:    r.eventSeq,
+		ChgDir:      r.chgDir,
+		DisDir:      r.disDir,
+		SimTimeS:    r.simTimeS,
+		HealthLog:   append([]HealthEvent(nil), r.healthLog...),
+	}
+	if r.lastDis != nil {
+		st.LastDis = append([]float64(nil), r.lastDis...)
+	}
+	if r.lastChg != nil {
+		st.LastChg = append([]float64(nil), r.lastChg...)
+	}
+	if r.lastErr != nil {
+		st.LastErr = r.lastErr.Error()
+	}
+	return st
+}
+
+// ImportState overwrites the runtime's mutable state with a snapshot
+// taken by ExportState on an identically configured runtime.
+func (r *Runtime) ImportState(st State) error {
+	if st.Health < Healthy || st.Health > Failed {
+		return fmt.Errorf("core: import: health %d out of range", int(st.Health))
+	}
+	if d := len(st.LastDis); d != 0 && d != r.n {
+		return fmt.Errorf("core: import: %d discharge ratios for %d batteries", d, r.n)
+	}
+	if d := len(st.LastChg); d != 0 && d != r.n {
+		return fmt.Errorf("core: import: %d charge ratios for %d batteries", d, r.n)
+	}
+	if len(st.HealthLog) > r.logCap {
+		return fmt.Errorf("core: import: %d health events exceed log capacity %d", len(st.HealthLog), r.logCap)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.health = st.Health
+	r.consecFails = st.ConsecFails
+	r.totalFails = st.TotalFails
+	r.eventSeq = st.EventSeq
+	r.chgDir = clamp01(st.ChgDir)
+	r.disDir = clamp01(st.DisDir)
+	r.simTimeS = st.SimTimeS
+	r.lastDis, r.lastChg = nil, nil
+	if st.LastDis != nil {
+		r.lastDis = append([]float64(nil), st.LastDis...)
+	}
+	if st.LastChg != nil {
+		r.lastChg = append([]float64(nil), st.LastChg...)
+	}
+	r.lastErr = nil
+	if st.LastErr != "" {
+		r.lastErr = errors.New(st.LastErr)
+	}
+	r.healthLog = append(r.healthLog[:0], st.HealthLog...)
+	r.om.healthState.Set(float64(r.health))
+	return nil
+}

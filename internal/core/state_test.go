@@ -1,0 +1,152 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sdb/internal/obs"
+)
+
+// richRuntime drives a scriptAPI-backed runtime into a state where
+// every exported field is non-zero: successful updates (last-known-good
+// ratios), a failure streak partway down the health ladder (consec and
+// total fails, a last error, health-log entries), and simulated time.
+func richRuntime(t *testing.T, reg *obs.Registry) (*scriptAPI, *Runtime) {
+	t.Helper()
+	api := newScriptAPI()
+	rt, err := NewRuntime(api, Options{
+		DischargePolicy: FixedRatios{Ratios: []float64{0.9, 0.1}},
+		ChargePolicy:    FixedRatios{Ratios: []float64{0.5, 0.5}},
+		DegradeAfter:    1,
+		SafeModeAfter:   3,
+		FailAfter:       5,
+		HealthLogSize:   8,
+		Obs:             reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetDirectives(0.25, 0.75)
+	rt.NoteTime(120)
+	if _, err := rt.Update(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	api.fail = true
+	for i := 0; i < 2; i++ { // Healthy -> Degraded, still short of SafeMode
+		if _, err := rt.Update(3, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Health() != Degraded {
+		t.Fatalf("setup: health = %v, want Degraded", rt.Health())
+	}
+	return api, rt
+}
+
+// TestRuntimeStateRoundTrip: export a mid-ladder runtime, import into a
+// fresh identically-configured one, and the restored runtime must carry
+// the health state, failure counters, last error, directives, and
+// last-known-good ratios — and continue the ladder from where the
+// original stood.
+func TestRuntimeStateRoundTrip(t *testing.T) {
+	_, orig := richRuntime(t, obs.NewRegistry())
+	snap := orig.ExportState()
+	if snap.Health != Degraded || snap.ConsecFails != 2 || snap.TotalFails != 2 {
+		t.Fatalf("export = %+v", snap)
+	}
+	if snap.LastDis == nil || snap.LastChg == nil || snap.LastErr == "" || len(snap.HealthLog) == 0 {
+		t.Fatalf("export missing optional state: %+v", snap)
+	}
+
+	reg := obs.NewRegistry()
+	freshAPI, fresh := richRuntime(t, reg)
+	// Walk the fresh runtime somewhere else first: the import must
+	// overwrite, not merge.
+	freshAPI.fail = false
+	if _, err := fresh.Update(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.ImportState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.ExportState(); !reflect.DeepEqual(got, snap) {
+		t.Fatalf("import then export changed the state:\n got %+v\nwant %+v", got, snap)
+	}
+	if fresh.Health() != Degraded {
+		t.Fatalf("restored health = %v", fresh.Health())
+	}
+	if got := reg.Gauge("sdb_core_health_state").Value(); got != float64(Degraded) {
+		t.Fatalf("health gauge after import = %g", got)
+	}
+	if err := fresh.LastError(); err == nil || err.Error() != snap.LastErr {
+		t.Fatalf("restored LastError = %v, want %q", err, snap.LastErr)
+	}
+	chg, dis := fresh.Directives()
+	if chg != 0.25 || dis != 0.75 {
+		t.Fatalf("restored directives = %g, %g", chg, dis)
+	}
+
+	// The restored runtime continues the ladder exactly where the
+	// original left off: one more failure reaches SafeMode on both.
+	freshAPI.fail = true
+	if _, err := fresh.Update(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Health() != SafeMode {
+		t.Fatalf("health after one more failure = %v, want SafeMode", fresh.Health())
+	}
+	ev := fresh.HealthEvents()
+	if len(ev) != 2 || ev[1].Seq != snap.EventSeq+1 {
+		t.Fatalf("event log after continued descent = %+v", ev)
+	}
+}
+
+// TestRuntimeImportClampsDirectives: directive parameters arriving from
+// an untrusted snapshot are clamped like every other write path.
+func TestRuntimeImportClampsDirectives(t *testing.T) {
+	_, rt := richRuntime(t, obs.NewRegistry())
+	st := rt.ExportState()
+	st.ChgDir, st.DisDir = 7, -3
+	if err := rt.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	chg, dis := rt.Directives()
+	if chg != 1 || dis != 0 {
+		t.Fatalf("imported directives = %g, %g; want clamped 1, 0", chg, dis)
+	}
+}
+
+// TestRuntimeImportRejectsMismatches: structurally incompatible
+// snapshots are refused before any state is touched.
+func TestRuntimeImportRejectsMismatches(t *testing.T) {
+	_, rt := richRuntime(t, obs.NewRegistry())
+	good := rt.ExportState()
+	cases := []struct {
+		name     string
+		mutate   func(st *State)
+		contains string
+	}{
+		{"health below range", func(st *State) { st.Health = -1 }, "health"},
+		{"health above range", func(st *State) { st.Health = Failed + 1 }, "health"},
+		{"discharge ratios length", func(st *State) { st.LastDis = st.LastDis[:1] }, "discharge ratios"},
+		{"charge ratios length", func(st *State) { st.LastChg = st.LastChg[:1] }, "charge ratios"},
+		{"health log over capacity", func(st *State) {
+			st.HealthLog = make([]HealthEvent, 9) // logCap is 8 in richRuntime
+		}, "log capacity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := good
+			tc.mutate(&st)
+			err := rt.ImportState(st)
+			if err == nil || !strings.Contains(err.Error(), tc.contains) {
+				t.Fatalf("ImportState = %v, want error containing %q", err, tc.contains)
+			}
+		})
+	}
+	// The rejected imports left the runtime untouched.
+	if got := rt.ExportState(); !reflect.DeepEqual(got, good) {
+		t.Fatal("rejected import mutated the runtime")
+	}
+}

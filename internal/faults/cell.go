@@ -23,6 +23,13 @@ const (
 	// FaultGaugeDrift shifts the cell's fuel-gauge SoC estimate by
 	// Fraction (may be negative).
 	FaultGaugeDrift
+	// FaultPanic crashes the device's stepping goroutine at the
+	// scheduled time: Apply panics with a *PanicError. Not a hardware
+	// fault but an injected firmware/emulation defect, used to prove the
+	// fleet's shard supervision quarantines exactly the poison device.
+	// The event counts as fired before the panic, so a schedule restored
+	// from a checkpoint taken afterwards does not re-fire it.
+	FaultPanic
 )
 
 // String names the fault kind for logs.
@@ -36,6 +43,8 @@ func (k CellFaultKind) String() string {
 		return "capacity-fade"
 	case FaultGaugeDrift:
 		return "gauge-drift"
+	case FaultPanic:
+		return "device-panic"
 	}
 	return fmt.Sprintf("CellFaultKind(%d)", int(k))
 }
@@ -100,6 +109,15 @@ func (s *Schedule) Apply(tS float64, ctrl *pmic.Controller) error {
 			}
 		case FaultGaugeDrift:
 			err = ctrl.InjectGaugeDrift(ev.Cell, ev.Fraction)
+		case FaultPanic:
+			// Record the event as applied first: the panic unwinds past
+			// this frame, and a schedule restored from a checkpoint taken
+			// after the crash must know the event already fired. The panic
+			// happens outside any firmware lock (Apply runs on the
+			// simulation goroutine before Step takes the mutex), so the
+			// controller stays usable for post-mortem inspection.
+			s.applied = append(s.applied, ev)
+			panic(&PanicError{Cell: ev.Cell, AtS: ev.AtS})
 		default:
 			err = fmt.Errorf("faults: unknown cell fault kind %d", int(ev.Kind))
 		}
@@ -132,3 +150,34 @@ func (s *Schedule) NextAt() (tS float64, ok bool) {
 // events so far — the correction term for energy-conservation checks
 // spanning the faults.
 func (s *Schedule) EnergyRemovedJ() float64 { return s.removedJ }
+
+// PanicError is the value a FaultPanic event panics with; shard
+// supervision recognizes it in recovered panic values.
+type PanicError struct {
+	Cell int
+	AtS  float64
+}
+
+// Error describes the injected crash.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("faults: injected device panic on cell %d at t=%gs", e.Cell, e.AtS)
+}
+
+// Fired reports how many events have fired, for checkpointing. Events
+// fire in sorted time order, so the count plus the (configuration-
+// derived) event list fully positions the schedule.
+func (s *Schedule) Fired() int { return s.next }
+
+// RestoreState repositions the schedule to a checkpoint: the first
+// fired events are marked applied and removedJ (the capacity-fade
+// energy correction) is restored. The schedule must have been built
+// from the same event list.
+func (s *Schedule) RestoreState(fired int, removedJ float64) error {
+	if fired < 0 || fired > len(s.events) {
+		return fmt.Errorf("faults: restore: %d fired events of %d scheduled", fired, len(s.events))
+	}
+	s.next = fired
+	s.applied = append(s.applied[:0], s.events[:fired]...)
+	s.removedJ = removedJ
+	return nil
+}

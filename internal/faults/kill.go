@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kill points: named process-crash sites for crash-safety testing. A
+// kill point is armed from outside the process via the environment —
+//
+//	SDB_KILLPOINT=fleet.tick:3
+//
+// — and the third time MaybeKill("fleet.tick") runs, the process exits
+// immediately with KillExitCode, skipping every deferred function and
+// flush, which is as close to `kill -9` as a single process can inject
+// on itself deterministically. Crash-restore tests re-exec the binary
+// with the variable set, assert the exit code, then restore from the
+// last checkpoint and prove byte-identity with an uninterrupted run.
+//
+// The arming deliberately lives in the environment rather than in a
+// restorable Schedule: a kill carried inside checkpointed state would
+// re-fire on every restart and the process could never get past it.
+//
+// Unarmed (the variable unset, i.e. always in production), MaybeKill
+// costs one atomic load.
+
+// KillExitCode is the exit status of a fired kill point — the
+// conventional status of a SIGKILLed process (128+9).
+const KillExitCode = 137
+
+// KillEnv is the environment variable arming a kill point.
+const KillEnv = "SDB_KILLPOINT"
+
+var (
+	killInit  sync.Once
+	killArmed atomic.Bool
+	killName  string
+	killCount atomic.Int64
+)
+
+func parseKillPoint() {
+	spec := os.Getenv(KillEnv)
+	if spec == "" {
+		return
+	}
+	name, count, ok := parseKillSpec(spec)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "faults: ignoring malformed %s=%q\n", KillEnv, spec)
+		return
+	}
+	killName = name
+	killCount.Store(count)
+	killArmed.Store(true)
+}
+
+// parseKillSpec parses "name" or "name:count" (count > 0, default 1).
+func parseKillSpec(spec string) (name string, count int64, ok bool) {
+	name, countStr, has := strings.Cut(spec, ":")
+	if name == "" {
+		return "", 0, false
+	}
+	count = 1
+	if has {
+		v, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil || v <= 0 {
+			return "", 0, false
+		}
+		count = v
+	}
+	return name, count, true
+}
+
+// MaybeKill crashes the process if the named kill point is armed and
+// its countdown reaches zero on this call. Place it at the points whose
+// crash-atomicity matters (after a fleet tick barrier, around a
+// checkpoint write).
+func MaybeKill(name string) {
+	killInit.Do(parseKillPoint)
+	if !killArmed.Load() || name != killName {
+		return
+	}
+	if killCount.Add(-1) == 0 {
+		fmt.Fprintf(os.Stderr, "faults: kill point %s firing\n", name)
+		os.Exit(KillExitCode)
+	}
+}

@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMaybeKillUnarmedIsNoop: without SDB_KILLPOINT in the
+// environment, MaybeKill must be free — tests and production both
+// call it on every fleet tick. (The armed path, which os.Exits the
+// process, is exercised end to end by the fleet crash test.)
+func TestMaybeKillUnarmedIsNoop(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		MaybeKill("fleet.tick")
+		MaybeKill("anything.else")
+	}
+}
+
+// TestPanicFaultMarksItselfApplied: a FaultPanic event must append to
+// the applied log BEFORE unwinding, so a schedule restored from a
+// checkpoint taken after the quarantine does not re-fire the panic.
+func TestPanicFaultMarksItselfApplied(t *testing.T) {
+	ctrl := newTestController(t, 0.8)
+	sch := NewSchedule(
+		CellEvent{AtS: 10, Cell: 1, Kind: FaultPanic},
+	)
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		_ = sch.Apply(10, ctrl)
+	}()
+	pe, ok := recovered.(*PanicError)
+	if !ok {
+		t.Fatalf("Apply recovered %v (%T), want *PanicError", recovered, recovered)
+	}
+	if pe.Cell != 1 || pe.AtS != 10 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "injected device panic") {
+		t.Fatalf("PanicError message %q", pe.Error())
+	}
+	if sch.Fired() != 1 || len(sch.Applied()) != 1 {
+		t.Fatalf("panic event not marked applied: fired=%d applied=%d",
+			sch.Fired(), len(sch.Applied()))
+	}
+	if sch.Pending() != 0 {
+		t.Fatalf("panic event still pending after firing")
+	}
+}
+
+// TestScheduleRestoreState: the checkpoint hook repositions a fresh
+// schedule at a fired count and removed-energy total; out-of-range
+// counts are rejected.
+func TestScheduleRestoreState(t *testing.T) {
+	mk := func() *Schedule {
+		return NewSchedule(
+			CellEvent{AtS: 5, Cell: 0, Kind: FaultOpenCircuit},
+			CellEvent{AtS: 9, Cell: 0, Kind: FaultCloseCircuit},
+			CellEvent{AtS: 20, Cell: 1, Kind: FaultCapacityFade, Fraction: 0.9},
+		)
+	}
+	sch := mk()
+	if err := sch.RestoreState(2, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if sch.Fired() != 2 || sch.Pending() != 1 || sch.EnergyRemovedJ() != 1.5 {
+		t.Fatalf("restored schedule: fired=%d pending=%d removedJ=%g",
+			sch.Fired(), sch.Pending(), sch.EnergyRemovedJ())
+	}
+	if at, ok := sch.NextAt(); !ok || at != 20 {
+		t.Fatalf("NextAt after restore = %g,%v, want 20,true", at, ok)
+	}
+	if got := sch.Applied(); len(got) != 2 || got[1].AtS != 9 {
+		t.Fatalf("Applied after restore = %v", got)
+	}
+	for _, bad := range []int{-1, 4} {
+		if err := mk().RestoreState(bad, 0); err == nil {
+			t.Fatalf("RestoreState(%d) accepted", bad)
+		}
+	}
+}
+
+// TestParseKillPoint covers the env parser's shapes directly: count
+// defaults to 1, malformed counts disarm with a warning rather than
+// arming something surprising.
+func TestParseKillPoint(t *testing.T) {
+	cases := []struct {
+		env   string
+		armed bool
+		name  string
+		count int64
+	}{
+		{"", false, "", 0},
+		{"fleet.tick", true, "fleet.tick", 1},
+		{"fleet.tick:3", true, "fleet.tick", 3},
+		{"fleet.tick:0", false, "", 0},
+		{"fleet.tick:x", false, "", 0},
+		{":2", false, "", 0},
+	}
+	for _, tc := range cases {
+		name, count, ok := parseKillSpec(tc.env)
+		if ok != tc.armed || (ok && (name != tc.name || count != tc.count)) {
+			t.Errorf("parseKillSpec(%q) = %q,%d,%v; want %q,%d,%v",
+				tc.env, name, count, ok, tc.name, tc.count, tc.armed)
+		}
+	}
+}

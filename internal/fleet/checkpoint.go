@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sdb/internal/fleet/snapshot"
+)
+
+// Checkpoint/restore: the durability half of the crash-safe fleet. A
+// checkpoint captures every device's full mutable state (emulator
+// cursor, series, firmware registers, cell chemistry state, gauges,
+// runtime health ladder, fault-schedule position) at a tick barrier;
+// Restore rebuilds the devices from configuration (Config.Provision)
+// and imports that state, after which the fleet continues
+// byte-identically to the uninterrupted run on either stepping
+// backend. Quarantined devices are carried as tombstones — id and
+// reason, no state — because their stepping goroutine died mid-step
+// and their firmware mutex may be held forever.
+
+// Snapshot captures the fleet's state between ticks. It takes the tick
+// lock (so no shard is stepping) and freezes membership for the copy.
+// Devices appear in id order; the encoding is deterministic.
+func (f *Fleet) Snapshot() *snapshot.Snapshot {
+	f.tickMu.Lock()
+	defer f.tickMu.Unlock()
+	return f.snapshotLocked()
+}
+
+// snapshotLocked builds the snapshot; callers hold tickMu (no tick in
+// flight) but not regMu.
+func (f *Fleet) snapshotLocked() *snapshot.Snapshot {
+	f.regMu.RLock()
+	defer f.regMu.RUnlock()
+	snap := &snapshot.Snapshot{FleetSteps: f.steps.Load()}
+	ids := make([]uint16, 0, len(f.devices))
+	for id := range f.devices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	snap.Devices = make([]snapshot.Device, 0, len(ids))
+	for _, id := range ids {
+		d := f.devices[id]
+		dev := snapshot.Device{ID: id}
+		if d.quarantined.Load() {
+			dev.Quarantined = true
+			dev.QuarantineReason = d.qreason
+		} else {
+			if d.err != nil {
+				dev.ErrMsg = d.err.Error()
+			}
+			st := d.m.ExportState()
+			dev.State = &st
+		}
+		snap.Devices = append(snap.Devices, dev)
+	}
+	return snap
+}
+
+// Checkpoint writes the fleet's state to w in the snapshot format.
+func (f *Fleet) Checkpoint(w io.Writer) error {
+	return snapshot.Encode(w, f.Snapshot())
+}
+
+// WriteCheckpoint writes the fleet's state to path atomically (temp
+// file in the same directory + rename), returning the encoded size. A
+// crash mid-write leaves the previous checkpoint intact.
+func (f *Fleet) WriteCheckpoint(path string) (int64, error) {
+	f.tickMu.Lock()
+	defer f.tickMu.Unlock()
+	return f.writeCheckpointLocked(path)
+}
+
+// writeCheckpointLocked snapshots and writes; callers hold tickMu.
+func (f *Fleet) writeCheckpointLocked(path string) (int64, error) {
+	return snapshot.WriteFileAtomic(path, f.snapshotLocked())
+}
+
+// Restore rebuilds a fleet from a checkpoint stream. cfg.Provision
+// supplies each device's emulator.Config by id (it must match the
+// configuration the checkpointed fleet ran — a snapshot carries only
+// mutable state); cfg's pool sizing and backend may differ freely, the
+// restored run is byte-identical regardless. On error the partially
+// built fleet is closed and nil is returned.
+func Restore(r io.Reader, cfg Config) (*Fleet, error) {
+	snap, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromSnapshot(snap, cfg)
+}
+
+// RestoreFile restores a fleet from the checkpoint at path.
+func RestoreFile(path string, cfg Config) (*Fleet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return FromSnapshot(snap, cfg)
+}
+
+// FromSnapshot builds a running fleet positioned at a decoded
+// snapshot.
+func FromSnapshot(snap *snapshot.Snapshot, cfg Config) (*Fleet, error) {
+	if cfg.Provision == nil {
+		return nil, errors.New("fleet: restore requires Config.Provision")
+	}
+	f := New(cfg)
+	fail := func(err error) (*Fleet, error) {
+		f.Close()
+		return nil, err
+	}
+	for i := range snap.Devices {
+		dev := &snap.Devices[i]
+		ecfg, err := cfg.Provision(dev.ID)
+		if err != nil {
+			return fail(fmt.Errorf("fleet: provision device %d: %w", dev.ID, err))
+		}
+		if err := f.Add(dev.ID, ecfg); err != nil {
+			return fail(err)
+		}
+		// Safe without locks: no ticks have run, Serve has no
+		// connections yet, and Add just published the device.
+		d := f.devices[dev.ID]
+		if dev.Quarantined {
+			d.qreason = dev.QuarantineReason
+			d.quarantined.Store(true)
+			f.om.quarantined.Set(float64(f.quarCount.Add(1)))
+			continue
+		}
+		if dev.State != nil {
+			if err := d.m.ImportState(*dev.State); err != nil {
+				return fail(fmt.Errorf("fleet: device %d: %w", dev.ID, err))
+			}
+		}
+		if dev.ErrMsg != "" {
+			d.err = errors.New(dev.ErrMsg)
+		}
+	}
+	// Continue the fleet-wide step count (and its obs counter) so rates
+	// and stats span the restart.
+	f.steps.Store(snap.FleetSteps)
+	f.om.steps.Add(int64(snap.FleetSteps))
+	return f, nil
+}

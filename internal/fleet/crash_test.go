@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"sdb/internal/emulator"
+	"sdb/internal/faults"
+	"sdb/internal/fleet/snapshot"
+	"sdb/internal/obs"
+)
+
+const (
+	crashChildEnv = "SDB_CRASH_CHILD"
+	crashCkptEnv  = "SDB_CRASH_CKPT"
+	crashDevices  = 12
+	crashDurS     = 600
+	crashEvery    = 2  // auto-checkpoint cadence (ticks)
+	crashAtTick   = 5  // kill point: dies on the 5th tick
+	crashBatch    = 64 // steps per tick
+)
+
+// TestCrashChild is the victim process for TestCrashRestoreByteIdentical:
+// it runs a fleet with auto-checkpointing enabled and an armed kill
+// point, and is shot dead (os.Exit(137), skipping all defers — the
+// moral equivalent of SIGKILL) mid-run by faults.MaybeKill.
+func TestCrashChild(t *testing.T) {
+	if os.Getenv(crashChildEnv) != "1" {
+		t.Skip("crash-test child helper; driven by TestCrashRestoreByteIdentical")
+	}
+	f := New(Config{
+		Shards: 3, Batch: 37, Obs: obs.NewRegistry(),
+		Checkpoint:      os.Getenv(crashCkptEnv),
+		CheckpointEvery: crashEvery,
+	})
+	for i := 1; i <= crashDevices; i++ {
+		if err := f.Add(uint16(i), deviceConfig(t, uint16(i), crashDurS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.RunToCompletion(crashBatch)
+	// Unreachable when the kill point is armed: the parent treats a
+	// clean exit as a test failure.
+	t.Fatal("crash child survived its kill point")
+}
+
+// TestCrashRestoreByteIdentical is the end-to-end crash lane: a child
+// process is killed without warning partway through a fleet run (after
+// its 4th tick's checkpoint, mid-5th), then the fleet is restored from
+// the checkpoint the dead process left behind and run to completion.
+// Every device must finish byte-identical to its uninterrupted solo
+// run — the checkpoint lost nothing and the atomic write left no torn
+// file.
+func TestCrashRestoreByteIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.ckpt")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCrashChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		crashChildEnv+"=1",
+		crashCkptEnv+"="+path,
+		faults.KillEnv+"=fleet.tick:"+strconv.Itoa(crashAtTick),
+	)
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if err == nil || !errors.As(err, &ee) || ee.ExitCode() != faults.KillExitCode {
+		t.Fatalf("child exit = %v, want exit code %d\n%s", err, faults.KillExitCode, out)
+	}
+
+	// The checkpoint on disk is the tick-4 snapshot: intact, decodable,
+	// at exactly 4 barriers of progress.
+	snap, err := snapshot.ReadFile(path)
+	if err != nil {
+		t.Fatalf("checkpoint left by killed process: %v", err)
+	}
+	wantSteps := uint64(crashDevices) * 4 * crashBatch
+	if snap.FleetSteps != wantSteps || len(snap.Devices) != crashDevices {
+		t.Fatalf("dead process checkpoint: steps=%d devices=%d, want steps=%d devices=%d",
+			snap.FleetSteps, len(snap.Devices), wantSteps, crashDevices)
+	}
+
+	g, err := FromSnapshot(snap, Config{
+		Shards: 2, Obs: obs.NewRegistry(),
+		Provision: provision(t, crashDurS),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.RunToCompletion(crashBatch)
+	for i := 1; i <= crashDevices; i++ {
+		want, err := emulator.Run(deviceConfig(t, uint16(i), crashDurS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.Result(uint16(i))
+		if err != nil {
+			t.Fatalf("device %d after crash restore: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("device %d diverged across the crash", i)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdb/internal/bus"
+	"sdb/internal/obs"
+	"sdb/internal/pmic"
+)
+
+// TestDrainRefusesCommands: once a drain starts, device commands are
+// refused with the retryable StatusDraining while fleet introspection
+// (FleetStat) keeps answering and reports Draining — exactly what a
+// load balancer needs to fail clients over.
+func TestDrainRefusesCommands(t *testing.T) {
+	f, c := serveFleet(t, 2, 600, 1, 2)
+	if err := c.Device(1).Ping(); err != nil {
+		t.Fatal(err)
+	}
+	f.Tick(32)
+	if err := f.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Device(1).Ping()
+	var se *pmic.StatusError
+	if !errors.As(err, &se) || se.Status != pmic.StatusDraining {
+		t.Fatalf("ping during drain: %v, want StatusDraining", err)
+	}
+	if !se.Retryable() {
+		t.Fatal("StatusDraining must be retryable")
+	}
+	st, err := c.FleetStat()
+	if err != nil {
+		t.Fatalf("FleetStat during drain: %v", err)
+	}
+	if !st.Draining {
+		t.Fatal("FleetStat.Draining = false on a draining fleet")
+	}
+	// Ticks no longer admit work.
+	if n := f.Tick(8); n != 0 {
+		t.Fatalf("Tick during drain advanced %d devices", n)
+	}
+}
+
+// TestDrainWaitsForInFlightTick: a drain that starts while a tick is
+// running must wait for the barrier, not truncate it — every step the
+// tick admitted is completed and captured in the final state.
+func TestDrainWaitsForInFlightTick(t *testing.T) {
+	// Traces far longer than the test runs: no device finishes, so
+	// every completed barrier contributes exactly 4 devices x 16 steps.
+	f := New(Config{Shards: 2, Obs: obs.NewRegistry()})
+	for i := 1; i <= 4; i++ {
+		if err := f.Add(uint16(i), deviceConfig(t, uint16(i), 100000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ticked atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if f.Tick(16) == 0 {
+				return
+			}
+			ticked.Add(1)
+		}
+	}()
+	// Let the ticker make progress, then drain against it.
+	for ticked.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := f.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// Whatever number of ticks completed, the fleet's step counter is
+	// an exact multiple of a full barrier: 4 devices times 16 steps.
+	if st := f.Stat(); st.Steps%uint64(4*16) != 0 {
+		t.Fatalf("drain tore a tick: %d total steps is not a whole barrier", st.Steps)
+	}
+	if err := f.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestDrainHonorsContext: a drain blocked behind a stuck tick gives up
+// when its context expires instead of hanging forever.
+func TestDrainHonorsContext(t *testing.T) {
+	f := New(Config{Shards: 1, Obs: obs.NewRegistry()})
+	defer f.Close()
+	if err := f.Add(1, deviceConfig(t, 1, 600)); err != nil {
+		t.Fatal(err)
+	}
+	// Hold the tick lock to simulate a wedged tick.
+	f.tickMu.Lock()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := f.Drain(ctx)
+	f.tickMu.Unlock()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain against a held tick lock: %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestDrainLegacyV1Downgrade: an old pre-drain client speaking bare v1
+// frames gets a well-formed v1 response with the StatusDraining byte —
+// it reads a clean rejection, not a protocol error or a hang.
+func TestDrainLegacyV1Downgrade(t *testing.T) {
+	f := New(Config{Shards: 1, Obs: obs.NewRegistry()})
+	defer f.Close()
+	if err := f.Add(0, deviceConfig(t, 0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	srv, cli := net.Pipe()
+	go f.Serve(srv)
+	defer cli.Close()
+	if err := f.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	wire, err := bus.Encode(bus.Frame{Cmd: pmic.CmdPing, Seq: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 9) // 6 header + 1 status + 2 crc
+	if _, err := io.ReadFull(cli, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != bus.SOF || raw[1] != bus.Version {
+		t.Fatalf("draining fleet answered a v1 client with version %d", raw[1])
+	}
+	resp, err := bus.ReadFrame(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cmd != pmic.CmdPing|pmic.RespFlag || resp.Seq != 5 {
+		t.Fatalf("v1 drain response = %+v", resp)
+	}
+	if len(resp.Payload) != 1 || resp.Payload[0] != pmic.StatusDraining {
+		t.Fatalf("v1 drain status = %v, want [0x06]", resp.Payload)
+	}
+}
+
+// TestFleetStatWireSkew: the quarantine/draining fields ride at the
+// end of the FleetStat payload, so a new client against an old-format
+// payload (just the original six fields) decodes them as zero values
+// instead of erroring.
+func TestFleetStatWireSkew(t *testing.T) {
+	// Old-format server stub: answer FleetStat with only the original
+	// six fields.
+	srv, cli := net.Pipe()
+	defer cli.Close()
+	go func() {
+		defer srv.Close()
+		for {
+			req, err := bus.ReadFrame(srv)
+			if err != nil {
+				return
+			}
+			var w bus.Writer
+			w.U8(pmic.StatusOK)
+			w.UVarint(3)   // devices
+			w.UVarint(2)   // shards
+			w.UVarint(600) // steps
+			w.UVarint(1)   // churn
+			w.F64(1.5)     // steps/sec
+			w.F64(0.001)   // cmd p99
+			wire, err := bus.Encode(bus.Frame{
+				Cmd: req.Cmd | pmic.RespFlag, Seq: req.Seq, Device: req.Device,
+				Payload: w.Bytes(),
+			})
+			if err != nil {
+				return
+			}
+			if _, err := srv.Write(wire); err != nil {
+				return
+			}
+		}
+	}()
+	c := pmic.NewClient(cli)
+	c.Timeout = 5 * time.Second
+	st, err := c.FleetStat()
+	if err != nil {
+		t.Fatalf("FleetStat against old-format payload: %v", err)
+	}
+	if st.Devices != 3 || st.Steps != 600 {
+		t.Fatalf("old-format decode mangled: %+v", st)
+	}
+	if st.Quarantined != 0 || st.Draining {
+		t.Fatalf("skew fields not zero-valued: %+v", st)
+	}
+}

@@ -17,6 +17,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"sdb/internal/battery/batch"
 	"sdb/internal/bus"
 	"sdb/internal/emulator"
+	"sdb/internal/faults"
 	"sdb/internal/obs"
 	"sdb/internal/pmic"
 )
@@ -55,6 +57,22 @@ type Config struct {
 	// back to scalar either way — the two backends are bit-identical by
 	// contract, so the choice is purely a performance/ A-B knob.
 	Backend string
+	// Checkpoint, when non-empty, is the path checkpoints are written
+	// to (atomically: temp file + rename): the periodic auto-checkpoint
+	// (CheckpointEvery), Drain's final checkpoint, and the remote
+	// FleetSnapshot command all target it.
+	Checkpoint string
+	// CheckpointEvery auto-checkpoints after every N ticks, from the
+	// tick barrier (devices idle, membership frozen). Zero disables
+	// periodic checkpointing; Checkpoint must be set for it to act.
+	CheckpointEvery int
+	// Provision rebuilds a device's emulator.Config from its id when a
+	// fleet is restored from a checkpoint. It must be deterministic and
+	// match the configuration the checkpointed fleet was built with —
+	// same trace, pack chemistry, profile table, runtime presence, and
+	// fault schedule — because a snapshot carries only mutable state.
+	// Required by Restore, unused otherwise.
+	Provision func(id uint16) (emulator.Config, error)
 }
 
 // Fleet is a registry of emulated devices plus the shard pool that
@@ -72,14 +90,20 @@ type Fleet struct {
 	shards  []*shard
 	nextRR  int // round-robin shard assignment cursor
 
-	tickMu    sync.Mutex // serializes Tick barriers
+	tickMu    sync.Mutex // serializes Tick barriers and Close/Drain
+	closed    bool       // guarded by tickMu; set once, never cleared
 	steps     atomic.Uint64
 	churn     atomic.Uint64
 	tickWallS float64 // driver-goroutine only
+	sinceCkpt int     // ticks since the last auto-checkpoint; driver-goroutine only
+
+	// draining refuses new device commands (StatusDraining) and new
+	// ticks while Drain runs down the fleet.
+	draining atomic.Bool
+	// quarCount tracks devices currently quarantined by supervision.
+	quarCount atomic.Int64
 
 	om fleetMetrics
-
-	closeOnce sync.Once
 }
 
 type device struct {
@@ -92,6 +116,15 @@ type device struct {
 	// reads outside a tick are ordered by the barrier.
 	err error
 	res *emulator.Result
+
+	// quarantined marks a device whose stepping panicked: supervision
+	// parks it, its shard keeps going, and every later read (dispatch,
+	// Result, checkpoint) treats its state as suspect — in particular
+	// its firmware mutex may be held forever by the dead goroutine.
+	// qreason is written before the Store(true) and read only after a
+	// Load(true), so the flag orders it.
+	quarantined atomic.Bool
+	qreason     string
 }
 
 type shard struct {
@@ -99,6 +132,10 @@ type shard struct {
 	devices []*device
 	wake    chan tickReq
 	hist    *obs.Histogram
+	// panics counts device panics since the last shard restart; owned
+	// by the shard goroutine. At shardRestartAfter the supervisor
+	// recycles the goroutine (see superviseShard).
+	panics int
 	// eng is the shard's struct-of-arrays engine (nil on the scalar
 	// backend): every batched device on the shard has its cell lanes in
 	// this one engine, so a tick sweeps contiguous arrays. Lanes are
@@ -115,11 +152,17 @@ type tickReq struct {
 
 // fleetMetrics bundles the aggregate observables.
 type fleetMetrics struct {
-	devices *obs.Gauge
-	churn   *obs.Counter
-	steps   *obs.Counter
-	rate    *obs.Gauge
-	cmd     *obs.Histogram
+	devices     *obs.Gauge
+	churn       *obs.Counter
+	steps       *obs.Counter
+	rate        *obs.Gauge
+	cmd         *obs.Histogram
+	panics      *obs.Counter
+	quarantined *obs.Gauge
+	restarts    *obs.Counter
+	ckptErrs    *obs.Counter
+	tracer      *obs.Tracer
+	audit       *obs.AuditLog
 }
 
 // New builds a fleet and starts its shard pool. Close stops it.
@@ -144,6 +187,12 @@ func New(cfg Config) *Fleet {
 			rate:    reg.Gauge("sdb_fleet_device_steps_per_sec"),
 			cmd: reg.Histogram("sdb_fleet_cmd_seconds",
 				[]float64{1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 1e-1, 1}),
+			panics:      reg.Counter("sdb_fleet_device_panics_total"),
+			quarantined: reg.Gauge("sdb_fleet_quarantined_devices"),
+			restarts:    reg.Counter("sdb_fleet_shard_restarts_total"),
+			ckptErrs:    reg.Counter("sdb_fleet_checkpoint_errors_total"),
+			tracer:      reg.Tracer(),
+			audit:       reg.Audit(),
 		},
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -157,21 +206,32 @@ func New(cfg Config) *Fleet {
 			s.eng = batch.New()
 		}
 		f.shards = append(f.shards, s)
-		go f.shardLoop(s)
+		go f.superviseShard(s)
 	}
 	return f
 }
 
 // Close stops the shard pool. The registry stays queryable (Serve,
-// Stat, Result); only ticking ends. Safe to call more than once.
+// Stat, Result); only ticking ends. Idempotent and safe to call
+// concurrently with Tick, Serve, or another Close: the closed flag is
+// settled under tickMu, so a racing Tick either completes first or
+// observes the flag and returns without touching the closed wake
+// channels.
 func (f *Fleet) Close() {
-	f.closeOnce.Do(func() {
-		f.tickMu.Lock()
-		defer f.tickMu.Unlock()
-		for _, s := range f.shards {
-			close(s.wake)
-		}
-	})
+	f.tickMu.Lock()
+	defer f.tickMu.Unlock()
+	f.closeLocked()
+}
+
+// closeLocked shuts the shard pool down; callers hold tickMu.
+func (f *Fleet) closeLocked() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for _, s := range f.shards {
+		close(s.wake)
+	}
 }
 
 // Add registers a device: the emulator config is compiled into a
@@ -225,6 +285,9 @@ func (f *Fleet) Remove(id uint16) bool {
 			break
 		}
 	}
+	if d.quarantined.Load() {
+		f.om.quarantined.Set(float64(f.quarCount.Add(-1)))
+	}
 	f.churn.Add(1)
 	f.om.churn.Inc()
 	f.om.devices.Set(float64(len(f.devices)))
@@ -265,45 +328,132 @@ func (f *Fleet) Controller(id uint16) *pmic.Controller {
 	return nil
 }
 
-// shardLoop drives one shard: each wakeup advances every still-running
+// shardRestartAfter is the supervision ladder's escalation threshold:
+// after this many device panics on one shard, the shard goroutine is
+// recycled — a fresh stack for a worker whose environment repeated
+// panics have made suspect, mirroring the core health ladder's
+// escalation at fleet scope. The panic budget resets on restart.
+const shardRestartAfter = 3
+
+// superviseShard is the supervision wrapper around one shard worker:
+// it reruns the shard loop for as long as the loop asks to be recycled
+// (repeated device panics), and exits when the wake channel closes.
+func (f *Fleet) superviseShard(s *shard) {
+	for f.runShard(s) {
+		s.panics = 0
+		f.om.restarts.Inc()
+		f.om.tracer.Emit(obs.Event{
+			Scope: "fleet", Kind: "shard-restart", Cell: -1,
+			V1: float64(s.idx), V2: float64(shardRestartAfter),
+			Detail: "panic budget exhausted",
+		})
+	}
+}
+
+// runShard drives one shard: each wakeup advances every still-running
 // device on the shard by the requested number of steps, a batch at a
 // time. A device that errors is parked (its error is kept for Result)
-// and never blocks its neighbors — the loop always moves on.
-func (f *Fleet) shardLoop(s *shard) {
+// and never blocks its neighbors; a device that panics is quarantined
+// and the rest of the shard finishes the same tick (see shardTick).
+// Returns true to request a goroutine recycle, false on shutdown.
+func (f *Fleet) runShard(s *shard) bool {
 	for req := range s.wake {
-		start := time.Now()
-		var ran int64
-		var active int64
-		for _, d := range s.devices {
-			if d.err != nil || d.m.Done() {
-				continue
-			}
-			left := req.steps
-			for left > 0 {
-				n := f.cfg.Batch
-				if n > left {
-					n = left
-				}
-				did, err := d.m.StepBatch(n)
-				ran += int64(did)
-				left -= n
-				if err != nil {
-					d.err = err
-					break
-				}
-				if d.m.Done() {
-					break
-				}
-			}
-			if d.err == nil && !d.m.Done() {
-				active++
-			}
+		f.shardTick(s, req)
+		if s.panics >= shardRestartAfter {
+			return true
+		}
+	}
+	return false
+}
+
+// shardTick runs one shard's share of a tick barrier. The deferred
+// bookkeeping ALWAYS runs — even if stepping panics outside the
+// per-device recovery boundary — so the barrier's WaitGroup cannot
+// leak a count and deadlock Tick.
+func (f *Fleet) shardTick(s *shard, req tickReq) {
+	start := time.Now()
+	var ran, active int64
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic between devices (not inside stepDevice) has no
+			// single culprit: spend the whole budget so the supervisor
+			// recycles the goroutine.
+			s.panics = shardRestartAfter
+			f.om.panics.Inc()
+			f.om.tracer.Emit(obs.Event{
+				Scope: "fleet", Kind: "shard-panic", Cell: -1,
+				V1: float64(s.idx), Detail: fmt.Sprint(r),
+			})
 		}
 		s.hist.Observe(time.Since(start).Seconds())
 		f.steps.Add(uint64(ran))
 		f.om.steps.Add(ran)
 		req.active.Add(active)
 		req.wg.Done()
+	}()
+	for _, d := range s.devices {
+		if d.quarantined.Load() || d.err != nil || d.m.Done() {
+			continue
+		}
+		n, alive := f.stepDevice(s, d, req.steps)
+		ran += n
+		if alive {
+			active++
+		}
+	}
+}
+
+// stepDevice advances one device by up to steps firmware steps. Its
+// recover boundary is the quarantine mechanism: a panic inside the
+// device's stack (emulator, firmware, injected fault) is contained
+// here, the device is quarantined, and the caller moves to the shard's
+// next device within the same tick.
+func (f *Fleet) stepDevice(s *shard, d *device, steps int) (ran int64, alive bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.quarantine(s, d, r)
+			alive = false
+		}
+	}()
+	left := steps
+	for left > 0 {
+		n := f.cfg.Batch
+		if n > left {
+			n = left
+		}
+		did, err := d.m.StepBatch(n)
+		ran += int64(did)
+		left -= n
+		if err != nil {
+			d.err = err
+			break
+		}
+		if d.m.Done() {
+			break
+		}
+	}
+	return ran, d.err == nil && !d.m.Done()
+}
+
+// quarantine parks a device whose stepping panicked. The device never
+// steps again and its commands answer StatusQuarantined: the panic may
+// have unwound past invariants (a fast segment leaves the firmware
+// mutex held), so nothing may touch its controller again.
+func (f *Fleet) quarantine(s *shard, d *device, cause any) {
+	s.panics++
+	d.qreason = fmt.Sprint(cause)
+	d.quarantined.Store(true)
+	f.om.panics.Inc()
+	f.om.quarantined.Set(float64(f.quarCount.Add(1)))
+	f.om.tracer.Emit(obs.Event{
+		Scope: "fleet", Kind: "device-quarantine", Cell: -1,
+		V1: float64(d.id), V2: float64(s.idx), Detail: d.qreason,
+	})
+	if f.om.audit != nil {
+		f.om.audit.Add(obs.AuditRecord{
+			DisPolicy: "-", ChgPolicy: "-", Health: "quarantined",
+			Note: fmt.Sprintf("fleet: device %d quarantined on shard %d: %s", d.id, s.idx, d.qreason),
+		})
 	}
 }
 
@@ -311,12 +461,15 @@ func (f *Fleet) shardLoop(s *shard) {
 // returns how many devices are still running. The call is a barrier:
 // it returns once all shards finish. Membership is frozen for the
 // duration; protocol commands are not — they only contend on the
-// addressed device's controller.
+// addressed device's controller. After Close or during a Drain, Tick
+// is a no-op returning 0.
 func (f *Fleet) Tick(steps int) int {
 	f.tickMu.Lock()
 	defer f.tickMu.Unlock()
+	if f.closed || f.draining.Load() {
+		return 0
+	}
 	f.regMu.RLock()
-	defer f.regMu.RUnlock()
 	start := time.Now()
 	var active atomic.Int64
 	var wg sync.WaitGroup
@@ -326,10 +479,29 @@ func (f *Fleet) Tick(steps int) int {
 		s.wake <- req
 	}
 	wg.Wait()
+	f.regMu.RUnlock()
 	f.tickWallS += time.Since(start).Seconds()
 	if f.tickWallS > 0 {
 		f.om.rate.Set(float64(f.steps.Load()) / f.tickWallS)
 	}
+	if f.cfg.Checkpoint != "" && f.cfg.CheckpointEvery > 0 {
+		f.sinceCkpt++
+		if f.sinceCkpt >= f.cfg.CheckpointEvery {
+			f.sinceCkpt = 0
+			if _, err := f.writeCheckpointLocked(f.cfg.Checkpoint); err != nil {
+				// Checkpointing is best-effort from the tick path: surface
+				// the failure on the measurement plane, keep stepping.
+				f.om.ckptErrs.Inc()
+				f.om.tracer.Emit(obs.Event{
+					Scope: "fleet", Kind: "checkpoint-error", Cell: -1, Detail: err.Error(),
+				})
+			}
+		}
+	}
+	// Crash-safety testing: an armed fleet.tick kill point crashes the
+	// process here, after the barrier (and checkpoint) completed —
+	// deterministic per tick count. Unarmed it is one atomic load.
+	faults.MaybeKill("fleet.tick")
 	return int(active.Load())
 }
 
@@ -355,6 +527,11 @@ func (f *Fleet) Result(id uint16) (*emulator.Result, error) {
 	if d == nil {
 		return nil, fmt.Errorf("fleet: no device %d", id)
 	}
+	if d.quarantined.Load() {
+		// Finish would query the firmware; a quarantined device's mutex
+		// may be held forever by the goroutine frame that panicked.
+		return nil, fmt.Errorf("fleet: device %d quarantined: %s", id, d.qreason)
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -369,14 +546,34 @@ func (f *Fleet) Result(id uint16) (*emulator.Result, error) {
 	return d.res, nil
 }
 
-// Err returns the error a device parked on, if any.
+// Err returns the error a device parked on, if any. A quarantined
+// device reports its quarantine as the error.
 func (f *Fleet) Err(id uint16) error {
 	f.regMu.RLock()
 	defer f.regMu.RUnlock()
-	if d := f.devices[id]; d != nil {
-		return d.err
+	d := f.devices[id]
+	if d == nil {
+		return fmt.Errorf("fleet: no device %d", id)
 	}
-	return fmt.Errorf("fleet: no device %d", id)
+	if d.quarantined.Load() {
+		return fmt.Errorf("fleet: device %d quarantined: %s", id, d.qreason)
+	}
+	return d.err
+}
+
+// Quarantined returns the ids of currently quarantined devices, lowest
+// first.
+func (f *Fleet) Quarantined() []uint16 {
+	f.regMu.RLock()
+	var ids []uint16
+	for id, d := range f.devices {
+		if d.quarantined.Load() {
+			ids = append(ids, id)
+		}
+	}
+	f.regMu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Stat is the fleet's aggregate self-description, the payload of a
@@ -393,6 +590,10 @@ type Stat struct {
 	// an upper bound read from bucketed histograms (zero before any
 	// command).
 	CmdP99Seconds float64
+	// Quarantined counts devices currently parked by shard supervision.
+	Quarantined int
+	// Draining reports whether the fleet is running down toward close.
+	Draining bool
 }
 
 // Stat snapshots the aggregate counters.
@@ -408,7 +609,40 @@ func (f *Fleet) Stat() Stat {
 		Churn:             f.churn.Load(),
 		DeviceStepsPerSec: f.om.rate.Value(),
 		CmdP99Seconds:     p99,
+		Quarantined:       int(f.quarCount.Load()),
+		Draining:          f.draining.Load(),
 	}
+}
+
+// Drain gracefully runs the fleet down: new device commands are
+// refused with the retryable StatusDraining (FleetInfo queries still
+// answer, so clients can watch the drain), in-flight ticks finish, a
+// final checkpoint is written when a checkpoint path is configured,
+// and the shard pool closes. Blocks until done or ctx expires; the
+// checkpoint (or ctx) error is returned. Draining is one-way — after
+// Drain only Close-like operations remain. Safe to call from any
+// goroutine, including concurrently with a driver loop calling Tick:
+// the draining flag stops new ticks, so Drain's wait is bounded by one
+// in-flight barrier.
+func (f *Fleet) Drain(ctx context.Context) error {
+	f.draining.Store(true)
+	// Acquire the tick lock without holding anything, respecting ctx:
+	// at most one barrier (plus a checkpoint write) is in flight, and
+	// no new ones start once the flag is up.
+	for !f.tickMu.TryLock() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	defer f.tickMu.Unlock()
+	var err error
+	if f.cfg.Checkpoint != "" && !f.closed {
+		_, err = f.writeCheckpointLocked(f.cfg.Checkpoint)
+	}
+	f.closeLocked()
+	return err
 }
 
 // Serve runs the multiplexed command loop on one connection until the
@@ -439,20 +673,34 @@ func (f *Fleet) Serve(rw io.ReadWriter) error {
 	}
 }
 
-// dispatch routes one request frame.
+// dispatch routes one request frame. A draining fleet refuses device
+// commands with the retryable StatusDraining (fleet-level queries keep
+// answering); a quarantined device refuses with StatusQuarantined —
+// its controller must not be touched (see quarantine).
 func (f *Fleet) dispatch(req bus.Frame) bus.Frame {
 	if req.Cmd == pmic.CmdFleetInfo {
 		return f.fleetInfo(req)
+	}
+	if f.draining.Load() {
+		return statusFrame(req, pmic.StatusDraining)
 	}
 	f.regMu.RLock()
 	d := f.devices[req.Device]
 	f.regMu.RUnlock()
 	if d == nil {
-		var w bus.Writer
-		w.U8(pmic.StatusNoDevice)
-		return bus.Frame{Cmd: req.Cmd | pmic.RespFlag, Seq: req.Seq, Device: req.Device, Payload: w.Bytes()}
+		return statusFrame(req, pmic.StatusNoDevice)
+	}
+	if d.quarantined.Load() {
+		return statusFrame(req, pmic.StatusQuarantined)
 	}
 	return d.ctrl.Dispatch(req)
+}
+
+// statusFrame builds a bare status-only response to req.
+func statusFrame(req bus.Frame, status byte) bus.Frame {
+	var w bus.Writer
+	w.U8(status)
+	return bus.Frame{Cmd: req.Cmd | pmic.RespFlag, Seq: req.Seq, Device: req.Device, Payload: w.Bytes()}
 }
 
 // fleetInfo answers CmdFleetInfo: mode FleetList returns device ids
@@ -489,6 +737,32 @@ func (f *Fleet) fleetInfo(req bus.Frame) bus.Frame {
 		w.UVarint(st.Churn)
 		w.F64(st.DeviceStepsPerSec)
 		w.F64(st.CmdP99Seconds)
+		// Appended after the original fixed fields: old clients stop
+		// reading before these, new clients read them only when present,
+		// so both directions of the version skew decode cleanly.
+		w.UVarint(uint64(st.Quarantined))
+		if st.Draining {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
+	case mode == pmic.FleetSnapshot:
+		// Write a checkpoint to the server's configured path and report
+		// where it landed. The write itself waits for the tick barrier
+		// (WriteCheckpoint takes tickMu), so the snapshot is consistent.
+		if f.cfg.Checkpoint == "" {
+			w.U8(pmic.StatusBadArgs)
+			break
+		}
+		size, err := f.WriteCheckpoint(f.cfg.Checkpoint)
+		if err != nil {
+			f.om.ckptErrs.Inc()
+			w.U8(pmic.StatusInternal)
+			break
+		}
+		w.U8(pmic.StatusOK)
+		w.Str(f.cfg.Checkpoint)
+		w.UVarint(uint64(size))
 	default:
 		w.U8(pmic.StatusBadArgs)
 	}

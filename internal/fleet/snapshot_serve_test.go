@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sdb/internal/emulator"
+	"sdb/internal/fleet/snapshot"
+	"sdb/internal/obs"
+	"sdb/internal/pmic"
+)
+
+// TestCheckpointStreamRoundTrip drives the io.Writer/io.Reader pair
+// (Checkpoint/Restore) rather than the file-path convenience wrappers:
+// same byte-identity contract over any transport.
+func TestCheckpointStreamRoundTrip(t *testing.T) {
+	const durS = 300
+	f := New(Config{Shards: 2, Obs: obs.NewRegistry()})
+	ids := []uint16{1, 2, 3}
+	for _, id := range ids {
+		if err := f.Add(id, deviceConfig(t, id, durS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Tick(100)
+	var buf bytes.Buffer
+	if err := f.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	restored, err := Restore(bytes.NewReader(buf.Bytes()), Config{
+		Shards: 3, Obs: obs.NewRegistry(), Provision: provision(t, durS),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	restored.RunToCompletion(64)
+	for _, id := range ids {
+		got, err := restored.Result(id)
+		if err != nil {
+			t.Fatalf("device %d: %v", id, err)
+		}
+		want, err := emulator.Run(deviceConfig(t, id, durS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("device %d diverged after stream restore", id)
+		}
+	}
+
+	// A truncated stream is refused, not half-restored.
+	if _, err := Restore(bytes.NewReader(buf.Bytes()[:buf.Len()/2]), Config{
+		Provision: provision(t, durS), Obs: obs.NewRegistry(),
+	}); err == nil {
+		t.Fatal("Restore accepted a truncated stream")
+	}
+}
+
+// serveCheckpointFleet serves a fleet configured with a checkpoint
+// path over a pipe and returns the fleet, a client, and the path.
+func serveCheckpointFleet(t *testing.T, ckpt string, ids ...uint16) (*Fleet, *pmic.Client) {
+	t.Helper()
+	f := New(Config{Shards: 2, Obs: obs.NewRegistry(), Checkpoint: ckpt})
+	t.Cleanup(f.Close)
+	for _, id := range ids {
+		if err := f.Add(id, deviceConfig(t, id, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, cli := net.Pipe()
+	go f.Serve(srv)
+	t.Cleanup(func() { cli.Close() })
+	c := pmic.NewClient(cli)
+	c.Timeout = 5 * time.Second
+	return f, c
+}
+
+// TestServeFleetSnapshot: the FleetSnapshot protocol mode writes a
+// checkpoint to the server's configured path and reports where it
+// landed; the file is readable and carries the fleet's devices.
+func TestServeFleetSnapshot(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fleet.ckpt")
+	f, c := serveCheckpointFleet(t, ckpt, 1, 2, 3)
+	f.Tick(50)
+
+	path, size, err := c.FleetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != ckpt || size <= 0 {
+		t.Fatalf("FleetSnapshot = %q, %d", path, size)
+	}
+	snap, err := snapshot.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Devices) != 3 || snap.FleetSteps != 3*50 {
+		t.Fatalf("checkpoint carries %d devices, %d steps", len(snap.Devices), snap.FleetSteps)
+	}
+}
+
+// TestServeFleetSnapshotNoPath: a fleet serving without a configured
+// checkpoint path refuses the snapshot command as a caller error, not
+// a server fault.
+func TestServeFleetSnapshotNoPath(t *testing.T) {
+	_, c := serveFleet(t, 1, 300, 1)
+	_, _, err := c.FleetSnapshot()
+	var se *pmic.StatusError
+	if !errors.As(err, &se) || se.Status != pmic.StatusBadArgs {
+		t.Fatalf("FleetSnapshot without path = %v, want StatusBadArgs", err)
+	}
+}
+
+// TestServeFleetSnapshotWriteError: an unwritable checkpoint path is
+// surfaced as StatusInternal and counted, and the fleet keeps serving.
+func TestServeFleetSnapshotWriteError(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "no", "such", "dir", "fleet.ckpt")
+	f, c := serveCheckpointFleet(t, ckpt, 1)
+	_, _, err := c.FleetSnapshot()
+	var se *pmic.StatusError
+	if !errors.As(err, &se) || se.Status != pmic.StatusInternal {
+		t.Fatalf("FleetSnapshot to unwritable path = %v, want StatusInternal", err)
+	}
+	if got := f.cfg.Obs.Counter("sdb_fleet_checkpoint_errors_total").Value(); got != 1 {
+		t.Fatalf("checkpoint error counter = %d", got)
+	}
+	if err := c.Device(1).Ping(); err != nil {
+		t.Fatalf("fleet stopped serving after failed snapshot: %v", err)
+	}
+}
+
+// TestResultAndErrUnknownDevice: the driver-side query APIs reject ids
+// the fleet has never seen with a descriptive error.
+func TestResultAndErrUnknownDevice(t *testing.T) {
+	f := New(Config{Obs: obs.NewRegistry()})
+	defer f.Close()
+	if _, err := f.Result(42); err == nil || !strings.Contains(err.Error(), "no device 42") {
+		t.Fatalf("Result(42) = %v", err)
+	}
+	if err := f.Err(42); err == nil || !strings.Contains(err.Error(), "no device 42") {
+		t.Fatalf("Err(42) = %v", err)
+	}
+}

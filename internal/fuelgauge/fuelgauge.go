@@ -166,6 +166,45 @@ func (g *Gauge) InjectDrift(bias float64) {
 // coulombs.
 func (g *Gauge) EstimatedCapacity() float64 { return g.estCapC }
 
+// State is a gauge's complete mutable state: everything a checkpoint
+// must carry to freeze the estimator mid-run. The cell binding, OCV
+// cache, and measurement config are derived from configuration and are
+// reconstructed, not checkpointed.
+type State struct {
+	EstSoC    float64
+	EstCapC   float64
+	RestFor   float64
+	CumCharge float64
+	LastI     float64
+	LastV     float64
+	Cycles    int
+}
+
+// ExportState snapshots the gauge's mutable state.
+func (g *Gauge) ExportState() State {
+	return State{
+		EstSoC:    g.estSoC,
+		EstCapC:   g.estCapC,
+		RestFor:   g.restFor,
+		CumCharge: g.cumCharge,
+		LastI:     g.lastI,
+		LastV:     g.lastV,
+		Cycles:    g.cycles,
+	}
+}
+
+// ImportState overwrites the gauge's mutable state with a snapshot
+// taken by ExportState on an identically configured gauge.
+func (g *Gauge) ImportState(s State) {
+	g.estSoC = s.EstSoC
+	g.estCapC = s.EstCapC
+	g.restFor = s.RestFor
+	g.cumCharge = s.CumCharge
+	g.lastI = s.LastI
+	g.lastV = s.LastV
+	g.cycles = s.Cycles
+}
+
 // InvertOCV finds the state of charge at which the curve crosses the
 // given voltage, using bisection over the monotone OCV table. ok is
 // false when v lies outside the curve's range.

@@ -147,6 +147,10 @@ func (e *StatusError) Error() string {
 		what = "unknown command"
 	case StatusNoDevice:
 		what = "no such device"
+	case StatusDraining:
+		what = "fleet draining"
+	case StatusQuarantined:
+		what = "device quarantined"
 	default:
 		what = fmt.Sprintf("status %#02x", e.Status)
 	}
@@ -154,10 +158,14 @@ func (e *StatusError) Error() string {
 }
 
 // Retryable reports whether re-sending the identical request could
-// succeed. A transient controller-side failure can; a rejection of the
-// request's content (bad arguments, bad index, unknown command) cannot
-// — those fail fast however many retries are configured.
-func (e *StatusError) Retryable() bool { return e.Status == StatusInternal }
+// succeed. A transient controller-side failure can, and so can a
+// draining fleet (the drain ends in a restart or a new endpoint); a
+// rejection of the request's content (bad arguments, bad index,
+// unknown command) or of the device itself (quarantined) cannot —
+// those fail fast however many retries are configured.
+func (e *StatusError) Retryable() bool {
+	return e.Status == StatusInternal || e.Status == StatusDraining
+}
 
 func statusToError(cmd byte, status byte) error {
 	return &StatusError{Cmd: cmd, Status: status}
@@ -557,6 +565,13 @@ type FleetInfo struct {
 	// observed server-side, from bucketed histograms (an upper-bound
 	// estimate); zero until commands have been served.
 	CmdP99Seconds float64
+
+	// Quarantined counts devices parked by shard supervision, and
+	// Draining reports a fleet running down toward close. Both are
+	// zero-valued against a pre-quarantine server, whose stat response
+	// ends before these fields.
+	Quarantined int
+	Draining    bool
 }
 
 // FleetDevices lists the device ids registered on a fleet endpoint,
@@ -601,8 +616,33 @@ func (c *Client) FleetStat() (FleetInfo, error) {
 		DeviceStepsPerSec: r.F64(),
 		CmdP99Seconds:     r.F64(),
 	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		// Quarantine/drain fields, appended by crash-safe fleet servers;
+		// their absence (an older server) leaves the zero values.
+		fi.Quarantined = int(r.UVarint())
+		fi.Draining = r.U8() != 0
+	}
 	if err := r.Err(); err != nil {
 		return FleetInfo{}, fmt.Errorf("pmic: malformed fleet stat response: %w", err)
 	}
 	return fi, nil
+}
+
+// FleetSnapshot asks the fleet endpoint to write a checkpoint to its
+// configured path, returning where it landed and the encoded size. A
+// fleet without a configured checkpoint path answers StatusBadArgs; a
+// plain single-device server answers StatusBadCmd.
+func (c *Client) FleetSnapshot() (path string, size int64, err error) {
+	var w bus.Writer
+	w.U8(FleetSnapshot)
+	r, err := c.call(0, CmdFleetInfo, w.Bytes())
+	if err != nil {
+		return "", 0, err
+	}
+	path = r.Str()
+	size = int64(r.UVarint())
+	if err := r.Err(); err != nil {
+		return "", 0, fmt.Errorf("pmic: malformed fleet snapshot response: %w", err)
+	}
+	return path, size, nil
 }

@@ -29,6 +29,9 @@ func TestStatusToErrorAllCodes(t *testing.T) {
 		{StatusBadIndex, false, "bad battery index"},
 		{StatusInternal, true, "internal controller error"},
 		{StatusBadCmd, false, "unknown command"},
+		{StatusNoDevice, false, "no such device"},
+		{StatusDraining, true, "fleet draining"},
+		{StatusQuarantined, false, "device quarantined"},
 		{0x7E, false, "status 0x7e"},
 	}
 	for _, tc := range cases {
@@ -250,5 +253,79 @@ func TestClientReconnectsViaDial(t *testing.T) {
 	dis, _ := ctrl.Ratios()
 	if dis[0] != 0.7 {
 		t.Fatalf("firmware latched %v after reconnect", dis)
+	}
+}
+
+// TestClientRetriesThroughDraining: StatusDraining is a backpressure
+// signal, not a verdict — a retrying client must back off and re-send,
+// succeeding once the (re-dialed or failed-over) endpoint admits
+// commands again. The stub endpoint answers the first two attempts
+// with StatusDraining, then serves normally.
+func TestClientRetriesThroughDraining(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		drains := 2
+		for {
+			req, err := bus.ReadFrame(a)
+			if err != nil {
+				return
+			}
+			status := byte(StatusOK)
+			if drains > 0 {
+				drains--
+				status = StatusDraining
+			}
+			wire, err := bus.Encode(bus.Frame{
+				Cmd: req.Cmd | RespFlag, Seq: req.Seq, Device: req.Device,
+				Payload: []byte{status},
+			})
+			if err != nil {
+				return
+			}
+			if _, err := a.Write(wire); err != nil {
+				return
+			}
+		}
+	}()
+
+	cl := NewClient(b)
+	cl.Timeout = time.Second
+	cl.Retries = 3
+	cl.Backoff = time.Millisecond
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("retrying client failed across a draining window: %v", err)
+	}
+
+	// Control: against an endpoint that never stops draining, the
+	// status surfaces as a retryable StatusError.
+	c, d := net.Pipe()
+	defer c.Close()
+	defer d.Close()
+	go func() {
+		for {
+			req, err := bus.ReadFrame(c)
+			if err != nil {
+				return
+			}
+			wire, _ := bus.Encode(bus.Frame{
+				Cmd: req.Cmd | RespFlag, Seq: req.Seq, Device: req.Device,
+				Payload: []byte{StatusDraining},
+			})
+			if _, err := c.Write(wire); err != nil {
+				return
+			}
+		}
+	}()
+	cl2 := NewClient(d)
+	cl2.Timeout = time.Second
+	err := cl2.Ping()
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusDraining {
+		t.Fatalf("no-retry ping against draining endpoint: %v, want StatusDraining", err)
+	}
+	if !se.Retryable() {
+		t.Fatal("StatusDraining must be retryable")
 	}
 }

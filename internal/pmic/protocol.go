@@ -54,6 +54,10 @@ const (
 const (
 	FleetList = 0x00
 	FleetStat = 0x01
+	// FleetSnapshot asks the fleet to write a checkpoint to its
+	// configured path; the response reports the path and encoded size.
+	// A fleet with no checkpoint path answers StatusBadArgs.
+	FleetSnapshot = 0x02
 )
 
 // Protocol status codes (first payload byte of every response).
@@ -66,6 +70,15 @@ const (
 	// StatusNoDevice is a fleet endpoint's answer to a frame addressing
 	// a device id with no registered device behind it.
 	StatusNoDevice = 0x05
+	// StatusDraining is a draining fleet's answer to device commands:
+	// the endpoint is running down toward a clean close. Retryable —
+	// the client may be talking to a rolling restart, and the replacing
+	// endpoint will answer.
+	StatusDraining = 0x06
+	// StatusQuarantined marks a device parked by fleet supervision
+	// after a panic: its state is suspect and commands are refused
+	// until an operator intervenes. Not retryable.
+	StatusQuarantined = 0x07
 )
 
 // statusErr converts a controller error into a protocol status code.
