@@ -18,7 +18,16 @@
 # generous enough to absorb shared-runner noise, tight enough to catch
 # an accidental hot-loop allocation or O(n^2) slip. The recorder smoke
 # lane runs the record -> series file -> export pipeline end to end
-# through the real CLIs.
+# through the real CLIs, then migrates the legacy file into the paged
+# store and asserts the two export paths agree byte for byte.
+#
+# Store lane: the paged on-disk telemetry store (internal/obs/ts/store)
+# is gated by its differential chaos day (ring vs store vs migrated
+# store, bit-exact), the corruption battery, and the torn-append crash
+# test (an armed SDB_KILLPOINT re-execs the test binary and kills it
+# mid page-commit; recovery must drop exactly the torn tail) — all
+# under the race detector — plus a short live fuzz burst on top of the
+# committed seed corpus.
 #
 # Fleet lanes: the 1000-device byte-identity soak and the fleet serve/
 # protocol tests run in both plain and -race passes via the blanket
@@ -64,6 +73,12 @@ go test -run 'TestBatchStepNoAllocs' -v ./internal/battery/batch/
 go test -run 'TestCrashRestoreByteIdentical' -v ./internal/fleet/
 go test -race -run 'TestQuarantine|TestShardRestart|TestDrain|TestCloseIdempotent' -v ./internal/fleet/
 
+# Store lane: differential chaos day, corruption battery, and the
+# SDB_KILLPOINT torn-append crash test under -race; then a short live
+# fuzz burst (the seed corpus already ran in the blanket test passes).
+go test -race -run 'TestDifferentialChaosDay|TestCrashRecovery|TestRejects|TestFleetRecording' -v ./internal/obs/ts/store/ ./internal/fleet/
+go test -fuzz 'FuzzStore' -fuzztime 5s -run '^$' ./internal/obs/ts/store/
+
 # Fleet bench smoke: a scaled-down run of the 10k-device figure, once
 # per stepping backend.
 go run ./cmd/sdbbench -fleet 200 -fleetshards 4
@@ -107,4 +122,13 @@ rm -f bench.lane.json
 go run ./cmd/sdbsim -load 2 -hours 1 -record smoke.lane.sdbts > /dev/null
 go run ./cmd/sdbtrace export -in smoke.lane.sdbts -series sdb_pmic_steps_total | grep -q 'sdb_pmic_steps_total,counter,'
 go run ./cmd/sdbtrace export -in smoke.lane.sdbts -format json | grep -q '"sdb_pmic_steps_total"'
-rm -f smoke.lane.sdbts
+
+# Store smoke: migrate the legacy series file into a paged store; the
+# export CLI reads both formats and must produce identical bytes. Then
+# a windowed downsample query through the real CLI.
+go run ./cmd/sdbtrace migrate -in smoke.lane.sdbts -out smoke.lane.sdbstor > /dev/null
+go run ./cmd/sdbtrace export -in smoke.lane.sdbts > smoke.a.csv
+go run ./cmd/sdbtrace export -in smoke.lane.sdbstor > smoke.b.csv
+cmp smoke.a.csv smoke.b.csv
+go run ./cmd/sdbtrace query -in smoke.lane.sdbstor -series sdb_pmic_cell0_soc -down 600 | grep -q '^sdb_pmic_cell0_soc,'
+rm -f smoke.lane.sdbts smoke.lane.sdbstor smoke.a.csv smoke.b.csv

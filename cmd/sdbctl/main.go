@@ -81,6 +81,7 @@ import (
 	"sdb/internal/fleet/snapshot"
 	"sdb/internal/obs"
 	"sdb/internal/obs/ts"
+	"sdb/internal/obs/ts/store"
 	"sdb/internal/pmic"
 	"sdb/internal/workload"
 )
@@ -614,11 +615,13 @@ func serve(argv []string) {
 	durS := fs.Float64("dur", 86400, "fleet: per-device trace length in simulated seconds")
 	ckpt := fs.String("checkpoint", "", "fleet: durable checkpoint path (written every -every ticks, restored at startup when present)")
 	every := fs.Int("every", 10, "fleet: ticks between automatic checkpoints")
+	storePath := fs.String("store", "", "fleet: record per-device telemetry into this paged store (.sdbstor), created or appended")
+	recEvery := fs.Int("record-every", 1, "fleet: ticks between telemetry recordings (with -store)")
 	if err := fs.Parse(argv); err != nil {
 		os.Exit(2)
 	}
 	if *fleetN > 0 {
-		serveFleet(*addr, *fleetN, *shards, *batch, *loadW, *speed, *durS, *ckpt, *every)
+		serveFleet(*addr, *fleetN, *shards, *batch, *loadW, *speed, *durS, *ckpt, *every, *storePath, *recEvery)
 		return
 	}
 
@@ -698,11 +701,24 @@ func serve(argv []string) {
 // as the fleet's Provision hook), and drains gracefully on
 // SIGINT/SIGTERM: in-flight tick finished, final checkpoint written,
 // then exit.
-func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64, ckpt string, every int) {
+//
+// With storePath set every device's SoC and step count stream into a
+// paged telemetry store at each tick barrier (thinned by recEvery),
+// synced to disk every few ticks and closed cleanly on drain; query it
+// live or after the fact with `sdbtrace query -in <store>`.
+func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64, ckpt string, every int, storePath string, recEvery int) {
 	if n > 0xFFFF {
 		fatalf("-fleet %d exceeds the 16-bit device id space", n)
 	}
 	obs.SetDefault(obs.NewRegistry())
+	var tstore *store.Store
+	if storePath != "" {
+		st, err := store.OpenOrCreate(storePath, store.Options{})
+		if err != nil {
+			fatalf("store: %v", err)
+		}
+		tstore = st
+	}
 	rec := sdb.NewRecorder(obs.Default(), sdb.RecorderConfig{StepS: speed})
 	provision := func(id uint16) (emulator.Config, error) {
 		soc := 0.4 + 0.6*float64(id%50)/50
@@ -729,6 +745,7 @@ func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64, c
 	fcfg := fleet.Config{
 		Shards: shards, Batch: batch, Obs: obs.Default(),
 		Checkpoint: ckpt, CheckpointEvery: every, Provision: provision,
+		Record: tstore, RecordEvery: recEvery,
 	}
 	var f *fleet.Fleet
 	if ckpt != "" {
@@ -782,6 +799,16 @@ func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64, c
 		if ckpt != "" {
 			fmt.Fprintf(os.Stderr, "sdbctl: drained; final checkpoint at %s\n", ckpt)
 		}
+		if tstore != nil {
+			if err := f.RecordErr(); err != nil {
+				fmt.Fprintf(os.Stderr, "sdbctl: recording: %v\n", err)
+			}
+			if err := tstore.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "sdbctl: store: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "sdbctl: telemetry stored at %s\n", storePath)
+		}
 		os.Exit(0)
 	}()
 
@@ -789,13 +816,27 @@ func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64, c
 		tick := time.NewTicker(time.Second)
 		defer tick.Stop()
 		var simT float64
+		ticks := 0
 		for range tick.C {
 			rec.Sample(simT)
 			if f.Tick(int(speed)) == 0 {
 				fmt.Fprintln(os.Stderr, "sdbctl: fleet traces drained; serving final state")
+				if tstore != nil {
+					if err := tstore.Sync(); err != nil {
+						fmt.Fprintf(os.Stderr, "sdbctl: store sync: %v\n", err)
+					}
+				}
 				return
 			}
 			simT += speed
+			ticks++
+			// Telemetry durability rides the checkpoint cadence: recorded
+			// pages are committed in batches, not per tick.
+			if tstore != nil && ticks%10 == 0 {
+				if err := tstore.Sync(); err != nil {
+					fmt.Fprintf(os.Stderr, "sdbctl: store sync: %v\n", err)
+				}
+			}
 		}
 	}()
 	for {

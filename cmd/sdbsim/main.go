@@ -8,6 +8,7 @@
 //	sdbsim -cells Watch-200,BendStrap-200 -policy reserve -reserve 0 -trace day.csv
 //	sdbsim -load 3 -hours 2 -metrics - -tracelog -
 //	sdbsim -load 3 -hours 24 -record day.sdbts -rules alerts.txt
+//	sdbsim -load 3 -hours 24 -store day.sdbstor
 //	sdbsim -list-cells
 //
 // Policies: blended (default), rbl, ccb, reserve, proportional.
@@ -22,8 +23,11 @@
 // and writes the versioned binary series file at exit (readable with
 // `sdbtrace export`). -rules loads alert rules (one per line, see
 // internal/obs/ts) evaluated after every sample; transitions land in
-// the trace/audit logs and a per-rule summary prints at exit. Either
-// flag implies the observability plane.
+// the trace/audit logs and a per-rule summary prints at exit. -store
+// streams every sample into a paged telemetry store as the run
+// progresses (time-windowed reads with `sdbtrace query`); unlike
+// -record it appends to an existing file and survives a crash
+// mid-run. Any of these flags implies the observability plane.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"sdb/internal/obs"
 	"sdb/internal/obs/ts"
 	"sdb/internal/obs/ts/seriesfile"
+	"sdb/internal/obs/ts/store"
 	"sdb/internal/workload"
 )
 
@@ -56,6 +61,7 @@ func main() {
 		metricsOut = flag.String("metrics", "", `write run metrics (text exposition) to this file at exit ("-" = stdout)`)
 		traceOut   = flag.String("tracelog", "", `write trace events and policy-audit records to this file at exit ("-" = stdout)`)
 		recordOut  = flag.String("record", "", "record registry time series and write this binary series file at exit")
+		storeOut   = flag.String("store", "", "record registry time series into this paged store (.sdbstor), created or appended")
 		rulesPath  = flag.String("rules", "", "alert-rule file evaluated on every recorder sample")
 		recordStep = flag.Float64("record-step", ts.DefaultStepS, "recording cadence in simulated seconds")
 	)
@@ -64,7 +70,7 @@ func main() {
 	// Observability is opt-in: installing the process registry is what
 	// turns instrumentation on for every layer built below. Recording
 	// and alerting need the registry too.
-	if *metricsOut != "" || *traceOut != "" || *recordOut != "" || *rulesPath != "" {
+	if *metricsOut != "" || *traceOut != "" || *recordOut != "" || *rulesPath != "" || *storeOut != "" {
 		obs.SetDefault(obs.NewRegistry())
 	}
 
@@ -110,7 +116,8 @@ func main() {
 	}
 
 	var rec *ts.Recorder
-	if *recordOut != "" || *rulesPath != "" {
+	var tstore *store.Store
+	if *recordOut != "" || *rulesPath != "" || *storeOut != "" {
 		var rules []ts.Rule
 		if *rulesPath != "" {
 			src, err := os.ReadFile(*rulesPath)
@@ -122,7 +129,16 @@ func main() {
 				fatalf("rules %s: %v", *rulesPath, err)
 			}
 		}
-		rec = ts.NewRecorder(obs.Default(), ts.Config{StepS: *recordStep, Rules: rules})
+		var sink ts.Sink
+		if *storeOut != "" {
+			st, err := store.OpenOrCreate(*storeOut, store.Options{})
+			if err != nil {
+				fatalf("store: %v", err)
+			}
+			tstore = st
+			sink = st
+		}
+		rec = ts.NewRecorder(obs.Default(), ts.Config{StepS: *recordStep, Rules: rules, Sink: sink})
 		sys.Recorder = rec
 	}
 
@@ -185,6 +201,16 @@ func main() {
 			}
 			fmt.Printf("\nrecorded %d series (%.0f s cadence) to %s\n",
 				len(windows), rec.StepS(), *recordOut)
+		}
+		if tstore != nil {
+			if err := rec.SinkErr(); err != nil {
+				fatalf("store: %v", err)
+			}
+			if err := tstore.Close(); err != nil {
+				fatalf("store: %v", err)
+			}
+			fmt.Printf("stored %d series to %s (query with `sdbtrace query -in %s`)\n",
+				len(rec.Windows()), *storeOut, *storeOut)
 		}
 		for _, st := range rec.AlertStates() {
 			fmt.Printf("alert %-20s %-8s fired %d time(s), last value %g\n",

@@ -1,5 +1,5 @@
-// Command sdbtrace generates and inspects workload traces in the
-// repository's CSV exchange format.
+// Command sdbtrace generates and inspects workload traces and
+// recorded telemetry.
 //
 // Usage:
 //
@@ -10,31 +10,40 @@
 //	sdbtrace gen -kind charge -supply 30 -watts 2 -hours 1.5 -out plug.csv
 //	sdbtrace info day.csv
 //	sdbtrace export -in day.sdbts                       # CSV to stdout
-//	sdbtrace export -in day.sdbts -format json -out day.json
+//	sdbtrace export -in day.sdbstor -format json -out day.json
 //	sdbtrace export -in day.sdbts -series sdb_pmic_steps_total
+//	sdbtrace query -in day.sdbstor                      # list stored series
+//	sdbtrace query -in day.sdbstor -series sdb_pack_soc -from 3600 -to 7200
+//	sdbtrace query -in day.sdbstor -series sdb_pack_soc -down 600
+//	sdbtrace migrate -in day.sdbts -out day.sdbstor
 //
-// export converts a recorded binary series file (`sdbsim -record`)
-// into CSV (long format: series,time_s,value) or JSON for external
-// tooling.
+// export converts recorded telemetry — a legacy series file (`sdbsim
+// -record`) or a paged store (`-store`) — into CSV (long format:
+// series,kind,time_s,value) or JSON for external tooling. It streams
+// record-at-a-time, so exporting a file never needs memory
+// proportional to its size. query answers time-windowed (optionally
+// downsampled) reads against a store without scanning it. migrate
+// imports a legacy series file into a paged store.
 package main
 
 import (
-	"encoding/csv"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 
 	"sdb/internal/obs/ts"
+	"sdb/internal/obs/ts/export"
 	"sdb/internal/obs/ts/seriesfile"
+	"sdb/internal/obs/ts/store"
 	"sdb/internal/workload"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fatalf("missing subcommand: gen|info|export")
+		fatalf("missing subcommand: gen|info|export|query|migrate")
 	}
 	switch os.Args[1] {
 	case "gen":
@@ -45,7 +54,11 @@ func main() {
 		}
 		info(os.Args[2])
 	case "export":
-		export(os.Args[2:])
+		exportCmd(os.Args[2:])
+	case "query":
+		query(os.Args[2:])
+	case "migrate":
+		migrate(os.Args[2:])
 	default:
 		fatalf("unknown subcommand %q", os.Args[1])
 	}
@@ -145,11 +158,33 @@ func info(path string) {
 	}
 }
 
-// export converts a recorded series file to CSV or JSON.
-func export(argv []string) {
+// openSource sniffs the input's magic and returns a streaming walker
+// for it: a paged store or a legacy series file. The returned closer
+// is non-nil for stores.
+func openSource(path string) (export.Walker, io.Closer) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var magic [len(store.Magic)]byte
+	n, _ := io.ReadFull(f, magic[:])
+	f.Close()
+	if n >= len(store.Magic) && string(magic[:]) == store.Magic {
+		st, err := store.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return st, st
+	}
+	return seriesfile.Walker(path), nil
+}
+
+// exportCmd converts a recorded series file or store to CSV or JSON,
+// streaming record-at-a-time.
+func exportCmd(argv []string) {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	var (
-		in     = fs.String("in", "", "input series file (from sdbsim -record)")
+		in     = fs.String("in", "", "input telemetry (.sdbts series file or .sdbstor store)")
 		format = fs.String("format", "csv", "output format: csv|json")
 		series = fs.String("series", "", "export only this series (default: all)")
 		out    = fs.String("out", "", "output file (default stdout)")
@@ -158,23 +193,14 @@ func export(argv []string) {
 		os.Exit(2)
 	}
 	if *in == "" {
-		fatalf("export needs -in <file.sdbts>")
+		fatalf("export needs -in <file.sdbts|file.sdbstor>")
 	}
-	windows, err := seriesfile.ReadFile(*in)
-	if err != nil {
-		fatalf("%v", err)
+	src, closer := openSource(*in)
+	if closer != nil {
+		defer closer.Close()
 	}
 	if *series != "" {
-		kept := windows[:0]
-		for _, w := range windows {
-			if w.Name == *series {
-				kept = append(kept, w)
-			}
-		}
-		if len(kept) == 0 {
-			fatalf("no series named %q in %s", *series, *in)
-		}
-		windows = kept
+		src = export.Filter(src, *series)
 	}
 
 	var w io.Writer = os.Stdout
@@ -186,81 +212,130 @@ func export(argv []string) {
 		defer f.Close()
 		w = f
 	}
+	var st export.Stats
+	var err error
 	switch *format {
 	case "csv":
-		err = exportCSV(w, windows)
+		st, err = export.CSV(w, src)
 	case "json":
-		err = exportJSON(w, windows)
+		st, err = export.JSON(w, src)
 	default:
 		fatalf("unknown format %q (want csv or json)", *format)
 	}
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *series != "" && st.Series == 0 {
+		fatalf("no series named %q in %s", *series, *in)
+	}
 	if *out != "" {
-		var samples int
-		for _, win := range windows {
-			samples += len(win.Values)
-		}
-		fmt.Printf("wrote %s: %d series, %d samples\n", *out, len(windows), samples)
+		fmt.Printf("wrote %s: %d series, %d samples\n", *out, st.Series, st.Rows)
 	}
 }
 
-// exportCSV writes the long format: one row per retained sample.
-func exportCSV(w io.Writer, windows []ts.Window) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"series", "kind", "time_s", "value"}); err != nil {
-		return err
+// query answers time-windowed reads against a paged store: with no
+// -series it lists what is stored; with -series it prints the raw
+// samples in [from, to] (CSV long format), or per-bucket aggregates
+// when -down is given.
+func query(argv []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var (
+		in     = fs.String("in", "", "input store (.sdbstor)")
+		series = fs.String("series", "", "series to query (default: list all)")
+		from   = fs.Float64("from", math.Inf(-1), "window start, sim seconds")
+		to     = fs.Float64("to", math.Inf(1), "window end, sim seconds")
+		down   = fs.Float64("down", 0, "downsample into buckets of this width (seconds)")
+		out    = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		os.Exit(2)
 	}
-	for _, win := range windows {
-		for i, v := range win.Values {
-			t := win.FirstT + float64(i)*win.StepS
-			err := cw.Write([]string{
-				win.Name,
-				win.Kind.String(),
-				strconv.FormatFloat(t, 'g', -1, 64),
-				strconv.FormatFloat(v, 'g', -1, 64),
-			})
-			if err != nil {
-				return err
-			}
+	if *in == "" {
+		fatalf("query needs -in <file.sdbstor>")
+	}
+	st, err := store.Open(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer st.Close()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
 		}
+		defer f.Close()
+		w = f
 	}
-	cw.Flush()
-	return cw.Error()
+
+	if *series == "" {
+		infos := st.Series()
+		fmt.Fprintf(w, "%-40s %-8s %8s %10s %10s %12s %12s\n",
+			"series", "kind", "step_s", "samples", "buckets", "first_t", "last_t")
+		for _, si := range infos {
+			fmt.Fprintf(w, "%-40s %-8s %8g %10d %10d %12g %12g\n",
+				si.Name, si.Kind, si.StepS, si.Samples, si.Buckets, si.FirstT, si.LastT)
+		}
+		s := st.Stats()
+		fmt.Fprintf(w, "%d series, %d pages, generation %d\n", len(infos), s.Pages, s.Generation)
+		return
+	}
+
+	if *down > 0 {
+		buckets, err := st.QueryDown(*series, *from, *to, *down)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintln(w, "series,bucket_t0,count,min,max,mean")
+		for _, b := range buckets {
+			fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s\n", *series,
+				gfloat(b.T0), b.Count, gfloat(b.Min), gfloat(b.Max), gfloat(b.Mean()))
+		}
+		return
+	}
+
+	win, err := st.Query(*series, *from, *to)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if _, err := export.CSV(w, export.Windows([]ts.Window{win})); err != nil {
+		fatalf("%v", err)
+	}
 }
 
-// exportedSeries is one series in the JSON export.
-type exportedSeries struct {
-	Name   string  `json:"name"`
-	Kind   string  `json:"kind"`
-	StepS  float64 `json:"step_s"`
-	FirstT float64 `json:"first_t"`
-	// Total counts every sample ever recorded; len(values) may be
-	// smaller when the retention ring dropped old samples.
-	Total  uint64    `json:"total"`
-	Values []float64 `json:"values"`
-}
+func gfloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-func exportJSON(w io.Writer, windows []ts.Window) error {
-	out := make([]exportedSeries, 0, len(windows))
-	for _, win := range windows {
-		vals := win.Values
-		if vals == nil {
-			vals = []float64{}
-		}
-		out = append(out, exportedSeries{
-			Name:   win.Name,
-			Kind:   win.Kind.String(),
-			StepS:  win.StepS,
-			FirstT: win.FirstT,
-			Total:  win.Total,
-			Values: vals,
-		})
+// migrate imports a legacy series file into a paged store.
+func migrate(argv []string) {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	var (
+		in  = fs.String("in", "", "input series file (.sdbts)")
+		out = fs.String("out", "", "output store (.sdbstor, created or appended)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		os.Exit(2)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	if *in == "" || *out == "" {
+		fatalf("migrate needs -in <file.sdbts> -out <file.sdbstor>")
+	}
+	st, err := store.OpenOrCreate(*out, store.Options{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := st.MigrateSeriesFile(*in); err != nil {
+		st.Close()
+		fatalf("%v", err)
+	}
+	infos := st.Series()
+	var samples uint64
+	for _, si := range infos {
+		samples += si.Samples
+	}
+	if err := st.Close(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("migrated %s into %s: %d series, %d raw samples\n", *in, *out, len(infos), samples)
 }
 
 func fatalf(format string, args ...interface{}) {

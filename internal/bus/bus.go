@@ -189,7 +189,15 @@ var crc16Table = func() (t [256]uint16) {
 
 // CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
 func CRC16(data []byte) uint16 {
-	crc := uint16(0xFFFF)
+	return CRC16Update(0xFFFF, data)
+}
+
+// CRC16Update folds more data into a running CRC-16/CCITT-FALSE.
+// Start from 0xFFFF (or use CRC16 for one-shot input); chaining
+// Update calls over chunks equals one CRC16 over their concatenation,
+// which is what lets streaming readers checksum a file they never
+// hold in memory.
+func CRC16Update(crc uint16, data []byte) uint16 {
 	for _, b := range data {
 		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
 	}

@@ -216,6 +216,10 @@ func (m *Machine) Done() bool { return m.done }
 // StepsRun returns how many firmware steps have executed so far.
 func (m *Machine) StepsRun() int { return m.res.Steps }
 
+// ElapsedS returns the simulated time covered so far: the end of the
+// last executed step, 0 before the first.
+func (m *Machine) ElapsedS() float64 { return m.res.ElapsedS }
+
 // Step executes one firmware enforcement step (one trace sample),
 // including any policy tick or fault scheduled at its boundary.
 // It returns false once the run is complete.

@@ -33,6 +33,8 @@ import (
 	"sdb/internal/emulator"
 	"sdb/internal/faults"
 	"sdb/internal/obs"
+	"sdb/internal/obs/ts"
+	"sdb/internal/obs/ts/store"
 	"sdb/internal/pmic"
 )
 
@@ -73,6 +75,16 @@ type Config struct {
 	// fault schedule — because a snapshot carries only mutable state.
 	// Required by Restore, unused otherwise.
 	Provision func(id uint16) (emulator.Config, error)
+	// Record, when non-nil, streams per-device telemetry into the paged
+	// store from the tick barrier (devices idle, membership frozen):
+	// series sdb_fleet_dev<id>_soc (gauge, SoC averaged over the pack)
+	// and sdb_fleet_dev<id>_steps (fcounter, firmware steps run). The
+	// store is borrowed — the caller syncs and closes it. Recording is
+	// best-effort: the first store error is kept (RecordErr), reported
+	// on the trace plane, and disables further recording.
+	Record *store.Store
+	// RecordEvery records every N ticks. Zero means every tick.
+	RecordEvery int
 }
 
 // Fleet is a registry of emulated devices plus the shard pool that
@@ -96,6 +108,8 @@ type Fleet struct {
 	churn     atomic.Uint64
 	tickWallS float64 // driver-goroutine only
 	sinceCkpt int     // ticks since the last auto-checkpoint; driver-goroutine only
+	sinceRec  int     // ticks since the last telemetry recording; driver-goroutine only
+	recErr    error   // first recording failure; guarded by tickMu
 
 	// draining refuses new device commands (StatusDraining) and new
 	// ticks while Drain runs down the fleet.
@@ -125,6 +139,18 @@ type device struct {
 	// Load(true), so the flag orders it.
 	quarantined atomic.Bool
 	qreason     string
+
+	// Telemetry recording state, touched only from the tick barrier.
+	// The per-device cadence (recStep) is fixed by the gap between the
+	// first two recordings, so the first sample is parked in rec0*
+	// until the second arrives and both land on a known grid.
+	recSoC, recSteps string // store series names, built lazily
+	recStep          float64
+	lastRecT         float64
+	rec0T            float64
+	rec0SoC          float64
+	rec0Steps        float64
+	recPending       bool
 }
 
 type shard struct {
@@ -479,6 +505,17 @@ func (f *Fleet) Tick(steps int) int {
 		s.wake <- req
 	}
 	wg.Wait()
+	if f.cfg.Record != nil && f.recErr == nil {
+		f.sinceRec++
+		every := f.cfg.RecordEvery
+		if every <= 0 {
+			every = 1
+		}
+		if f.sinceRec >= every {
+			f.sinceRec = 0
+			f.recordLocked()
+		}
+	}
 	f.regMu.RUnlock()
 	f.tickWallS += time.Since(start).Seconds()
 	if f.tickWallS > 0 {
@@ -503,6 +540,100 @@ func (f *Fleet) Tick(steps int) int {
 	// deterministic per tick count. Unarmed it is one atomic load.
 	faults.MaybeKill("fleet.tick")
 	return int(active.Load())
+}
+
+// recordLocked streams one telemetry sample per live device into the
+// configured store. Called from the tick barrier with regMu held
+// shared and every shard idle, so device state is stable and the
+// controller mutex is uncontended. A device's recording grid is the
+// sim-time gap between its first two barrier samples; its first sample
+// is parked until the second fixes the grid, and a device whose clock
+// stopped advancing (trace drained, stepping error) is skipped.
+func (f *Fleet) recordLocked() {
+	for _, d := range f.devices {
+		if d.quarantined.Load() || d.err != nil {
+			continue
+		}
+		t := d.m.ElapsedS()
+		if t <= d.lastRecT || t <= 0 {
+			continue
+		}
+		soc, err := meanSoC(d.ctrl)
+		if err != nil {
+			f.recordFail(d.id, err)
+			return
+		}
+		steps := float64(d.m.StepsRun())
+		if d.recStep == 0 {
+			if !d.recPending {
+				d.recPending = true
+				d.rec0T, d.rec0SoC, d.rec0Steps = t, soc, steps
+				d.lastRecT = t
+				continue
+			}
+			d.recStep = t - d.rec0T
+			d.recSoC = fmt.Sprintf("sdb_fleet_dev%d_soc", d.id)
+			d.recSteps = fmt.Sprintf("sdb_fleet_dev%d_steps", d.id)
+			d.recPending = false
+			if err := f.recordAppend(d, d.rec0T, d.rec0SoC, d.rec0Steps); err != nil {
+				return
+			}
+		}
+		if err := f.recordAppend(d, t, soc, steps); err != nil {
+			return
+		}
+		d.lastRecT = t
+	}
+}
+
+// recordAppend writes one (soc, steps) pair for a device, routing
+// failures through recordFail. Returns the error so the caller stops
+// the sweep.
+func (f *Fleet) recordAppend(d *device, t, soc, steps float64) error {
+	st := f.cfg.Record
+	if err := st.Append(d.recSoC, ts.KindGauge, d.recStep, t, soc); err != nil {
+		f.recordFail(d.id, err)
+		return err
+	}
+	if err := st.Append(d.recSteps, ts.KindFCounter, d.recStep, t, steps); err != nil {
+		f.recordFail(d.id, err)
+		return err
+	}
+	return nil
+}
+
+// recordFail latches the first recording error and surfaces it on the
+// trace plane; recording stays off for the rest of the fleet's life.
+func (f *Fleet) recordFail(id uint16, err error) {
+	f.recErr = fmt.Errorf("fleet: recording device %d: %w", id, err)
+	f.om.tracer.Emit(obs.Event{
+		Scope: "fleet", Kind: "record-error", Cell: int(id), Detail: err.Error(),
+	})
+}
+
+// RecordErr returns the first telemetry-recording failure, or nil.
+// Call from the driver goroutine or after ticking stops.
+func (f *Fleet) RecordErr() error {
+	f.tickMu.Lock()
+	defer f.tickMu.Unlock()
+	return f.recErr
+}
+
+// meanSoC averages state of charge across a device's pack through the
+// firmware's own status query.
+func meanSoC(ctrl *pmic.Controller) (float64, error) {
+	sts, err := ctrl.QueryBatteryStatus()
+	if err != nil {
+		return 0, err
+	}
+	if len(sts) == 0 {
+		return 0, errors.New("empty battery status")
+	}
+	var sum float64
+	for _, s := range sts {
+		sum += s.SoC
+	}
+	return sum / float64(len(sts)), nil
 }
 
 // RunToCompletion ticks until every device has consumed its trace (or

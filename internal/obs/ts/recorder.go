@@ -32,6 +32,18 @@ type Config struct {
 	// Rules, when non-empty, attaches an alert evaluator that runs
 	// after every sample. Parse them with ParseRules.
 	Rules []Rule
+	// Sink, when non-nil, receives a copy of every appended sample —
+	// typically an on-disk store, turning the bounded ring into
+	// unbounded durable history. See SetSink.
+	Sink Sink
+}
+
+// Sink receives every sample a Recorder appends, in time order per
+// series. The on-disk telemetry store (obs/ts/store) implements it;
+// anything else matching the shape (network shippers, test doubles)
+// plugs in the same way. A Sink must not call back into the Recorder.
+type Sink interface {
+	Append(name string, kind Kind, stepS, t, v float64) error
 }
 
 // column maps one registry metric to its series. Exactly one of the
@@ -86,6 +98,9 @@ type Recorder struct {
 	nextT   float64
 	lastT   float64
 
+	sink    Sink
+	sinkErr error
+
 	eval *Evaluator
 }
 
@@ -109,7 +124,44 @@ func NewRecorder(reg *obs.Registry, cfg Config) *Recorder {
 	if len(cfg.Rules) > 0 {
 		r.eval = newEvaluator(cfg.Rules, reg)
 	}
+	r.sink = cfg.Sink
 	return r
+}
+
+// SetSink attaches (or, with nil, detaches) a durable sink. Samples
+// recorded before the attach are not replayed — pair SetSink with an
+// ImportWindows of Windows() when history matters. Nil-safe.
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// SinkErr returns the first error the sink reported, if any. Recording
+// into the ring continues past sink errors — losing durable history
+// must not take down live observability — so callers check this at
+// shutdown (or on a cadence) to learn the store fell behind. Nil-safe.
+func (r *Recorder) SinkErr() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
+// push appends one sample to a series' ring and mirrors it to the
+// sink. The nil-sink path stays allocation-free.
+func (r *Recorder) push(s *Series, t, v float64) {
+	s.append(v)
+	if r.sink != nil {
+		if err := r.sink.Append(s.name, s.kind, s.stepS, t, v); err != nil && r.sinkErr == nil {
+			r.sinkErr = err
+		}
+	}
 }
 
 // StepS returns the sample cadence in sim seconds.
@@ -134,7 +186,7 @@ func (r *Recorder) Sample(t float64) {
 	}
 	for t >= r.nextT-1e-9 {
 		r.syncLocked(r.nextT)
-		r.scrapeLocked()
+		r.scrapeLocked(r.nextT)
 		r.lastT = r.nextT
 		r.nextT += r.stepS
 		r.eval.evalLocked(r, r.lastT)
@@ -215,23 +267,24 @@ func bucketLabel(bounds []float64, i int) string {
 	return `le="` + strconv.FormatFloat(bounds[i], 'g', -1, 64) + `"`
 }
 
-// scrapeLocked appends one sample to every series. Alloc-free.
-func (r *Recorder) scrapeLocked() {
+// scrapeLocked appends one sample (at grid time t) to every series.
+// Alloc-free while no sink is attached.
+func (r *Recorder) scrapeLocked(t float64) {
 	for i := range r.cols {
 		c := &r.cols[i]
 		switch {
 		case c.counter != nil:
-			c.s.append(float64(c.counter.Value()))
+			r.push(c.s, t, float64(c.counter.Value()))
 		case c.fcounter != nil:
-			c.s.append(c.fcounter.Value())
+			r.push(c.s, t, c.fcounter.Value())
 		case c.gauge != nil:
-			c.s.append(c.gauge.Value())
+			r.push(c.s, t, c.gauge.Value())
 		case c.hist != nil:
 			for b, bs := range c.hg.buckets {
-				bs.append(c.hist.CumAt(b))
+				r.push(bs, t, c.hist.CumAt(b))
 			}
-			c.hg.sum.append(c.hist.Sum())
-			c.hg.count.append(float64(c.hist.Count()))
+			r.push(c.hg.sum, t, c.hist.Sum())
+			r.push(c.hg.count, t, float64(c.hist.Count()))
 		}
 	}
 }
@@ -266,11 +319,11 @@ func (r *Recorder) observeOnceLocked(t float64, fams []obs.Family) {
 			if len(f.Samples) == 1 {
 				// Int and float counters are indistinguishable in the text
 				// format; record both as float counters.
-				r.seriesLocked(f.Name, KindFCounter, t).append(f.Samples[0].Value)
+				r.push(r.seriesLocked(f.Name, KindFCounter, t), t, f.Samples[0].Value)
 			}
 		case obs.KindGauge:
 			if len(f.Samples) == 1 {
-				r.seriesLocked(f.Name, KindGauge, t).append(f.Samples[0].Value)
+				r.push(r.seriesLocked(f.Name, KindGauge, t), t, f.Samples[0].Value)
 			}
 		case obs.KindHistogram:
 			r.observeHistLocked(t, f)
@@ -301,13 +354,13 @@ func (r *Recorder) observeHistLocked(t float64, f obs.Family) {
 		switch {
 		case strings.HasPrefix(s.Label, `le="`):
 			if bi < len(hg.buckets) {
-				hg.buckets[bi].append(s.Value)
+				r.push(hg.buckets[bi], t, s.Value)
 				bi++
 			}
 		case s.Label == "sum":
-			hg.sum.append(s.Value)
+			r.push(hg.sum, t, s.Value)
 		case s.Label == "count":
-			hg.count.append(s.Value)
+			r.push(hg.count, t, s.Value)
 		}
 	}
 }

@@ -1,0 +1,133 @@
+package seriesfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdb/internal/bus"
+	"sdb/internal/obs/ts"
+)
+
+// craftFile wraps a hand-built body in a valid header and CRC trailer,
+// so the file passes the whole-file checksum pass and exercises the
+// structural checks of the second (decode) pass. A checksum guards
+// against corruption in flight, not against a malformed writer.
+func craftFile(t *testing.T, body []byte) string {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(Version)
+	buf.Write(body)
+	var tr [2]byte
+	binary.LittleEndian.PutUint16(tr[:], bus.CRC16(buf.Bytes()))
+	buf.Write(tr[:])
+	path := filepath.Join(t.TempDir(), "crafted.sdbts")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func uv(vals ...uint64) []byte {
+	var b []byte
+	for _, v := range vals {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+func f64le(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func cat(parts ...[]byte) []byte {
+	var b []byte
+	for _, p := range parts {
+		b = append(b, p...)
+	}
+	return b
+}
+
+// seriesHdr builds a structurally valid series header with no values.
+func seriesHdr(name string, kind byte, total, count uint64) []byte {
+	return cat(uv(uint64(len(name))), []byte(name), []byte{kind},
+		f64le(60), f64le(0), uv(total, count))
+}
+
+// TestWalkerRejectsMalformedBody: files whose CRC is intact but whose
+// structure lies must fail both the streaming walker and Decode, with
+// ErrCorrupt, never a partial emit presented as truth.
+func TestWalkerRejectsMalformedBody(t *testing.T) {
+	overlong := bytes.Repeat([]byte{0xff}, 10) // uvarint > 64 bits
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"name-too-long", cat(uv(1), uv(MaxNameLen+1))},
+		{"truncated-name", cat(uv(1), uv(10), []byte("abc"))},
+		{"unknown-kind", cat(uv(1), uv(1), []byte("x"), []byte{0xee},
+			f64le(60), f64le(0), uv(0, 0))},
+		{"count-exceeds-total", seriesHdr("x", byte(ts.KindGauge), 2, 3)},
+		{"overlong-count-varint", overlong},
+		{"truncated-step", cat(uv(1), uv(1), []byte("x"), []byte{byte(ts.KindGauge)}, f64le(60)[:3])},
+		{"truncated-first-value", cat(seriesHdr("x", byte(ts.KindGauge), 2, 2), f64le(1)[:5])},
+		{"truncated-delta", cat(seriesHdr("x", byte(ts.KindGauge), 3, 3), f64le(1), overlong)},
+		{"trailing-bytes", cat(seriesHdr("x", byte(ts.KindGauge), 0, 0), []byte{0x00})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := craftFile(t, tc.body)
+			var emitted int
+			err := Walker(path).Walk(
+				func(ts.Window) error { return nil },
+				func(_, _ float64) error { emitted++; return nil })
+			if err == nil {
+				t.Fatalf("walker accepted malformed body (%d values emitted)", emitted)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error does not wrap ErrCorrupt: %v", err)
+			}
+			data, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if _, derr := Decode(data); derr == nil {
+				t.Fatalf("walker rejected (%v) but Decode accepted", err)
+			}
+		})
+	}
+}
+
+// TestWalkerMissingFile: opening a path that does not exist surfaces
+// the OS error, not a corruption claim.
+func TestWalkerMissingFile(t *testing.T) {
+	err := Walker(filepath.Join(t.TempDir(), "nope.sdbts")).Walk(
+		func(ts.Window) error { return nil },
+		func(_, _ float64) error { return nil })
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want plain OS error, got %v", err)
+	}
+}
+
+// TestWriteFileErrors: writer-side validation and filesystem failures.
+func TestWriteFileErrors(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir.sdbts"), nil); err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+	long := ts.Window{Name: strings.Repeat("n", MaxNameLen+1), Kind: ts.KindGauge, StepS: 1}
+	if err := WriteFile(filepath.Join(t.TempDir(), "long.sdbts"), []ts.Window{long}); err == nil {
+		t.Fatal("WriteFile accepted an over-long name")
+	}
+	bad := ts.Window{Name: "b", Kind: ts.KindGauge, StepS: 1, Total: 1, Values: []float64{1, 2}}
+	if err := WriteFile(filepath.Join(t.TempDir(), "bad.sdbts"), []ts.Window{bad}); err == nil {
+		t.Fatal("WriteFile accepted count > total")
+	}
+}

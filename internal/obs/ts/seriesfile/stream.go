@@ -1,0 +1,210 @@
+package seriesfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"sdb/internal/bus"
+	"sdb/internal/obs/ts"
+)
+
+// FileWalker streams a series file one sample at a time, so exporting
+// never materializes a []float64 per series the way ReadFile does. Two
+// passes over the file: the first verifies the whole-file CRC
+// incrementally, the second decodes and emits values. A file that
+// passes the first pass but trips a structural check in the second is
+// still reported as ErrCorrupt, never partially emitted as truth.
+type FileWalker struct {
+	path string
+}
+
+// Walker returns a streaming reader for the series file at path. The
+// file is opened (twice) inside Walk, not here.
+func Walker(path string) *FileWalker { return &FileWalker{path: path} }
+
+// Walk implements the export.Walker shape: series is called once per
+// series with a metadata-only window (Values nil), then value once per
+// sample in time order.
+func (fw *FileWalker) Walk(series func(ts.Window) error, value func(t, v float64) error) error {
+	if err := fw.verify(); err != nil {
+		return err
+	}
+	f, err := os.Open(fw.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+
+	var hdr [len(Magic) + 1]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	// Magic and version were validated by verify; decode the body.
+	sd := streamDecoder{br: br}
+	nseries := sd.uvarint("series count")
+	if sd.err != nil {
+		return sd.err
+	}
+	for i := uint64(0); i < nseries; i++ {
+		if err := sd.series(series, value); err != nil {
+			return fmt.Errorf("series %d: %w", i, err)
+		}
+	}
+	// Only the 2-byte CRC trailer may remain.
+	var trailer [2]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return fmt.Errorf("%w: missing crc trailer", ErrCorrupt)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return nil
+}
+
+// verify streams the file once, checking magic, version, and the CRC
+// trailer without holding more than one chunk in memory.
+func (fw *FileWalker) verify() error {
+	f, err := os.Open(fw.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	if size < int64(len(Magic))+1+2 {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, size)
+	}
+	br := bufio.NewReader(f)
+	var hdr [len(Magic) + 1]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	if string(hdr[:len(Magic)]) != Magic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := hdr[len(Magic)]; v != Version {
+		return fmt.Errorf("seriesfile: unsupported version %d (want %d)", v, Version)
+	}
+	crc := bus.CRC16Update(0xFFFF, hdr[:])
+	var chunk [4096]byte
+	left := size - int64(len(hdr)) - 2 // body bytes after the header
+	for left > 0 {
+		n := int64(len(chunk))
+		if n > left {
+			n = left
+		}
+		if _, err := io.ReadFull(br, chunk[:n]); err != nil {
+			return err
+		}
+		crc = bus.CRC16Update(crc, chunk[:n])
+		left -= n
+	}
+	var trailer [2]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return err
+	}
+	if got := binary.LittleEndian.Uint16(trailer[:]); got != crc {
+		return fmt.Errorf("%w: crc mismatch (got %#04x want %#04x)", ErrCorrupt, got, crc)
+	}
+	return nil
+}
+
+// streamDecoder mirrors decoder over a bufio.Reader. Structural bounds
+// (name length, kind, count vs total) are re-checked even though the
+// CRC already passed: a checksum guards against corruption, not
+// against a malformed writer.
+type streamDecoder struct {
+	br  *bufio.Reader
+	err error
+}
+
+func (d *streamDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		d.err = fmt.Errorf("%w: bad %s varint", ErrCorrupt, what)
+		return 0
+	}
+	return v
+}
+
+func (d *streamDecoder) f64(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(d.br, b[:]); err != nil {
+		d.err = fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+func (d *streamDecoder) series(series func(ts.Window) error, value func(t, v float64) error) error {
+	nameLen := d.uvarint("name length")
+	if d.err != nil {
+		return d.err
+	}
+	if nameLen > MaxNameLen {
+		return fmt.Errorf("%w: name length %d", ErrCorrupt, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(d.br, name); err != nil {
+		return fmt.Errorf("%w: truncated name", ErrCorrupt)
+	}
+	kindByte, err := d.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: truncated kind", ErrCorrupt)
+	}
+	kind := ts.Kind(kindByte)
+	if kind.String() == "unknown" {
+		return fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+	w := ts.Window{
+		Name:   string(name),
+		Kind:   kind,
+		StepS:  d.f64("step"),
+		FirstT: d.f64("firstT"),
+		Total:  d.uvarint("total"),
+	}
+	count := d.uvarint("count")
+	if d.err != nil {
+		return d.err
+	}
+	if count > w.Total {
+		return fmt.Errorf("%w: count %d exceeds total %d", ErrCorrupt, count, w.Total)
+	}
+	if err := series(w); err != nil {
+		return err
+	}
+	if count == 0 {
+		return nil
+	}
+	prev := math.Float64bits(d.f64("first value"))
+	if d.err != nil {
+		return d.err
+	}
+	if err := value(w.FirstT, math.Float64frombits(prev)); err != nil {
+		return err
+	}
+	for i := uint64(1); i < count; i++ {
+		prev ^= d.uvarint("value delta")
+		if d.err != nil {
+			return d.err
+		}
+		if err := value(w.FirstT+float64(i)*w.StepS, math.Float64frombits(prev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

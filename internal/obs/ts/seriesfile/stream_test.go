@@ -1,0 +1,169 @@
+package seriesfile
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdb/internal/obs/ts"
+)
+
+func streamFixture(t *testing.T) (string, []ts.Window) {
+	t.Helper()
+	ws := []ts.Window{
+		{Name: "a_total", Kind: ts.KindFCounter, StepS: 60, FirstT: 0, Total: 10,
+			Values: []float64{1, 2, 3, 5, 8}},
+		{Name: `lat{le="0.01"}`, Kind: ts.KindFCounter, StepS: 60, FirstT: 300, Total: 3,
+			Values: []float64{0, 1, 1}},
+		{Name: "g", Kind: ts.KindGauge, StepS: 0.25, FirstT: -2, Total: 6,
+			Values: []float64{math.Inf(1), math.NaN(), math.Copysign(0, -1), 5e-324, -1e300, 0}},
+		{Name: "empty", Kind: ts.KindGauge, StepS: 1, FirstT: 0, Total: 0, Values: nil},
+	}
+	path := filepath.Join(t.TempDir(), "fix.sdbts")
+	if err := WriteFile(path, ws); err != nil {
+		t.Fatal(err)
+	}
+	return path, ws
+}
+
+// collect drains a walker into windows for comparison against Read.
+func collect(t *testing.T, path string) ([]ts.Window, error) {
+	t.Helper()
+	var out []ts.Window
+	err := Walker(path).Walk(
+		func(w ts.Window) error {
+			out = append(out, w)
+			return nil
+		},
+		func(tt, v float64) error {
+			w := &out[len(out)-1]
+			wantT := w.FirstT + float64(len(w.Values))*w.StepS
+			if tt != wantT {
+				t.Fatalf("%s: walker emitted t=%g, want %g", w.Name, tt, wantT)
+			}
+			w.Values = append(w.Values, v)
+			return nil
+		},
+	)
+	return out, err
+}
+
+// TestWalkerMatchesRead: the streaming walker and the in-memory reader
+// decode the same file to bit-identical samples.
+func TestWalkerMatchesRead(t *testing.T) {
+	path, _ := streamFixture(t)
+	want, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := collect(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("walker saw %d series, reader %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Name != w.Name || g.Kind != w.Kind || g.StepS != w.StepS ||
+			g.FirstT != w.FirstT || g.Total != w.Total || len(g.Values) != len(w.Values) {
+			t.Fatalf("series %d meta: got %+v want %+v", i, g, w)
+		}
+		for j := range w.Values {
+			if math.Float64bits(g.Values[j]) != math.Float64bits(w.Values[j]) {
+				t.Fatalf("%s[%d]: %v != %v", w.Name, j, g.Values[j], w.Values[j])
+			}
+		}
+	}
+}
+
+// TestWalkerRejectsCorruption: every single-byte flip either fails
+// with ErrCorrupt (or a version error) or decodes to exactly what the
+// in-memory reader accepts — never a panic, never silent divergence.
+func TestWalkerRejectsCorruption(t *testing.T) {
+	path, _ := streamFixture(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := filepath.Join(t.TempDir(), "mut.sdbts")
+	rejected := 0
+	for i := range orig {
+		data := append([]byte(nil), orig...)
+		data[i] ^= 0x5a
+		if err := os.WriteFile(mut, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, werr := collect(t, mut)
+		_, rerr := Decode(data)
+		if (werr == nil) != (rerr == nil) {
+			t.Fatalf("flip at %d: walker err %v, reader err %v", i, werr, rerr)
+		}
+		if werr != nil {
+			rejected++
+			if !errors.Is(werr, ErrCorrupt) && !isVersionError(werr) {
+				t.Fatalf("flip at %d: error %v does not wrap ErrCorrupt", i, werr)
+			}
+		}
+	}
+	if rejected < len(orig)/2 {
+		t.Fatalf("only %d/%d flips rejected — CRC is not being checked", rejected, len(orig))
+	}
+}
+
+func isVersionError(err error) bool {
+	return err != nil && err.Error() == "seriesfile: unsupported version 91 (want 1)"
+}
+
+// TestWalkerRejectsTruncation: every proper prefix errors out.
+func TestWalkerRejectsTruncation(t *testing.T) {
+	path, _ := streamFixture(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := filepath.Join(t.TempDir(), "trunc.sdbts")
+	for n := 0; n < len(orig); n += 3 {
+		if err := os.WriteFile(mut, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, werr := collect(t, mut); werr == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", n, len(orig))
+		}
+	}
+}
+
+// TestWalkerAllocsFlat: walking a large file allocates a bounded
+// amount — nothing proportional to the sample count. This is the
+// regression fence for the export path going back to ReadFile.
+func TestWalkerAllocsFlat(t *testing.T) {
+	const n = 40000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Cos(float64(i)/11) * 500
+	}
+	ws := []ts.Window{{Name: "big", Kind: ts.KindGauge, StepS: 1, FirstT: 0, Total: n, Values: vals}}
+	path := filepath.Join(t.TempDir(), "big.sdbts")
+	if err := WriteFile(path, ws); err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	allocs := testing.AllocsPerRun(3, func() {
+		rows = 0
+		err := Walker(path).Walk(
+			func(ts.Window) error { return nil },
+			func(_, _ float64) error { rows++; return nil },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rows != n {
+		t.Fatalf("walked %d rows, want %d", rows, n)
+	}
+	if allocs > 40 {
+		t.Fatalf("walking %d samples cost %.0f allocs — streaming regressed to buffering", n, allocs)
+	}
+}

@@ -1,0 +1,58 @@
+package store
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"sdb/internal/obs/ts"
+)
+
+// TestCreateErrors: page-size bounds and refusal to clobber.
+func TestCreateErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(filepath.Join(dir, "a"), Options{PageSize: MinPageSize - 1}); err == nil {
+		t.Fatal("Create accepted an undersized page")
+	}
+	if _, err := Create(filepath.Join(dir, "a"), Options{PageSize: MaxPageSize + 1}); err == nil {
+		t.Fatal("Create accepted an oversized page")
+	}
+	s, err := Create(filepath.Join(dir, "a"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := Create(filepath.Join(dir, "a"), Options{}); err == nil {
+		t.Fatal("Create clobbered an existing file")
+	}
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("Open invented a missing file")
+	}
+}
+
+// TestImportErrors: a migration that hits a schema conflict or a
+// non-monotone append reports the offending series by name.
+func TestImportErrors(t *testing.T) {
+	s, _ := tempStore(t, Options{})
+	mustAppend(t, s, "g", ts.KindGauge, 1, 1, 10)
+
+	// Same name, different kind: Declare must refuse inside the import.
+	err := s.ImportWindows([]ts.Window{{Name: "g", Kind: ts.KindFCounter, StepS: 1, Total: 1, Values: []float64{1}}})
+	if err == nil {
+		t.Fatal("import accepted a kind conflict")
+	}
+	// Overlapping times: appends are monotone.
+	err = s.ImportWindows([]ts.Window{{Name: "g", Kind: ts.KindGauge, StepS: 1, FirstT: 1, Total: 1, Values: []float64{2}}})
+	if err == nil {
+		t.Fatal("import accepted a non-monotone sample")
+	}
+	// Store state is untouched by the failed imports.
+	w, err := s.Query("g", math.Inf(-1), math.Inf(1))
+	if err != nil || len(w.Values) != 1 || w.Values[0] != 10 {
+		t.Fatalf("failed import disturbed the store: %v %+v", err, w)
+	}
+
+	if err := s.MigrateSeriesFile(filepath.Join(t.TempDir(), "none.sdbts")); err == nil {
+		t.Fatal("migrate of a missing file succeeded")
+	}
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"fmt"
+
+	"sdb/internal/obs/ts"
+	"sdb/internal/obs/ts/seriesfile"
+)
+
+// ImportWindows appends transported windows (recorder snapshots,
+// seriesfile contents, wire payloads) into the store and commits. The
+// universal-measurement property: anything expressible as a ts.Window
+// — sim runs, fleet devices, chaos soaks, wire scrapes — lands in one
+// store through this one door. Windows must not overlap samples the
+// store already holds for the same series (appends are monotone).
+func (s *Store) ImportWindows(ws []ts.Window) error {
+	for _, w := range ws {
+		if err := s.Declare(w.Name, w.Kind, w.StepS); err != nil {
+			return fmt.Errorf("import %s: %w", w.Name, err)
+		}
+		for i, v := range w.Values {
+			t := w.FirstT + float64(i)*w.StepS
+			if err := s.Append(w.Name, w.Kind, w.StepS, t, v); err != nil {
+				return fmt.Errorf("import %s: %w", w.Name, err)
+			}
+		}
+	}
+	return s.Sync()
+}
+
+// MigrateSeriesFile reads a legacy write-once seriesfile (.sdbts) and
+// imports every window into the store — the upgrade path off the
+// read-it-whole format. Queries over the migrated data are value-
+// identical to the source windows.
+func (s *Store) MigrateSeriesFile(path string) error {
+	ws, err := seriesfile.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("migrate %s: %w", path, err)
+	}
+	return s.ImportWindows(ws)
+}

@@ -1,0 +1,553 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"sdb/internal/obs/ts"
+)
+
+// SeriesInfo describes one stored series.
+type SeriesInfo struct {
+	Name    string
+	Kind    ts.Kind
+	StepS   float64
+	Samples uint64  // raw samples still stored at level 0 (pending included)
+	Buckets uint64  // downsampled bucket records at level ≥ 1
+	FirstT  float64 // earliest covered time (bucket start for compacted)
+	LastT   float64 // newest raw sample time
+	Pages   int     // flushed pages this series owns
+}
+
+// Series lists every stored series, sorted by name.
+func (s *Store) Series() []SeriesInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesInfo, 0, len(s.series))
+	for _, ss := range s.series {
+		info := SeriesInfo{Name: ss.name, Kind: ss.kind, StepS: ss.stepS, LastT: ss.maxT, Pages: len(ss.entries)}
+		first := math.Inf(1)
+		for _, e := range ss.entries {
+			if e.level == 0 {
+				info.Samples += e.count
+			} else {
+				info.Buckets += e.count
+			}
+			if e.firstT < first {
+				first = e.firstT
+			}
+		}
+		if ss.pCount > 0 {
+			info.Samples += uint64(ss.pCount)
+			if ss.pFirstT < first {
+				first = ss.pFirstT
+			}
+		}
+		if !math.IsInf(first, 1) {
+			info.FirstT = first
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Query reads one series' raw samples in the closed window [t0, t1] as
+// a ts.Window (Total = sample count). The read touches only index
+// entries plus the data pages overlapping the window. It fails with
+// ErrCompacted when the window overlaps downsampled pages (the raw
+// samples are gone — use QueryDown) and with ErrGap when the matched
+// samples do not sit on one uniform grid (the window crosses a
+// recording gap; narrow it to one side).
+func (s *Store) Query(name string, t0, t1 float64) (ts.Window, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss, ok := s.series[name]
+	if !ok {
+		return ts.Window{}, fmt.Errorf("store: unknown series %q", name)
+	}
+	if t0 > t1 {
+		return ts.Window{}, fmt.Errorf("store: query window [%g, %g] inverted", t0, t1)
+	}
+	w := ts.Window{Name: ss.name, Kind: ss.kind, StepS: ss.stepS}
+	eps := gridEps(ss.stepS)
+
+	first := true
+	add := func(t, v float64) error {
+		if t < t0-eps || t > t1+eps {
+			return nil
+		}
+		if first {
+			w.FirstT = t
+			first = false
+		} else if want := w.FirstT + float64(len(w.Values))*ss.stepS; math.Abs(t-want) > eps {
+			return fmt.Errorf("%w: %s at t=%g (expected %g)", ErrGap, name, t, want)
+		}
+		w.Values = append(w.Values, v)
+		return nil
+	}
+
+	for _, e := range ss.entries {
+		if e.lastT < t0-eps || e.firstT > t1+eps {
+			continue
+		}
+		if e.level > 0 {
+			return ts.Window{}, fmt.Errorf("%w: %s overlaps buckets at [%g, %g]", ErrCompacted, name, e.firstT, e.lastT)
+		}
+		if err := s.decodeDataPage(ss, e, add); err != nil {
+			return ts.Window{}, err
+		}
+	}
+	if err := ss.pendingEach(t0-eps, t1+eps, add); err != nil {
+		return ts.Window{}, err
+	}
+	w.Total = uint64(len(w.Values))
+	return w, nil
+}
+
+// decodeDataPage reads entry e's page and calls fn for each (t, v) in
+// order. The page is re-validated against its index entry, so a stale
+// or corrupt cross-reference surfaces as ErrCorrupt, not wrong data.
+func (s *Store) decodeDataPage(ss *seriesState, e entry, fn func(t, v float64) error) error {
+	payload, err := s.readPage(e.page)
+	if err != nil {
+		return err
+	}
+	id, firstT, count, err := parseDataHeader(payload)
+	if err != nil {
+		return err
+	}
+	if id != ss.id || count != e.count || firstT != e.firstT {
+		return fmt.Errorf("%w: page %d does not match index (series %d t=%g n=%d, want %d/%g/%d)",
+			ErrCorrupt, e.page, id, firstT, count, ss.id, e.firstT, e.count)
+	}
+	d := pageParser{buf: payload[1:]}
+	d.uvarint("series id")
+	d.f64("firstT")
+	d.uvarint("sample count")
+	prev := math.Float64bits(d.f64("first value"))
+	if d.err != nil {
+		return d.err
+	}
+	if err := fn(firstT, math.Float64frombits(prev)); err != nil {
+		return err
+	}
+	for i := uint64(1); i < count; i++ {
+		delta := d.uvarint("value delta")
+		if d.err != nil {
+			return d.err
+		}
+		prev ^= delta
+		if err := fn(firstT+float64(i)*ss.stepS, math.Float64frombits(prev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pendingEach walks the not-yet-flushed samples of a series whose
+// times fall inside [lo, hi], decoding the pending buffer in place.
+func (ss *seriesState) pendingEach(lo, hi float64, fn func(t, v float64) error) error {
+	if ss.pCount == 0 || ss.pFirstT > hi ||
+		ss.pFirstT+float64(ss.pCount-1)*ss.stepS < lo {
+		return nil
+	}
+	buf := ss.pBuf
+	prev := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	for i := 0; i < ss.pCount; i++ {
+		if i > 0 {
+			delta, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return fmt.Errorf("%w: pending buffer of %s", ErrCorrupt, ss.name)
+			}
+			buf = buf[n:]
+			prev ^= delta
+		}
+		t := ss.pFirstT + float64(i)*ss.stepS
+		if t < lo || t > hi {
+			continue
+		}
+		if err := fn(t, math.Float64frombits(prev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bucket is one downsampled aggregate: Count samples in
+// [T0, T0+width) with their Min, Max, and Sum.
+type Bucket struct {
+	T0    float64
+	Count uint64
+	Min   float64
+	Max   float64
+	Sum   float64
+}
+
+// Mean returns Sum/Count (NaN for an impossible empty bucket).
+func (b Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return math.NaN()
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// QueryDown aggregates one series into buckets of width bucketS
+// anchored at t=0, returning every non-empty bucket that overlaps
+// [t0, t1] in time order. It reads raw and compacted pages alike;
+// compacted pages merge exactly when their stored width divides
+// bucketS (ErrBucketMismatch otherwise). Aggregation runs in time
+// order, so at the compaction width the sums are bit-identical to a
+// pre-compaction query.
+func (s *Store) QueryDown(name string, t0, t1, bucketS float64) ([]Bucket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss, ok := s.series[name]
+	if !ok {
+		return nil, fmt.Errorf("store: unknown series %q", name)
+	}
+	if !(bucketS > 0) || math.IsInf(bucketS, 0) {
+		return nil, fmt.Errorf("store: bucket width %g not a positive finite duration", bucketS)
+	}
+	if t0 > t1 {
+		return nil, fmt.Errorf("store: query window [%g, %g] inverted", t0, t1)
+	}
+	if math.IsNaN(t0) || math.IsNaN(t1) {
+		return nil, fmt.Errorf("store: NaN query bound")
+	}
+	i0, i1 := bucketIdx(t0, bucketS), bucketIdx(t1, bucketS)
+	// Entry prefilter bounds as times; saturated indexes widen to ±Inf.
+	loT, hiT := float64(i0)*bucketS, (float64(i1)+1)*bucketS
+	if i0 == math.MinInt64 {
+		loT = math.Inf(-1)
+	}
+	if i1 == math.MaxInt64 {
+		hiT = math.Inf(1)
+	}
+
+	var out []Bucket
+	byIdx := map[int64]int{}
+	merge := func(idx int64, count uint64, min, max, sum float64) {
+		j, ok := byIdx[idx]
+		if !ok {
+			byIdx[idx] = len(out)
+			out = append(out, Bucket{T0: float64(idx) * bucketS, Count: count, Min: min, Max: max, Sum: sum})
+			return
+		}
+		b := &out[j]
+		b.Count += count
+		if min < b.Min {
+			b.Min = min
+		}
+		if max > b.Max {
+			b.Max = max
+		}
+		b.Sum += sum
+	}
+	addRaw := func(t, v float64) error {
+		idx := bucketIdx(t, bucketS)
+		if idx < i0 || idx > i1 {
+			return nil
+		}
+		merge(idx, 1, v, v, v)
+		return nil
+	}
+
+	for _, e := range ss.entries {
+		if e.lastT < loT || e.firstT >= hiT {
+			continue
+		}
+		if e.level == 0 {
+			if err := s.decodeDataPage(ss, e, addRaw); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		m := math.Round(bucketS / e.bucketS)
+		if !(m >= 1) || math.Abs(m*e.bucketS-bucketS) > 1e-9*bucketS {
+			return nil, fmt.Errorf("%w: %s compacted at %gs, queried at %gs", ErrBucketMismatch, name, e.bucketS, bucketS)
+		}
+		err := s.decodeDownPage(ss, e, func(b Bucket) error {
+			// Map by the stored bucket's midpoint: strictly inside it, so
+			// boundary rounding cannot flip the coarse index.
+			idx := bucketIdx(b.T0+e.bucketS/2, bucketS)
+			if idx < i0 || idx > i1 {
+				return nil
+			}
+			merge(idx, b.Count, b.Min, b.Max, b.Sum)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ss.pendingEach(math.Inf(-1), math.Inf(1), addRaw); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T0 < out[j].T0 })
+	return out, nil
+}
+
+// bucketIdx maps a time to its bucket number, anchored at t=0,
+// saturating at the int64 range so infinite query bounds behave.
+func bucketIdx(t, bucketS float64) int64 {
+	f := math.Floor(t / bucketS)
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+// decodeDownPage reads entry e's downsampled page and calls fn for
+// each stored bucket in time order.
+func (s *Store) decodeDownPage(ss *seriesState, e entry, fn func(Bucket) error) error {
+	payload, err := s.readPage(e.page)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 || payload[0] != ptDown {
+		return fmt.Errorf("%w: page %d is not a downsampled page", ErrCorrupt, e.page)
+	}
+	d := pageParser{buf: payload[1:]}
+	id := d.uvarint("series id")
+	bucketS := d.f64("bucket width")
+	baseIdx := d.varint("base bucket")
+	nrec := d.uvarint("bucket count")
+	if d.err != nil {
+		return d.err
+	}
+	if id != ss.id || bucketS != e.bucketS {
+		return fmt.Errorf("%w: page %d does not match index (series %d width %g, want %d/%g)",
+			ErrCorrupt, e.page, id, bucketS, ss.id, e.bucketS)
+	}
+	// A bucket record is ≥ 26 bytes (1+1+24): bound count before use.
+	if nrec > uint64(len(d.buf))/26+1 {
+		return fmt.Errorf("%w: %d bucket records exceed page payload", ErrCorrupt, nrec)
+	}
+	idx := baseIdx
+	for i := uint64(0); i < nrec; i++ {
+		delta := d.uvarint("bucket index delta")
+		count := d.uvarint("bucket sample count")
+		min := d.f64("bucket min")
+		max := d.f64("bucket max")
+		sum := d.f64("bucket sum")
+		if d.err != nil {
+			return d.err
+		}
+		if i > 0 && delta == 0 {
+			return fmt.Errorf("%w: page %d bucket %d repeats its index", ErrCorrupt, e.page, i)
+		}
+		if count == 0 {
+			return fmt.Errorf("%w: page %d bucket %d empty", ErrCorrupt, e.page, i)
+		}
+		idx += int64(delta)
+		if err := fn(Bucket{T0: float64(idx) * bucketS, Count: count, Min: min, Max: max, Sum: sum}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// downPageOverhead is a downsampled page's fixed header worst case:
+// type + id + bucketS + baseIdx + nrec.
+const downPageOverhead = 1 + binary.MaxVarintLen64 + 8 + binary.MaxVarintLen64 + binary.MaxVarintLen64
+
+// downRecMax is one bucket record's worst-case size.
+const downRecMax = binary.MaxVarintLen64 + binary.MaxVarintLen64 + 24
+
+// Compact folds every raw page whose samples all predate beforeT into
+// downsampled pages of width bucketS (anchored at t=0), then commits.
+// Raw pages straddling beforeT stay raw. Re-running with the same
+// arguments is a no-op: compacted pages are never re-compacted at the
+// same width, so the call is idempotent. The freed raw pages remain in
+// the file as dead space until a future rewrite — the index simply
+// stops referencing them.
+func (s *Store) Compact(beforeT, bucketS float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if !(bucketS > 0) || math.IsInf(bucketS, 0) {
+		return fmt.Errorf("store: bucket width %g not a positive finite duration", bucketS)
+	}
+	// Flush pendings first so page boundaries are settled; a pending
+	// run that predates beforeT is eligible like any flushed page.
+	if s.dirty {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+
+	changed := false
+	for id := uint64(0); id < s.nextID; id++ {
+		ss := s.byID[id]
+		var old, keep []entry
+		for _, e := range ss.entries {
+			if e.level == 0 && e.lastT < beforeT {
+				old = append(old, e)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		if len(old) == 0 {
+			continue
+		}
+
+		// Aggregate in time order (entries are sorted by firstT), so the
+		// bucket sums are the same left-fold a raw QueryDown computes.
+		var buckets []Bucket
+		byIdx := map[int64]int{}
+		for _, e := range old {
+			err := s.decodeDataPage(ss, e, func(t, v float64) error {
+				idx := bucketIdx(t, bucketS)
+				if j, ok := byIdx[idx]; ok {
+					b := &buckets[j]
+					b.Count++
+					if v < b.Min {
+						b.Min = v
+					}
+					if v > b.Max {
+						b.Max = v
+					}
+					b.Sum += v
+					return nil
+				}
+				byIdx[idx] = len(buckets)
+				buckets = append(buckets, Bucket{T0: float64(idx) * bucketS, Count: 1, Min: v, Max: v, Sum: v})
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i].T0 < buckets[j].T0 })
+
+		down, err := s.writeDownPages(ss, buckets, bucketS)
+		if err != nil {
+			return err
+		}
+		merged := append(keep, down...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i].firstT < merged[j].firstT })
+		ss.entries = merged
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	s.dirty = true
+	return s.syncLocked()
+}
+
+// writeDownPages encodes time-ordered buckets into as many downsampled
+// pages as needed, returning their index entries.
+func (s *Store) writeDownPages(ss *seriesState, buckets []Bucket, bucketS float64) ([]entry, error) {
+	var out []entry
+	for len(buckets) > 0 {
+		perPage := (s.payloadCap() - downPageOverhead) / downRecMax
+		if perPage < 1 {
+			perPage = 1
+		}
+		n := len(buckets)
+		if n > perPage {
+			n = perPage
+		}
+		batch := buckets[:n]
+		buckets = buckets[n:]
+
+		base := bucketIdx(batch[0].T0+bucketS/2, bucketS)
+		payload := []byte{ptDown}
+		payload = binary.AppendUvarint(payload, ss.id)
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(bucketS))
+		payload = binary.AppendVarint(payload, base)
+		payload = binary.AppendUvarint(payload, uint64(n))
+		prevIdx := base
+		var count uint64
+		for i, b := range batch {
+			idx := bucketIdx(b.T0+bucketS/2, bucketS)
+			if i == 0 {
+				payload = binary.AppendUvarint(payload, 0)
+			} else {
+				payload = binary.AppendUvarint(payload, uint64(idx-prevIdx))
+			}
+			prevIdx = idx
+			payload = binary.AppendUvarint(payload, b.Count)
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(b.Min))
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(b.Max))
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(b.Sum))
+			count += b.Count
+		}
+		page, err := s.writePage(payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry{
+			page:    page,
+			level:   1,
+			firstT:  batch[0].T0,
+			lastT:   batch[n-1].T0 + bucketS,
+			count:   count,
+			bucketS: bucketS,
+		})
+	}
+	return out, nil
+}
+
+// Walk visits every series in name order: one series callback with an
+// empty meta window (Values nil, Total = raw sample count), then one
+// value callback per raw sample in time order. Compacted ranges are
+// skipped — Walk is the raw-export surface. It satisfies the export
+// package's Walker shape.
+func (s *Store) Walk(series func(ts.Window) error, value func(t, v float64) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := s.series[name]
+		var total uint64
+		var firstT float64
+		first := true
+		for _, e := range ss.entries {
+			if e.level != 0 {
+				continue
+			}
+			total += e.count
+			if first {
+				firstT = e.firstT
+				first = false
+			}
+		}
+		if ss.pCount > 0 {
+			total += uint64(ss.pCount)
+			if first {
+				firstT = ss.pFirstT
+			}
+		}
+		err := series(ts.Window{Name: ss.name, Kind: ss.kind, StepS: ss.stepS, FirstT: firstT, Total: total})
+		if err != nil {
+			return err
+		}
+		for _, e := range ss.entries {
+			if e.level != 0 {
+				continue
+			}
+			if err := s.decodeDataPage(ss, e, value); err != nil {
+				return err
+			}
+		}
+		if err := ss.pendingEach(math.Inf(-1), math.Inf(1), value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sdb/internal/obs/ts"
+)
+
+// walkAll drains Walk into windows, asserting the emitted times sit on
+// each series' announced grid (gaps move FirstT forward, so times are
+// checked for monotonicity only across a gap).
+func walkAll(t *testing.T, s *Store) []ts.Window {
+	t.Helper()
+	var out []ts.Window
+	err := s.Walk(
+		func(w ts.Window) error {
+			if w.Values != nil {
+				t.Fatalf("%s: meta window carries values", w.Name)
+			}
+			out = append(out, w)
+			return nil
+		},
+		func(tt, v float64) error {
+			w := &out[len(out)-1]
+			w.Values = append(w.Values, v)
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestWalk: the streamed export surface agrees with Query on every
+// series — flushed pages, the pending tail, declared-but-empty series
+// — and survives a reopen.
+func TestWalk(t *testing.T) {
+	s, path := tempStore(t, Options{PageSize: 256})
+	for i := 0; i < 300; i++ {
+		mustAppend(t, s, "a", ts.KindGauge, 1, float64(i), math.Sin(float64(i)/5))
+	}
+	for i := 0; i < 7; i++ { // stays pending, never flushed
+		mustAppend(t, s, "b_total", ts.KindFCounter, 60, float64(i)*60, float64(i*i))
+	}
+	if err := s.Declare("empty", ts.KindGauge, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(s *Store, what string) {
+		t.Helper()
+		ws := walkAll(t, s)
+		if len(ws) != 3 {
+			t.Fatalf("%s: walked %d series, want 3", what, len(ws))
+		}
+		if ws[0].Name != "a" || ws[1].Name != "b_total" || ws[2].Name != "empty" {
+			t.Fatalf("%s: series out of name order: %s %s %s", what, ws[0].Name, ws[1].Name, ws[2].Name)
+		}
+		if ws[2].Total != 0 || len(ws[2].Values) != 0 {
+			t.Fatalf("%s: empty series walked %d values", what, len(ws[2].Values))
+		}
+		for _, w := range ws[:2] {
+			q, err := s.Query(w.Name, math.Inf(-1), math.Inf(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Total != uint64(len(q.Values)) || w.FirstT != q.FirstT || w.Kind != q.Kind || w.StepS != q.StepS {
+				t.Fatalf("%s: %s meta %+v disagrees with Query %+v", what, w.Name, w, q)
+			}
+			wantValues(t, ts.Window{Name: w.Name, Kind: w.Kind, StepS: w.StepS, FirstT: w.FirstT, Values: w.Values},
+				q.FirstT, q.Values...)
+		}
+	}
+	check(s, "live")
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	check(r, "reopened")
+
+	// Callback errors propagate from both hooks.
+	sentinel := errors.New("stop")
+	if err := r.Walk(func(ts.Window) error { return sentinel }, func(_, _ float64) error { return nil }); !errors.Is(err, sentinel) {
+		t.Fatalf("series-callback error lost: %v", err)
+	}
+	if err := r.Walk(func(ts.Window) error { return nil }, func(_, _ float64) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("value-callback error lost: %v", err)
+	}
+}
+
+// TestWalkSkipsCompacted: after compaction, Walk exports only the
+// surviving raw range, and Bucket.Mean behaves on the compacted side.
+func TestWalkSkipsCompacted(t *testing.T) {
+	s, _ := tempStore(t, Options{PageSize: 256})
+	for i := 0; i < 200; i++ {
+		mustAppend(t, s, "g", ts.KindGauge, 1, float64(i), float64(i))
+	}
+	if err := s.Compact(100, 10); err != nil {
+		t.Fatal(err)
+	}
+	ws := walkAll(t, s)
+	if len(ws) != 1 {
+		t.Fatalf("walked %d series", len(ws))
+	}
+	w := ws[0]
+	// Compaction is page-granular: pages wholly before the cut are
+	// folded into buckets, a page straddling it stays raw. The walked
+	// range must start after 0 (a prefix was compacted) and at or
+	// before the cut (the straddling page survives whole).
+	if w.FirstT == 0 || w.FirstT > 100 {
+		t.Fatalf("walk raw range starts at %g, want inside (0, 100]", w.FirstT)
+	}
+	if len(w.Values) == 0 || w.Values[0] != w.FirstT {
+		t.Fatalf("walk raw tail wrong: FirstT %g, first value %v", w.FirstT, w.Values)
+	}
+	bs, err := s.QueryDown("g", 0, 99, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 10 {
+		t.Fatalf("%d buckets", len(bs))
+	}
+	for _, b := range bs {
+		want := (b.Min + b.Max) / 2 // arithmetic series: mean is the midpoint
+		if math.Abs(b.Mean()-want) > 1e-9 {
+			t.Fatalf("bucket %g mean %g, want %g", b.T0, b.Mean(), want)
+		}
+	}
+	var empty Bucket
+	if !math.IsNaN(empty.Mean()) {
+		t.Fatalf("empty bucket mean = %g, want NaN", empty.Mean())
+	}
+}
