@@ -14,7 +14,7 @@
 # coverage against the floors committed in COVERAGE.ratchet: a change
 # that drops an enforced package below its floor fails CI. The bench
 # regression lane re-times every experiment against the committed
-# baseline (BENCH_PR7.json) and fails on a >3x wall-clock regression —
+# baseline (BENCH_PR10.json) and fails on a >3x wall-clock regression —
 # generous enough to absorb shared-runner noise, tight enough to catch
 # an accidental hot-loop allocation or O(n^2) slip. The recorder smoke
 # lane runs the record -> series file -> export pipeline end to end
@@ -35,10 +35,20 @@
 # internal/fleet/soak_size_race_test.go). The explicit fleet chaos lane
 # below surfaces the chaos seed with -v so a failure is replayable, and
 # the fleet bench smoke drives a small fleet through the real sdbbench
-# path — both backends — to keep the BENCH_PR7 fleet figures
+# path — both backends — to keep the BENCH_PR10 fleet figures
 # reproducible. The crash-chaos lane covers the crash-safety tentpole:
 # kill-point process death, checkpoint restore byte-identity, panic
 # quarantine, and graceful drain.
+#
+# Live-telemetry lane: the push subscription plane and the fleet alert
+# engine under -race — the 200-device slow-subscriber soak (several
+# live subscribers plus one that reads nothing; the tick barrier must
+# never stall and every drop ledger must balance exactly), delta/reset
+# decode, subscription lifecycle churn, legacy-client downgrade, and
+# the seeded-chaos alert determinism suite — plus a live fuzz burst on
+# the alert rule grammar, and an end-to-end CLI smoke: a real
+# `sdbctl serve -fleet -rules` server with a real `sdbtop -once`
+# dashboard client over TCP.
 #
 # Batch-equivalence lanes: the struct-of-arrays engine
 # (internal/battery/batch) is only acceptable while it is bit-identical
@@ -79,9 +89,35 @@ go test -race -run 'TestQuarantine|TestShardRestart|TestDrain|TestCloseIdempoten
 go test -race -run 'TestDifferentialChaosDay|TestCrashRecovery|TestRejects|TestFleetRecording' -v ./internal/obs/ts/store/ ./internal/fleet/
 go test -fuzz 'FuzzStore' -fuzztime 5s -run '^$' ./internal/obs/ts/store/
 
+# Live-telemetry lane. First the -race soak: the 200-device fleet with
+# several live subscribers plus one that never reads — the barrier must
+# not stall and every subscriber's drop ledger must balance exactly —
+# together with the rest of the subscription plane (delta/reset decode,
+# lifecycle churn, legacy-client downgrade) and the seeded-chaos alert
+# determinism suite. Then a live fuzz burst on the alert rule grammar
+# on top of its committed seed corpus.
+go test -race -run 'TestSlowSubscriberNeverStallsBarrier|TestSubscribe|TestSubscription|TestPushResetAfterDrop|TestLegacyClientIgnoresPushes|TestTracePushDelivery|TestUnsubscribeForeignConn|TestFleetAlert' -v ./internal/fleet/
+go test -fuzz 'FuzzParseRules' -fuzztime 5s -run '^$' ./internal/obs/ts/
+# End-to-end CLI smoke: a real fleet server with alert rules, a real
+# sdbtop one-shot dashboard over TCP. The grep asserts the dashboard
+# assembled the fleet rollup and the device table from push frames.
+printf 'alert busy steps >= 1\n' > rules.lane.txt
+go build -o sdbctl.lane ./cmd/sdbctl
+go build -o sdbtop.lane ./cmd/sdbtop
+./sdbctl.lane serve -addr 127.0.0.1:7391 -fleet 32 -shards 4 -rules rules.lane.txt > /dev/null 2>&1 &
+SDBCTL_PID=$!
+sleep 2
+./sdbtop.lane -addr 127.0.0.1:7391 -once -every 2s > sdbtop.lane.txt
+kill "$SDBCTL_PID" || true
+cat sdbtop.lane.txt
+grep -q 'fleet: 32 devices' sdbtop.lane.txt
+grep -q 'top 15 by soc' sdbtop.lane.txt
+rm -f rules.lane.txt sdbtop.lane.txt sdbctl.lane sdbtop.lane
+
 # Fleet bench smoke: a scaled-down run of the 10k-device figure, once
-# per stepping backend.
-go run ./cmd/sdbbench -fleet 200 -fleetshards 4
+# per stepping backend, plus one stalled-subscriber fan-out point with
+# its exact frame-ledger check.
+go run ./cmd/sdbbench -fleet 200 -fleetshards 4 -fleetsubs 2
 go run ./cmd/sdbbench -fleet 200 -fleetshards 4 -backend scalar
 
 go test -cover ./internal/... > cover.lane.txt
@@ -114,7 +150,7 @@ rm -f cover.lane.txt
 # Bench regression lane: every experiment, serially, vs the committed
 # baseline. 3x tolerance; newly added experiments (absent from the
 # baseline) pass until the baseline is regenerated.
-go run ./cmd/sdbbench -benchjson bench.lane.json -baseline BENCH_PR7.json -gate 3 -benchreps 2 -q
+go run ./cmd/sdbbench -benchjson bench.lane.json -baseline BENCH_PR10.json -gate 3 -benchreps 2 -q
 rm -f bench.lane.json
 
 # Recorder smoke lane: record a short run, export the series file both
@@ -131,4 +167,10 @@ go run ./cmd/sdbtrace export -in smoke.lane.sdbts > smoke.a.csv
 go run ./cmd/sdbtrace export -in smoke.lane.sdbstor > smoke.b.csv
 cmp smoke.a.csv smoke.b.csv
 go run ./cmd/sdbtrace query -in smoke.lane.sdbstor -series sdb_pmic_cell0_soc -down 600 | grep -q '^sdb_pmic_cell0_soc,'
-rm -f smoke.lane.sdbts smoke.lane.sdbstor smoke.a.csv smoke.b.csv
+# Windowed export: the store's index-pruned WalkRange and the legacy
+# file's generic clip must agree byte for byte on the same window.
+go run ./cmd/sdbtrace export -in smoke.lane.sdbts -since 600 -until 1800 > smoke.wa.csv
+go run ./cmd/sdbtrace export -in smoke.lane.sdbstor -since 600 -until 1800 > smoke.wb.csv
+cmp smoke.wa.csv smoke.wb.csv
+grep -q 'sdb_pmic_steps_total,counter,' smoke.wa.csv
+rm -f smoke.lane.sdbts smoke.lane.sdbstor smoke.a.csv smoke.b.csv smoke.wa.csv smoke.wb.csv

@@ -7,10 +7,13 @@ package main
 // figure: devices x steps/sec and p99 command latency at N=10k.
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"sdb/internal/battery"
@@ -41,6 +44,177 @@ type fleetBenchResult struct {
 	CmdP99MS float64 `json:"cmd_p99_ms"`
 }
 
+// parseSubsCounts parses the -fleetsubs comma list.
+func parseSubsCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad subscriber count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// fleetSubsPoint is one row of the subscriber fan-out section: the
+// same fleet drained with k push subscribers attached, so the report
+// shows what live telemetry costs the tick barrier.
+type fleetSubsPoint struct {
+	Subscribers int     `json:"subscribers"`
+	Steps       uint64  `json:"steps"`
+	WallMS      float64 `json:"wall_ms"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	PushFrames  uint64  `json:"push_frames"`
+	PushPerSec  float64 `json:"push_frames_per_sec"`
+	Dropped     uint64  `json:"dropped"`
+}
+
+// buildBenchFleet populates the standard heterogeneous bench fleet
+// with traceSteps one-second samples of workload per device.
+func buildBenchFleet(n, shards, batch, traceSteps int, backend string) (*fleet.Fleet, error) {
+	f := fleet.New(fleet.Config{Shards: shards, Batch: batch, Backend: backend, Obs: obs.NewRegistry()})
+	for i := 0; i < n; i++ {
+		id := uint16(i)
+		soc := 0.4 + 0.6*float64(id%50)/50
+		load := 1 + 0.4*float64(id%7)
+		st, err := emulator.NewStack(soc, core.Options{},
+			battery.MustByName("QuickCharge-2000"),
+			battery.MustByName("Standard-2000"))
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("device %d: %w", id, err)
+		}
+		cfg := emulator.Config{
+			Controller:   st.Controller,
+			Trace:        workload.Constant(fmt.Sprintf("dev-%d", id), load, float64(traceSteps), 1),
+			PolicyEveryS: 60,
+		}
+		if id%3 == 0 {
+			cfg.Runtime = st.Runtime
+		}
+		if err := f.Add(id, cfg); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("device %d: %w", id, err)
+		}
+	}
+	return f, nil
+}
+
+// runFleetSubsBench drains the same fleet once per requested
+// subscriber count. The subscribers are deliberately STALLED for the
+// whole drain — they subscribe fleet-wide but read nothing until the
+// run completes — because that is the property the PR10 criterion
+// names: a consumer that never keeps up must not delay the tick
+// barrier (its queue fills, frames drop and are counted, the barrier
+// moves on). After the run each subscriber drains its backlog and the
+// ledger must reconcile exactly: received = pushed - dropped per the
+// wire counters. A run that miscounts fails the bench.
+//
+// Like every other experiment, each point is best-of-reps on
+// steps/sec: the figure is capacity, not a scheduling-noise sample.
+// The ledger is checked on every rep, not just the kept one.
+func runFleetSubsBench(n, shards, batch int, backend string, counts []int, reps int, quiet bool) ([]fleetSubsPoint, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var out []fleetSubsPoint
+	for _, k := range counts {
+		var best fleetSubsPoint
+		for rep := 0; rep < reps; rep++ {
+			pt, err := runFleetSubsOnce(n, shards, batch, backend, k)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || pt.StepsPerSec > best.StepsPerSec {
+				best = pt
+			}
+		}
+		out = append(out, best)
+		if !quiet {
+			fmt.Fprintf(os.Stderr,
+				"sdbbench: fleet %d devices, %d subscribers: %.3gms drain, %.3g steps/s, %d push frames (%.3g/s), %d dropped\n",
+				n, best.Subscribers, best.WallMS, best.StepsPerSec, best.PushFrames, best.PushPerSec, best.Dropped)
+		}
+	}
+	return out, nil
+}
+
+// runFleetSubsOnce is a single rep of the subscriber fan-out point.
+// The trace is 10x the headline fleet figure's: a stalled subscriber's
+// cost is front-loaded (its queue fills on the first barrier, its
+// per-device delta state is allocated once), and the property under
+// test is the steady-state barrier cost, so the run must be long
+// enough that steady state is what the clock sees.
+func runFleetSubsOnce(n, shards, batch int, backend string, k int) (fleetSubsPoint, error) {
+	const subsTraceSteps = 1200
+	f, err := buildBenchFleet(n, shards, batch, subsTraceSteps, backend)
+	if err != nil {
+		return fleetSubsPoint{}, err
+	}
+	defer f.Close()
+	clients := make([]*pmic.Client, k)
+	subIDs := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		srv, cli := net.Pipe()
+		go f.Serve(srv)
+		defer cli.Close()
+		c := pmic.NewClient(cli)
+		c.Timeout = 5 * time.Second
+		id, err := c.Subscribe(pmic.SubscriptionSpec{Fleet: true, Signals: pmic.SubSigMetrics})
+		if err != nil {
+			return fleetSubsPoint{}, fmt.Errorf("subscriber %d: %w", i, err)
+		}
+		clients[i], subIDs[i] = c, id
+	}
+
+	// Stalled: not a single read while the fleet runs.
+	wall0 := time.Now()
+	f.RunToCompletion(batch)
+	wall := time.Since(wall0)
+
+	// No more ticks run, so the counters are frozen. Drain each
+	// subscriber to exactly its ledger balance, then the stream must
+	// be silent — one extra or missing frame fails the bench.
+	expect := map[uint64]uint64{}
+	var pushed, dropped uint64
+	for _, s := range f.SubStats() {
+		expect[s.ID] = s.Pushed - s.Dropped
+		pushed += s.Pushed
+		dropped += s.Dropped
+	}
+	var got uint64
+	for i, c := range clients {
+		want := expect[subIDs[i]]
+		for j := uint64(0); j < want; j++ {
+			if _, err := c.ReadPush(5 * time.Second); err != nil {
+				return fleetSubsPoint{}, fmt.Errorf("subscriber %d: frame %d of %d owed: %w", i, j+1, want, err)
+			}
+			got++
+		}
+		if _, err := c.ReadPush(150 * time.Millisecond); !errors.Is(err, os.ErrDeadlineExceeded) {
+			return fleetSubsPoint{}, fmt.Errorf("subscriber %d: frame beyond the %d the ledger owes (err=%v)", i, want, err)
+		}
+	}
+	if got != pushed-dropped {
+		return fleetSubsPoint{}, fmt.Errorf("%d subscribers: received %d frames, counters say %d pushed - %d dropped",
+			k, got, pushed, dropped)
+	}
+	st := f.Stat()
+	return fleetSubsPoint{
+		Subscribers: k,
+		Steps:       st.Steps,
+		WallMS:      float64(wall.Nanoseconds()) / 1e6,
+		StepsPerSec: float64(st.Steps) / wall.Seconds(),
+		PushFrames:  pushed,
+		PushPerSec:  float64(pushed) / wall.Seconds(),
+		Dropped:     dropped,
+	}, nil
+}
+
 // runFleetBench populates a fleet of n heterogeneous devices (same
 // id-derived variation the fleet tests use), drains a fixed-length
 // trace per device through the shard pool, and samples command
@@ -53,32 +227,12 @@ func runFleetBench(n, shards, batch int, backend string, quiet bool) (*fleetBenc
 	if n > 0xFFFF {
 		return nil, fmt.Errorf("fleet bench: %d devices exceed the 16-bit id space", n)
 	}
-	f := fleet.New(fleet.Config{Shards: shards, Batch: batch, Backend: backend, Obs: obs.NewRegistry()})
-	defer f.Close()
-
 	build0 := time.Now()
-	for i := 0; i < n; i++ {
-		id := uint16(i)
-		soc := 0.4 + 0.6*float64(id%50)/50
-		load := 1 + 0.4*float64(id%7)
-		st, err := emulator.NewStack(soc, core.Options{},
-			battery.MustByName("QuickCharge-2000"),
-			battery.MustByName("Standard-2000"))
-		if err != nil {
-			return nil, fmt.Errorf("device %d: %w", id, err)
-		}
-		cfg := emulator.Config{
-			Controller:   st.Controller,
-			Trace:        workload.Constant(fmt.Sprintf("dev-%d", id), load, traceSteps, 1),
-			PolicyEveryS: 60,
-		}
-		if id%3 == 0 {
-			cfg.Runtime = st.Runtime
-		}
-		if err := f.Add(id, cfg); err != nil {
-			return nil, fmt.Errorf("device %d: %w", id, err)
-		}
+	f, err := buildBenchFleet(n, shards, batch, traceSteps, backend)
+	if err != nil {
+		return nil, err
 	}
+	defer f.Close()
 	buildMS := float64(time.Since(build0).Nanoseconds()) / 1e6
 
 	// Latency probe: one client, one connection, status queries cycling

@@ -82,6 +82,7 @@ func run() int {
 		fleetShards  = flag.Int("fleetshards", runtime.GOMAXPROCS(0), "fleet bench: worker shards")
 		fleetBatch   = flag.Int("fleetbatch", 64, "fleet bench: steps per device per scheduling slice")
 		fleetBackend = flag.String("backend", "soa", "fleet bench: stepping engine, soa (struct-of-arrays batch kernel) or scalar (reference path)")
+		fleetSubs    = flag.String("fleetsubs", "", `with -fleet: also drain the fleet once per subscriber count in this comma list (e.g. "0,1,8,64"), reporting steps/s, push frames/s, and drops per point (fleet_subs section in -benchjson)`)
 	)
 	flag.Parse()
 
@@ -138,9 +139,19 @@ func run() int {
 		defer cancel()
 	}
 
+	subsCounts, err := parseSubsCounts(*fleetSubs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdbbench: -fleetsubs: %v\n", err)
+		return 2
+	}
+	if len(subsCounts) > 0 && *fleetN <= 0 {
+		fmt.Fprintln(os.Stderr, "sdbbench: -fleetsubs needs -fleet N")
+		return 2
+	}
+
 	if *benchjson != "" {
 		return runBenchJSON(ctx, *benchjson, *baseline, *gate, *benchreps, *quiet,
-			*runIDs, *fleetN, *fleetShards, *fleetBatch, *fleetBackend)
+			*runIDs, *fleetN, *fleetShards, *fleetBatch, *fleetBackend, subsCounts)
 	}
 	if *compare {
 		return runCompare(ctx, *jobs)
@@ -151,6 +162,12 @@ func run() int {
 		if _, err := runFleetBench(*fleetN, *fleetShards, *fleetBatch, *fleetBackend, false); err != nil {
 			fmt.Fprintf(os.Stderr, "sdbbench: fleet: %v\n", err)
 			return 1
+		}
+		if len(subsCounts) > 0 {
+			if _, err := runFleetSubsBench(*fleetN, *fleetShards, *fleetBatch, *fleetBackend, subsCounts, *benchreps, false); err != nil {
+				fmt.Fprintf(os.Stderr, "sdbbench: fleet subs: %v\n", err)
+				return 1
+			}
 		}
 		return 0
 	}
@@ -316,6 +333,10 @@ type benchReport struct {
 	// Fleet carries the multi-tenant endpoint figures when the report
 	// was generated with -fleet N.
 	Fleet *fleetBenchResult `json:"fleet,omitempty"`
+	// FleetSubs is the subscriber fan-out sweep (-fleetsubs): the same
+	// fleet drained at each subscriber count, so the report shows how
+	// push telemetry scales against stepping throughput.
+	FleetSubs []fleetSubsPoint `json:"fleet_subs,omitempty"`
 }
 
 // runBenchJSON benchmarks every registry experiment serially (reps
@@ -328,7 +349,7 @@ type benchReport struct {
 // bench to those experiments — the cheap way to re-time one figure
 // when deciding whether a wall-time delta is noise or a regression
 // (see the perf protocol in DESIGN.md).
-func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, reps int, quiet bool, runIDs string, fleetN, fleetShards, fleetBatch int, fleetBackend string) int {
+func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, reps int, quiet bool, runIDs string, fleetN, fleetShards, fleetBatch int, fleetBackend string, fleetSubs []int) int {
 	if reps < 1 {
 		reps = 1
 	}
@@ -414,6 +435,14 @@ func runBenchJSON(ctx context.Context, path, baselinePath string, gate float64, 
 			if report.Fleet == nil || fb.StepsPerSec > report.Fleet.StepsPerSec {
 				report.Fleet = fb
 			}
+		}
+		if len(fleetSubs) > 0 {
+			pts, err := runFleetSubsBench(fleetN, fleetShards, fleetBatch, fleetBackend, fleetSubs, reps, quiet)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdbbench: fleet subs: %v\n", err)
+				return 1
+			}
+			report.FleetSubs = pts
 		}
 	}
 

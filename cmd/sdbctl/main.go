@@ -31,6 +31,7 @@
 //	sdbctl -addr localhost:7070 -dev 42 status
 //	sdbctl -addr localhost:7070 fleet list
 //	sdbctl -addr localhost:7070 fleet stat
+//	sdbctl -addr localhost:7070 fleet subs
 //	sdbctl -addr localhost:7070 fleet broadcast discharge 0.7,0.3
 //	sdbctl -addr localhost:7070 fleet snapshot
 //	sdbctl fleet restore fleet.ckpt
@@ -214,7 +215,7 @@ func main() {
 // connection.
 func fleetCmd(cl *pmic.Client, args []string) {
 	if len(args) == 0 {
-		fatalf("fleet needs a subcommand (list|stat|broadcast|snapshot|restore)")
+		fatalf("fleet needs a subcommand (list|stat|subs|broadcast|snapshot|restore)")
 	}
 	switch args[0] {
 	case "list":
@@ -245,6 +246,28 @@ func fleetCmd(cl *pmic.Client, args []string) {
 		path, size, err := cl.FleetSnapshot()
 		must(err)
 		fmt.Printf("checkpoint written: %s (%d bytes)\n", path, size)
+	case "subs":
+		subs, err := cl.FleetSubs()
+		must(err)
+		for _, s := range subs {
+			scope := fmt.Sprintf("%d device(s)", s.Devices)
+			if s.FleetWide {
+				scope = "fleet-wide"
+			}
+			var sig []string
+			if s.Signals&pmic.SubSigMetrics != 0 {
+				sig = append(sig, "metrics")
+			}
+			if s.Signals&pmic.SubSigTrace != 0 {
+				sig = append(sig, "trace")
+			}
+			if s.Signals&pmic.SubSigAlerts != 0 {
+				sig = append(sig, "alerts")
+			}
+			fmt.Printf("sub %d: %s %s, pushed %d, dropped %d\n",
+				s.ID, scope, strings.Join(sig, "+"), s.Pushed, s.Dropped)
+		}
+		fmt.Printf("%d subscription(s)\n", len(subs))
 	case "broadcast":
 		// broadcast discharge 0.7,0.3 | broadcast charge 0.5,0.5 |
 		// broadcast ping — apply one command to every device the
@@ -289,7 +312,7 @@ func fleetCmd(cl *pmic.Client, args []string) {
 			os.Exit(1)
 		}
 	default:
-		fatalf("unknown fleet subcommand %q (list|stat|broadcast|snapshot|restore)", args[0])
+		fatalf("unknown fleet subcommand %q (list|stat|subs|broadcast|snapshot|restore)", args[0])
 	}
 }
 
@@ -617,12 +640,30 @@ func serve(argv []string) {
 	every := fs.Int("every", 10, "fleet: ticks between automatic checkpoints")
 	storePath := fs.String("store", "", "fleet: record per-device telemetry into this paged store (.sdbstor), created or appended")
 	recEvery := fs.Int("record-every", 1, "fleet: ticks between telemetry recordings (with -store)")
+	rulesPath := fs.String("rules", "", "fleet: alert rule file (ts DSL over soc/health/steps/temp_c/energy_j), evaluated per device at every tick barrier")
 	if err := fs.Parse(argv); err != nil {
 		os.Exit(2)
 	}
+	var rules []ts.Rule
+	if *rulesPath != "" {
+		src, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rules, err = ts.ParseRules(string(src))
+		if err != nil {
+			fatalf("rules %s: %v", *rulesPath, err)
+		}
+		if err := fleet.ValidateRules(rules); err != nil {
+			fatalf("rules %s: %v", *rulesPath, err)
+		}
+	}
 	if *fleetN > 0 {
-		serveFleet(*addr, *fleetN, *shards, *batch, *loadW, *speed, *durS, *ckpt, *every, *storePath, *recEvery)
+		serveFleet(*addr, *fleetN, *shards, *batch, *loadW, *speed, *durS, *ckpt, *every, *storePath, *recEvery, rules)
 		return
+	}
+	if rules != nil {
+		fatalf("-rules needs a fleet server (-fleet N)")
 	}
 
 	// Install the process registry before building the stack so every
@@ -706,7 +747,7 @@ func serve(argv []string) {
 // paged telemetry store at each tick barrier (thinned by recEvery),
 // synced to disk every few ticks and closed cleanly on drain; query it
 // live or after the fact with `sdbtrace query -in <store>`.
-func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64, ckpt string, every int, storePath string, recEvery int) {
+func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64, ckpt string, every int, storePath string, recEvery int, rules []ts.Rule) {
 	if n > 0xFFFF {
 		fatalf("-fleet %d exceeds the 16-bit device id space", n)
 	}
@@ -745,7 +786,7 @@ func serveFleet(addr string, n, shards, batch int, loadW, speed, durS float64, c
 	fcfg := fleet.Config{
 		Shards: shards, Batch: batch, Obs: obs.Default(),
 		Checkpoint: ckpt, CheckpointEvery: every, Provision: provision,
-		Record: tstore, RecordEvery: recEvery,
+		Record: tstore, RecordEvery: recEvery, Rules: rules,
 	}
 	var f *fleet.Fleet
 	if ckpt != "" {

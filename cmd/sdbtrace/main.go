@@ -12,6 +12,7 @@
 //	sdbtrace export -in day.sdbts                       # CSV to stdout
 //	sdbtrace export -in day.sdbstor -format json -out day.json
 //	sdbtrace export -in day.sdbts -series sdb_pmic_steps_total
+//	sdbtrace export -in day.sdbstor -since 3600 -until 7200    # one window
 //	sdbtrace query -in day.sdbstor                      # list stored series
 //	sdbtrace query -in day.sdbstor -series sdb_pack_soc -from 3600 -to 7200
 //	sdbtrace query -in day.sdbstor -series sdb_pack_soc -down 600
@@ -187,6 +188,8 @@ func exportCmd(argv []string) {
 		in     = fs.String("in", "", "input telemetry (.sdbts series file or .sdbstor store)")
 		format = fs.String("format", "csv", "output format: csv|json")
 		series = fs.String("series", "", "export only this series (default: all)")
+		since  = fs.Float64("since", math.Inf(-1), "export only samples at or after this sim time (seconds)")
+		until  = fs.Float64("until", math.Inf(1), "export only samples at or before this sim time (seconds)")
 		out    = fs.String("out", "", "output file (default stdout)")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -195,9 +198,17 @@ func exportCmd(argv []string) {
 	if *in == "" {
 		fatalf("export needs -in <file.sdbts|file.sdbstor>")
 	}
+	if *since > *until {
+		fatalf("-since %g is after -until %g", *since, *until)
+	}
 	src, closer := openSource(*in)
 	if closer != nil {
 		defer closer.Close()
+	}
+	// Clip wraps the raw source so a store serves the window natively,
+	// reading only the pages that overlap it.
+	if !math.IsInf(*since, -1) || !math.IsInf(*until, 1) {
+		src = export.Clip(src, *since, *until)
 	}
 	if *series != "" {
 		src = export.Filter(src, *series)

@@ -35,6 +35,16 @@
 // old client against a fleet server lands on device 0. Decoders accept
 // both layouts on the same stream.
 //
+// Server-push frames (the pmic CmdPush family) ride the same framing
+// with sequence number 0 — a value no client request ever carries (the
+// pmic client's sequence wraps 255 -> 1 skipping 0). A push can
+// therefore never be mistaken for the response to a pending call: a
+// subscription-aware client routes Cmd = CmdPush frames to its push
+// path, and a legacy request/response client counts them stale and
+// keeps working. Backpressure lives above the framing: pushes sit in
+// bounded per-subscriber queues server-side and are dropped (and
+// counted) rather than ever blocking the fleet tick barrier.
+//
 // The package is transport-agnostic: any io.Reader/io.Writer pair
 // works (net.Conn, net.Pipe, an in-process buffer).
 package bus

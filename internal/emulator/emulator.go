@@ -220,6 +220,11 @@ func (m *Machine) StepsRun() int { return m.res.Steps }
 // last executed step, 0 before the first.
 func (m *Machine) ElapsedS() float64 { return m.res.ElapsedS }
 
+// Runtime returns the policy stack the machine was configured with
+// (nil for firmware-only runs). Telemetry layers read its health
+// ladder position between steps.
+func (m *Machine) Runtime() *core.Runtime { return m.cfg.Runtime }
+
 // Step executes one firmware enforcement step (one trace sample),
 // including any policy tick or fault scheduled at its boundary.
 // It returns false once the run is complete.

@@ -85,6 +85,16 @@ type Config struct {
 	Record *store.Store
 	// RecordEvery records every N ticks. Zero means every tick.
 	RecordEvery int
+	// Rules is the fleet alert rule set (the internal/obs/ts DSL),
+	// evaluated per device at every tick barrier against the live
+	// registry. Rule series must name fleet device signals (soc,
+	// health, steps, temp_c, energy_j) — see ValidateRules. Empty
+	// disables fleet alerting.
+	Rules []ts.Rule
+	// SubQueue caps each push subscriber's frame queue. A full queue
+	// drops frames (counted, never blocking the tick barrier).
+	// Default 64.
+	SubQueue int
 }
 
 // Fleet is a registry of emulated devices plus the shard pool that
@@ -116,6 +126,11 @@ type Fleet struct {
 	draining atomic.Bool
 	// quarCount tracks devices currently quarantined by supervision.
 	quarCount atomic.Int64
+
+	// subs is the push-subscription hub; alerts the fleet alert engine
+	// (nil without rules). Both are driven from the tick barrier.
+	subs   subHub
+	alerts *alertEngine
 
 	om fleetMetrics
 }
@@ -151,6 +166,13 @@ type device struct {
 	rec0SoC          float64
 	rec0Steps        float64
 	recPending       bool
+
+	// sig is the device's barrier-time telemetry sample, written by the
+	// owning shard during a tick (after stepping) and read only at the
+	// barrier — the tick WaitGroup orders writer and readers. It feeds
+	// alert evaluation and metric pushes without serializing device
+	// queries through the barrier.
+	sig deviceSig
 }
 
 type shard struct {
@@ -174,6 +196,11 @@ type tickReq struct {
 	steps  int
 	active *atomic.Int64 // devices still running, summed across shards
 	wg     *sync.WaitGroup
+	// sig asks shards to refresh each device's telemetry sample after
+	// stepping (set when alert rules or metric subscribers need it), so
+	// signal collection parallelizes across shards instead of running
+	// serially at the barrier.
+	sig bool
 }
 
 // fleetMetrics bundles the aggregate observables.
@@ -220,6 +247,10 @@ func New(cfg Config) *Fleet {
 			tracer:      reg.Tracer(),
 			audit:       reg.Audit(),
 		},
+	}
+	f.subs.init(reg, cfg.SubQueue)
+	if len(cfg.Rules) > 0 {
+		f.alerts = newAlertEngine(cfg.Rules, reg)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
@@ -418,15 +449,54 @@ func (f *Fleet) shardTick(s *shard, req tickReq) {
 		req.wg.Done()
 	}()
 	for _, d := range s.devices {
-		if d.quarantined.Load() || d.err != nil || d.m.Done() {
+		if d.quarantined.Load() || d.err != nil {
 			continue
 		}
-		n, alive := f.stepDevice(s, d, req.steps)
-		ran += n
-		if alive {
-			active++
+		if !d.m.Done() {
+			n, alive := f.stepDevice(s, d, req.steps)
+			ran += n
+			if alive {
+				active++
+			}
+		}
+		if req.sig && !d.quarantined.Load() && d.err == nil {
+			collectSig(d)
 		}
 	}
+}
+
+// collectSig refreshes one device's barrier telemetry sample. Runs on
+// the owning shard goroutine during a tick (device idle between
+// batches), so the firmware query contends with nothing. A device
+// whose clock has not advanced keeps its previous sample.
+func collectSig(d *device) {
+	t := d.m.ElapsedS()
+	if d.sig.ok && t <= d.sig.t {
+		return
+	}
+	sts, err := d.ctrl.QueryBatteryStatus()
+	if err != nil || len(sts) == 0 {
+		d.sig.ok = false
+		return
+	}
+	var soc, temp, energy float64
+	for _, s := range sts {
+		soc += s.SoC
+		temp += s.TemperatureC
+		energy += s.EnergyRemainingJ
+	}
+	n := float64(len(sts))
+	var health float64
+	if rt := d.m.Runtime(); rt != nil {
+		health = float64(rt.Health())
+	}
+	d.sig = deviceSig{ok: true, t: t, v: [nDeviceSignals]float64{
+		sigSoC:     soc / n,
+		sigHealth:  health,
+		sigSteps:   float64(d.m.StepsRun()),
+		sigTempC:   temp / n,
+		sigEnergyJ: energy / n,
+	}}
 }
 
 // stepDevice advances one device by up to steps firmware steps. Its
@@ -500,11 +570,20 @@ func (f *Fleet) Tick(steps int) int {
 	var active atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(len(f.shards))
-	req := tickReq{steps: steps, active: &active, wg: &wg}
+	req := tickReq{steps: steps, active: &active, wg: &wg,
+		sig: f.alerts != nil || f.subs.wantMetrics()}
 	for _, s := range f.shards {
 		s.wake <- req
 	}
 	wg.Wait()
+	// Barrier work, in a fixed order: alert evaluation (deterministic —
+	// sorted device ids over the shard-collected samples), recording,
+	// then the push fan-out (encode-and-enqueue only; a slow subscriber
+	// costs drops, never barrier time).
+	var trans []AlertTransition
+	if f.alerts != nil && req.sig {
+		trans = f.alerts.evalBarrier(f)
+	}
 	if f.cfg.Record != nil && f.recErr == nil {
 		f.sinceRec++
 		every := f.cfg.RecordEvery
@@ -514,8 +593,18 @@ func (f *Fleet) Tick(steps int) int {
 		if f.sinceRec >= every {
 			f.sinceRec = 0
 			f.recordLocked()
+			if f.alerts != nil && f.recErr == nil {
+				var maxT float64
+				for _, d := range f.devices {
+					if d.sig.ok && d.sig.t > maxT {
+						maxT = d.sig.t
+					}
+				}
+				f.alerts.recordRollups(f, maxT)
+			}
 		}
 	}
+	f.publishLocked(trans, int(active.Load()))
 	f.regMu.RUnlock()
 	f.tickWallS += time.Since(start).Seconds()
 	if f.tickWallS > 0 {
@@ -781,10 +870,16 @@ func (f *Fleet) Drain(ctx context.Context) error {
 // under its device id. Version-1 frames carry no id and land on device
 // 0, so a pre-fleet client drives device 0 of a fleet server without
 // knowing fleets exist. Frames addressing an unknown id are answered
-// with StatusNoDevice; CmdFleetInfo is answered by the fleet itself.
-// Run one Serve goroutine per accepted connection.
+// with StatusNoDevice; CmdFleetInfo is answered by the fleet itself,
+// and CmdSubscribe/CmdUnsubscribe open and close push subscriptions
+// scoped to this connection (all of them torn down when Serve
+// returns). Responses and pushes share the connection through one
+// frame-atomic writer. Run one Serve goroutine per accepted
+// connection.
 func (f *Fleet) Serve(rw io.ReadWriter) error {
 	sc := bus.NewScanner(rw)
+	cw := &connWriter{w: rw}
+	defer f.subs.dropConn(cw)
 	for {
 		req, err := sc.ReadFrame()
 		switch {
@@ -796,8 +891,16 @@ func (f *Fleet) Serve(rw io.ReadWriter) error {
 			return fmt.Errorf("fleet: serve: %w", err)
 		}
 		t0 := time.Now()
-		resp := f.dispatch(req)
-		if err := bus.WriteFrame(rw, resp); err != nil {
+		var resp bus.Frame
+		switch req.Cmd {
+		case pmic.CmdSubscribe:
+			resp = f.subscribe(req, cw)
+		case pmic.CmdUnsubscribe:
+			resp = f.unsubscribe(req, cw)
+		default:
+			resp = f.dispatch(req)
+		}
+		if err := cw.WriteFrame(resp); err != nil {
 			return fmt.Errorf("fleet: serve write: %w", err)
 		}
 		f.om.cmd.Observe(time.Since(t0).Seconds())
@@ -876,6 +979,22 @@ func (f *Fleet) fleetInfo(req bus.Frame) bus.Frame {
 			w.U8(1)
 		} else {
 			w.U8(0)
+		}
+	case mode == pmic.FleetSubs:
+		subs := f.SubStats()
+		w.U8(pmic.StatusOK)
+		w.UVarint(uint64(len(subs)))
+		for _, s := range subs {
+			w.UVarint(s.ID)
+			w.U8(s.Signals)
+			if s.FleetWide {
+				w.U8(1)
+			} else {
+				w.U8(0)
+			}
+			w.UVarint(uint64(s.Devices))
+			w.UVarint(s.Pushed)
+			w.UVarint(s.Dropped)
 		}
 	case mode == pmic.FleetSnapshot:
 		// Write a checkpoint to the server's configured path and report

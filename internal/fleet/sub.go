@@ -1,0 +1,673 @@
+// Push subscriptions: the fleet's live telemetry fan-out. A client
+// subscribes (CmdSubscribe) to signals — metrics by name/glob, trace
+// events, alert transitions — for a device set or the whole fleet, and
+// the fleet pushes CmdPush frames from its tick barrier. Three rules
+// keep the barrier safe from consumers:
+//
+//  1. Every subscriber owns a bounded frame queue drained by its own
+//     writer goroutine. The barrier enqueues without blocking; a full
+//     queue drops the frame and counts it. A stalled subscriber
+//     therefore costs the barrier nothing but the encode.
+//  2. Metric values travel as XOR deltas of their float64 bit patterns
+//     (the store's own trick), unchanged values omitted. A drop breaks
+//     the delta chain, so the first metrics frame after any drop is
+//     flagged PushFlagReset: bases re-zeroed, dictionary re-announced,
+//     the stream re-converges without acknowledgements.
+//  3. The shared connection writer is a mutex: responses from Serve
+//     and pushes interleave frame-atomically, never byte-interleaved.
+package fleet
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sdb/internal/bus"
+	"sdb/internal/obs"
+	"sdb/internal/pmic"
+)
+
+// deviceSignals is the per-device metric namespace pushed to
+// subscribers and read by fleet alert rules, in wire-dictionary order.
+var deviceSignals = []string{"soc", "health", "steps", "temp_c", "energy_j"}
+
+// Indices into deviceSig.v / deviceSignals.
+const (
+	sigSoC = iota
+	sigHealth
+	sigSteps
+	sigTempC
+	sigEnergyJ
+	nDeviceSignals
+)
+
+// fleetSignals is the rollup namespace pushed under PushFleetDevice.
+var fleetSignals = []string{
+	"fleet_devices", "fleet_running", "fleet_steps_total",
+	"fleet_steps_per_sec", "fleet_quarantined", "fleet_alerts_firing",
+}
+
+// deviceSig is one device's barrier-time signal sample, written by the
+// owning shard during a tick and read at the barrier (the tick's
+// WaitGroup orders the two).
+type deviceSig struct {
+	ok bool
+	t  float64
+	v  [nDeviceSignals]float64
+}
+
+// connWriter serializes frame writes onto one connection so Serve
+// responses and subscription pushes interleave frame-atomically.
+type connWriter struct {
+	mu sync.Mutex
+	w  interface{ Write([]byte) (int, error) }
+}
+
+func (cw *connWriter) WriteFrame(fr bus.Frame) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return bus.WriteFrame(cw.w, fr)
+}
+
+// nameAnn is one pending dictionary announcement (metric id -> name).
+type nameAnn struct {
+	id   int
+	name string
+}
+
+// subDev is a subscription's per-device encoder state: the sim time of
+// the last metric push (cadence gate) and the bit patterns of the last
+// pushed values (XOR delta bases).
+type subDev struct {
+	lastPushT float64
+	bits      []uint64
+	// dev pins the device incarnation these bases belong to (nil for
+	// the fleet pseudo-device). A remove + re-add under the same id
+	// changes the pointer, and only a stream reset can re-sync bases.
+	dev *device
+}
+
+// subscription is one live push subscription. The queue and the
+// atomic counters are shared with the writer goroutine; everything
+// else is guarded by the hub mutex and touched only at the barrier.
+type subscription struct {
+	id        uint64
+	signals   byte
+	fleetWide bool
+	devs      map[uint16]bool
+	cadenceS  float64
+	globs     []string
+
+	conn *connWriter
+	q    chan bus.Frame
+	dead atomic.Bool
+
+	// pushed counts frames the barrier produced for this subscriber;
+	// dropped counts the subset its full queue rejected. Once the queue
+	// drains, delivered = pushed - dropped, exactly.
+	pushed  atomic.Uint64
+	dropped atomic.Uint64
+
+	// Encoder state (hub-mutex-guarded, barrier-only).
+	names        map[string]int
+	nameList     []string
+	newNames     []nameAnn
+	track        map[uint16]*subDev
+	lastTraceSeq uint64
+	needReset    bool
+	devKeep      []bool // glob verdict per deviceSignals index
+	fleetKeep    []bool // glob verdict per fleetSignals index
+}
+
+// wants reports whether the subscription covers a device id.
+func (s *subscription) wants(id uint16) bool {
+	return s.fleetWide || s.devs[id]
+}
+
+// subHub is the fleet's subscription registry plus the shared
+// publish/drop counters.
+type subHub struct {
+	mu    sync.Mutex
+	subs  map[uint64]*subscription
+	next  uint64
+	qCap  int
+	subsG *obs.Gauge
+	pushC *obs.Counter
+	dropC *obs.Counter
+}
+
+func (h *subHub) init(reg *obs.Registry, qCap int) {
+	if qCap <= 0 {
+		qCap = 64
+	}
+	h.subs = make(map[uint64]*subscription)
+	h.qCap = qCap
+	h.subsG = reg.Gauge("sdb_fleet_subscribers")
+	h.pushC = reg.Counter("sdb_fleet_push_frames_total")
+	h.dropC = reg.Counter("sdb_fleet_push_dropped_total")
+}
+
+// active reports whether any live subscription exists, and whether any
+// of them wants metric signals (the tick barrier skips per-device
+// signal collection entirely when nothing needs it).
+func (h *subHub) wantMetrics() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.subs {
+		if !s.dead.Load() && s.signals&pmic.SubSigMetrics != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// maxSubs bounds the registry; beyond it Subscribe answers
+// StatusInternal (retryable — subscriptions come and go).
+const maxSubs = 4096
+
+// subscribe handles one CmdSubscribe frame for a connection.
+func (f *Fleet) subscribe(req bus.Frame, cw *connWriter) bus.Frame {
+	if f.draining.Load() {
+		return statusFrame(req, pmic.StatusDraining)
+	}
+	r := bus.NewReader(req.Payload)
+	scope := r.U8()
+	signals := r.U8() & (pmic.SubSigMetrics | pmic.SubSigTrace | pmic.SubSigAlerts)
+	cadence := r.F64()
+	var devs map[uint16]bool
+	switch scope {
+	case pmic.SubScopeFleet:
+	case pmic.SubScopeDevices:
+		n := int(r.UVarint())
+		if n > r.Remaining()/2 {
+			return statusFrame(req, pmic.StatusBadArgs)
+		}
+		devs = make(map[uint16]bool, n)
+		for i := 0; i < n; i++ {
+			devs[r.U16()] = true
+		}
+	default:
+		return statusFrame(req, pmic.StatusBadArgs)
+	}
+	nGlobs := int(r.UVarint())
+	var globs []string
+	for i := 0; i < nGlobs && r.Err() == nil; i++ {
+		globs = append(globs, r.Str())
+	}
+	if r.Err() != nil || signals == 0 {
+		return statusFrame(req, pmic.StatusBadArgs)
+	}
+
+	s := &subscription{
+		signals:   signals,
+		fleetWide: scope == pmic.SubScopeFleet,
+		devs:      devs,
+		cadenceS:  cadence,
+		globs:     globs,
+		conn:      cw,
+		q:         make(chan bus.Frame, f.subs.qCap),
+		names:     make(map[string]int),
+		track:     make(map[uint16]*subDev),
+		devKeep:   globKeep(globs, deviceSignals),
+		fleetKeep: globKeep(globs, fleetSignals),
+	}
+	h := &f.subs
+	h.mu.Lock()
+	if len(h.subs) >= maxSubs {
+		h.mu.Unlock()
+		return statusFrame(req, pmic.StatusInternal)
+	}
+	h.next++
+	s.id = h.next
+	h.subs[s.id] = s
+	h.subsG.Set(float64(len(h.subs)))
+	h.mu.Unlock()
+	go s.run()
+
+	var w bus.Writer
+	w.U8(pmic.StatusOK).UVarint(s.id)
+	return bus.Frame{Cmd: req.Cmd | pmic.RespFlag, Seq: req.Seq, Device: req.Device, Payload: w.Bytes()}
+}
+
+// unsubscribe handles one CmdUnsubscribe frame. Only the connection
+// that opened a subscription may close it.
+func (f *Fleet) unsubscribe(req bus.Frame, cw *connWriter) bus.Frame {
+	r := bus.NewReader(req.Payload)
+	id := r.UVarint()
+	if r.Err() != nil {
+		return statusFrame(req, pmic.StatusBadArgs)
+	}
+	h := &f.subs
+	h.mu.Lock()
+	s := h.subs[id]
+	if s == nil || s.conn != cw {
+		h.mu.Unlock()
+		return statusFrame(req, pmic.StatusBadIndex)
+	}
+	delete(h.subs, id)
+	close(s.q)
+	h.subsG.Set(float64(len(h.subs)))
+	h.mu.Unlock()
+	return statusFrame(req, pmic.StatusOK)
+}
+
+// dropConn tears down every subscription a closing connection owns.
+func (h *subHub) dropConn(cw *connWriter) {
+	h.mu.Lock()
+	for id, s := range h.subs {
+		if s.conn == cw {
+			delete(h.subs, id)
+			close(s.q)
+		}
+	}
+	h.subsG.Set(float64(len(h.subs)))
+	h.mu.Unlock()
+}
+
+// run is the subscription's writer goroutine: it drains the queue onto
+// the shared connection writer until the queue closes. A write error
+// marks the subscription dead; remaining frames drain and drop on the
+// floor so the enqueuing barrier never notices.
+func (s *subscription) run() {
+	for fr := range s.q {
+		if s.dead.Load() {
+			continue
+		}
+		if err := s.conn.WriteFrame(fr); err != nil {
+			s.dead.Store(true)
+		}
+	}
+}
+
+// enqueueLocked offers one frame to a subscriber without ever
+// blocking: a full queue drops the frame and counts it. Returns false
+// on drop. Called with the hub mutex held.
+func (h *subHub) enqueueLocked(s *subscription, fr bus.Frame) bool {
+	s.pushed.Add(1)
+	h.pushC.Inc()
+	select {
+	case s.q <- fr:
+		return true
+	default:
+		s.dropped.Add(1)
+		h.dropC.Inc()
+		return false
+	}
+}
+
+// publishLocked runs the push fan-out at the tick barrier: regMu is
+// read-held (membership frozen, devices idle), trans are this
+// barrier's alert transitions, running is the barrier's still-running
+// device count. Everything here is encode-and-enqueue; nothing blocks.
+func (f *Fleet) publishLocked(trans []AlertTransition, running int) {
+	h := &f.subs
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.subs) == 0 {
+		return
+	}
+
+	// Shared per-barrier views, built lazily: the sorted live-device
+	// id list for metric blocks, and the trace ring snapshot.
+	var ids []uint16
+	var maxT float64
+	var evs []obs.Event
+	haveIDs, haveEvs := false, false
+	liveIDs := func() ([]uint16, float64) {
+		if !haveIDs {
+			haveIDs = true
+			ids = make([]uint16, 0, len(f.devices))
+			for id, d := range f.devices {
+				if d.quarantined.Load() || d.err != nil || !d.sig.ok {
+					continue
+				}
+				ids = append(ids, id)
+				if d.sig.t > maxT {
+					maxT = d.sig.t
+				}
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		}
+		return ids, maxT
+	}
+	traceEvs := func() []obs.Event {
+		if !haveEvs {
+			haveEvs = true
+			evs = f.om.tracer.Events()
+		}
+		return evs
+	}
+
+	for _, s := range h.subs {
+		if s.dead.Load() {
+			continue
+		}
+		if s.signals&pmic.SubSigMetrics != 0 {
+			ids, maxT := liveIDs()
+			f.pushMetricsLocked(s, ids, maxT, running)
+		}
+		if s.signals&pmic.SubSigTrace != 0 {
+			f.pushTraceLocked(s, traceEvs())
+		}
+		if s.signals&pmic.SubSigAlerts != 0 && len(trans) > 0 {
+			f.pushAlertsLocked(s, trans)
+		}
+	}
+}
+
+// metricFrameBudget leaves header/dictionary headroom under the frame
+// payload cap when accumulating device blocks.
+const metricFrameBudget = bus.MaxPayload - 512
+
+// pushMetricsLocked encodes and enqueues one subscription's metric
+// frames for this barrier: the fleet rollup block first, then one
+// block per covered device whose clock advanced past the cadence
+// gate. Blocks carry only changed values as XOR deltas — except after
+// a drop, when the first frame of the next barrier re-bases on zero
+// (PushFlagReset) and re-announces the dictionary.
+func (f *Fleet) pushMetricsLocked(s *subscription, ids []uint16, maxT float64, running int) {
+	// Backed-up subscriber fast path: with no room for even one frame,
+	// encoding the whole fleet would be wasted barrier time — count one
+	// synthetic pushed+dropped frame (the delivered = pushed - dropped
+	// ledger stays exact) and stream-reset when room returns. This is
+	// what keeps a stalled consumer O(1) per barrier instead of
+	// O(devices).
+	if len(s.q) == cap(s.q) {
+		s.pushed.Add(1)
+		f.subs.pushC.Inc()
+		s.dropped.Add(1)
+		f.subs.dropC.Inc()
+		s.needReset = true
+		return
+	}
+	reset := s.needReset
+	if !reset {
+		// A tracked id now backed by a different device is a new
+		// incarnation (remove + re-add under a recycled id): its delta
+		// base no longer matches the client's. Only a stream reset
+		// re-syncs both sides.
+		for _, id := range ids {
+			if td := s.track[id]; td != nil && s.wants(id) && td.dev != f.devices[id] {
+				reset = true
+				break
+			}
+		}
+	}
+	if reset {
+		s.needReset = false
+		for id, td := range s.track {
+			if id != pmic.PushFleetDevice && f.devices[id] == nil {
+				delete(s.track, id) // churned away; drop the dead state
+				continue
+			}
+			clear(td.bits)
+			td.lastPushT = -1
+		}
+		s.newNames = s.newNames[:0]
+		for id, name := range s.nameList {
+			s.newNames = append(s.newNames, nameAnn{id: id, name: name})
+		}
+	}
+
+	var blocks bus.Writer
+	nBlocks := 0
+	first := true
+	flush := func() bool {
+		if nBlocks == 0 {
+			return true
+		}
+		var w bus.Writer
+		w.U8(pmic.PushMetrics)
+		var flags byte
+		if reset && first {
+			flags |= pmic.PushFlagReset
+		}
+		first = false
+		w.U8(flags)
+		w.UVarint(s.id)
+		w.UVarint(s.dropped.Load())
+		w.UVarint(uint64(len(s.newNames)))
+		for _, ann := range s.newNames {
+			w.UVarint(uint64(ann.id)).Str(ann.name)
+		}
+		s.newNames = s.newNames[:0]
+		w.UVarint(uint64(nBlocks))
+		payload := append(w.Bytes(), blocks.Bytes()...)
+		blocks = bus.Writer{}
+		nBlocks = 0
+		ok := f.subs.enqueueLocked(s, bus.Frame{Cmd: pmic.CmdPush, Payload: payload})
+		if !ok {
+			s.needReset = true
+		}
+		return ok
+	}
+
+	// Fleet rollup block, then device blocks in id order.
+	var firing float64
+	if f.alerts != nil {
+		firing = float64(f.alerts.totalFiring)
+	}
+	fleetVals := [...]float64{
+		float64(len(f.devices)), float64(running), float64(f.steps.Load()),
+		f.om.rate.Value(), float64(f.quarCount.Load()), firing,
+	}
+	f.encodeBlock(s, &blocks, &nBlocks, pmic.PushFleetDevice, nil, maxT, reset,
+		fleetSignals, s.fleetKeep, fleetVals[:])
+	for _, id := range ids {
+		if !s.wants(id) {
+			continue
+		}
+		d := f.devices[id]
+		if len(blocks.Bytes()) > metricFrameBudget {
+			if !flush() {
+				return // dropped: stop, next barrier resets
+			}
+		}
+		f.encodeBlock(s, &blocks, &nBlocks, id, d, d.sig.t, reset,
+			deviceSignals, s.devKeep, d.sig.v[:])
+	}
+	flush()
+}
+
+// encodeBlock appends one device's changed values to the pending
+// block writer, honoring the cadence gate and the glob filter.
+func (f *Fleet) encodeBlock(s *subscription, blocks *bus.Writer, nBlocks *int,
+	dev uint16, d *device, t float64, reset bool, sigNames []string, keep []bool, vals []float64) {
+	td := s.track[dev]
+	if td == nil {
+		td = &subDev{lastPushT: -1}
+		s.track[dev] = td
+	}
+	td.dev = d
+	if t <= td.lastPushT {
+		return // clock stopped (device done) — nothing new
+	}
+	if td.lastPushT >= 0 && t-td.lastPushT < s.cadenceS {
+		return // cadence gate: not due yet
+	}
+
+	// Gather changed (or, on reset, all kept) values first; an
+	// all-unchanged block is skipped entirely.
+	var idsBuf [16]int
+	var deltaBuf [16]uint64
+	n := 0
+	for i, name := range sigNames {
+		if !keep[i] {
+			continue
+		}
+		id, ok := s.names[name]
+		if !ok {
+			id = len(s.nameList)
+			s.names[name] = id
+			s.nameList = append(s.nameList, name)
+			s.newNames = append(s.newNames, nameAnn{id: id, name: name})
+		}
+		for len(td.bits) <= id {
+			td.bits = append(td.bits, 0)
+		}
+		bits := math.Float64bits(vals[i])
+		delta := td.bits[id] ^ bits
+		if delta == 0 && !reset {
+			continue
+		}
+		td.bits[id] = bits
+		idsBuf[n] = id
+		deltaBuf[n] = delta
+		n++
+	}
+	if n == 0 {
+		td.lastPushT = t
+		return
+	}
+	blocks.U16(dev).F64(t).UVarint(uint64(n))
+	for i := 0; i < n; i++ {
+		blocks.UVarint(uint64(idsBuf[i])).UVarint(deltaBuf[i])
+	}
+	td.lastPushT = t
+	*nBlocks++
+}
+
+// pushTraceLocked pushes fleet-scope trace events newer than the
+// subscription's high-water mark, chunked to frames. The mark advances
+// whether or not a frame fit the queue — missed events are what the
+// drop counters account for.
+func (f *Fleet) pushTraceLocked(s *subscription, evs []obs.Event) {
+	start := 0
+	for start < len(evs) && evs[start].Seq <= s.lastTraceSeq {
+		start++
+	}
+	evs = evs[start:]
+	if len(evs) == 0 {
+		return
+	}
+	s.lastTraceSeq = evs[len(evs)-1].Seq
+	for len(evs) > 0 {
+		budget := bus.MaxPayload - 64
+		n := 0
+		for n < len(evs) && budget-pmic.EncodedEventLen(evs[n]) >= 0 {
+			budget -= pmic.EncodedEventLen(evs[n])
+			n++
+		}
+		if n == 0 {
+			n = 1 // oversize single event: let the frame cap reject it
+		}
+		var w bus.Writer
+		w.U8(pmic.PushTrace).UVarint(s.id).UVarint(s.dropped.Load())
+		w.U16(uint16(n))
+		for _, ev := range evs[:n] {
+			pmic.EncodeEvent(&w, ev)
+		}
+		if !f.subs.enqueueLocked(s, bus.Frame{Cmd: pmic.CmdPush, Payload: w.Bytes()}) {
+			return
+		}
+		evs = evs[n:]
+	}
+}
+
+// pushAlertsLocked pushes this barrier's alert transitions that fall
+// inside the subscription's device scope, chunked to frames.
+func (f *Fleet) pushAlertsLocked(s *subscription, trans []AlertTransition) {
+	sel := trans
+	if !s.fleetWide {
+		sel = nil
+		for _, tr := range trans {
+			if s.devs[tr.Device] {
+				sel = append(sel, tr)
+			}
+		}
+	}
+	for len(sel) > 0 {
+		budget := bus.MaxPayload - 64
+		n := 0
+		for n < len(sel) && budget-(30+len(sel[n].Rule)) >= 0 {
+			budget -= 30 + len(sel[n].Rule)
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		var w bus.Writer
+		w.U8(pmic.PushAlert).UVarint(s.id).UVarint(s.dropped.Load())
+		w.UVarint(uint64(n))
+		for _, tr := range sel[:n] {
+			w.U16(tr.Device).F64(tr.TimeS).Str(tr.Rule)
+			w.U8(byte(tr.From)).U8(byte(tr.To))
+			w.F64(tr.Value).F64(tr.Threshold)
+		}
+		if !f.subs.enqueueLocked(s, bus.Frame{Cmd: pmic.CmdPush, Payload: w.Bytes()}) {
+			return
+		}
+		sel = sel[n:]
+	}
+}
+
+// SubStats snapshots the live subscriptions (lowest id first) — the
+// server-side ground truth for drop accounting, also served over the
+// wire as the FleetSubs info mode.
+func (f *Fleet) SubStats() []pmic.SubStat {
+	h := &f.subs
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]pmic.SubStat, 0, len(h.subs))
+	for _, s := range h.subs {
+		out = append(out, pmic.SubStat{
+			ID:        s.id,
+			Signals:   s.signals,
+			FleetWide: s.fleetWide,
+			Devices:   len(s.devs),
+			Pushed:    s.pushed.Load(),
+			Dropped:   s.dropped.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// globKeep evaluates a glob list against a fixed signal namespace:
+// empty list keeps everything, otherwise a name is kept when any glob
+// matches.
+func globKeep(globs, names []string) []bool {
+	keep := make([]bool, len(names))
+	for i, name := range names {
+		if len(globs) == 0 {
+			keep[i] = true
+			continue
+		}
+		for _, g := range globs {
+			if matchGlob(g, name) {
+				keep[i] = true
+				break
+			}
+		}
+	}
+	return keep
+}
+
+// matchGlob reports whether s matches pat, where '*' matches any run
+// of characters (the only metacharacter).
+func matchGlob(pat, s string) bool {
+	// Iterative backtracking: remember the last '*' and retry from it.
+	pi, si := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pat) && pat[pi] == '*':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '*' {
+		pi++
+	}
+	return pi == len(pat)
+}

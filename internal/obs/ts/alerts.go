@@ -92,6 +92,11 @@ func (o CmpOp) String() string {
 	return "?"
 }
 
+// Holds reports whether value v satisfies the comparison against
+// threshold. Exported so the fleet alert engine evaluates rules with
+// exactly the recorder's semantics.
+func (o CmpOp) Holds(v, threshold float64) bool { return o.holds(v, threshold) }
+
 func (o CmpOp) holds(v, threshold float64) bool {
 	switch o {
 	case OpGT:
@@ -185,9 +190,15 @@ func parseRule(line string) (Rule, error) {
 			ru.Abs = true
 			sig = sig[4 : len(sig)-1]
 		case strings.HasPrefix(sig, "rate(") && strings.HasSuffix(sig, ")"):
+			if ru.Sig != SigValue {
+				return Rule{}, fmt.Errorf("nested rate/delta in %q", f[2])
+			}
 			ru.Sig = SigRate
 			sig = sig[5 : len(sig)-1]
 		case strings.HasPrefix(sig, "delta(") && strings.HasSuffix(sig, ")"):
+			if ru.Sig != SigValue {
+				return Rule{}, fmt.Errorf("nested rate/delta in %q", f[2])
+			}
 			ru.Sig = SigDelta
 			sig = sig[6 : len(sig)-1]
 		default:

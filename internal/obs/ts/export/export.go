@@ -80,6 +80,78 @@ func (f filterWalker) Walk(series func(ts.Window) error, value func(t, v float64
 	)
 }
 
+// RangeWalker is implemented by sources that can serve a time window
+// natively, reading only the storage that overlaps it (the paged
+// store's WalkRange). Clip delegates to it when available.
+type RangeWalker interface {
+	WalkRange(t0, t1 float64, series func(ts.Window) error, value func(t, v float64) error) error
+}
+
+// Clip narrows a Walker to the closed time window [t0, t1]. Sources
+// implementing RangeWalker serve the window natively (touching only
+// overlapping pages); for everything else the values are filtered in
+// flight, with the series metadata (FirstT, Total) recomputed from the
+// uniform grid so headers written before the values stay correct.
+// Series with nothing in the window are dropped.
+func Clip(src Walker, t0, t1 float64) Walker { return clipWalker{src, t0, t1} }
+
+type clipWalker struct {
+	src    Walker
+	t0, t1 float64
+}
+
+func (c clipWalker) Walk(series func(ts.Window) error, value func(t, v float64) error) error {
+	if c.t0 > c.t1 {
+		return fmt.Errorf("export: clip window [%g, %g] inverted", c.t0, c.t1)
+	}
+	if rw, ok := c.src.(RangeWalker); ok {
+		return rw.WalkRange(c.t0, c.t1, series, value)
+	}
+	keep := false
+	var lo, hi float64
+	return c.src.Walk(
+		func(w ts.Window) error {
+			eps := 1e-6 * w.StepS
+			lo, hi = c.t0-eps, c.t1+eps
+			keep = false
+			if w.Total == 0 {
+				return nil
+			}
+			iLo, iHi := int64(0), int64(w.Total)-1
+			if w.StepS > 0 {
+				if lo > w.FirstT {
+					iLo = int64(math.Ceil((lo - w.FirstT) / w.StepS))
+				}
+				if hi < w.FirstT+float64(iHi)*w.StepS {
+					iHi = int64(math.Floor((hi - w.FirstT) / w.StepS))
+				}
+			} else if w.FirstT < lo || w.FirstT > hi {
+				return nil
+			}
+			if iLo < 0 {
+				iLo = 0
+			}
+			if max := int64(w.Total) - 1; iHi > max {
+				iHi = max
+			}
+			if iLo > iHi {
+				return nil
+			}
+			keep = true
+			w.FirstT += float64(iLo) * w.StepS
+			w.Total = uint64(iHi - iLo + 1)
+			w.Values = nil
+			return series(w)
+		},
+		func(t, v float64) error {
+			if !keep || t < lo || t > hi {
+				return nil
+			}
+			return value(t, v)
+		},
+	)
+}
+
 // CSVHeader is the first line of the long CSV format.
 const CSVHeader = "series,kind,time_s,value"
 

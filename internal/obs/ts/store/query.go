@@ -177,6 +177,107 @@ func (ss *seriesState) pendingEach(lo, hi float64, fn func(t, v float64) error) 
 	return nil
 }
 
+// gridOverlap returns the sample index range [iLo, iHi] of the uniform
+// grid t = firstT + i*stepS, i in [0, count), that falls inside the
+// closed window [lo, hi]; ok is false when nothing overlaps.
+func gridOverlap(firstT, stepS float64, count int64, lo, hi float64) (iLo, iHi int64, ok bool) {
+	if count == 0 {
+		return 0, 0, false
+	}
+	iLo, iHi = 0, count-1
+	if stepS > 0 {
+		if lo > firstT {
+			iLo = int64(math.Ceil((lo - firstT) / stepS))
+		}
+		if hi < firstT+float64(iHi)*stepS {
+			iHi = int64(math.Floor((hi - firstT) / stepS))
+		}
+	} else if firstT < lo || firstT > hi {
+		return 0, 0, false
+	}
+	if iLo < 0 {
+		iLo = 0
+	}
+	if iHi > count-1 {
+		iHi = count - 1
+	}
+	return iLo, iHi, iLo <= iHi
+}
+
+// WalkRange is Walk narrowed to the closed window [t0, t1]: for each
+// series overlapping the window (in name order) it calls series once
+// with in-range metadata, then value per in-range raw sample in time
+// order. Unlike a full Walk it decodes only the data pages whose index
+// entries overlap the window — the point of the paged layout — so
+// exporting one hour out of a month of telemetry reads one hour of
+// pages (check Stats().PagesRead). Series with nothing in the window
+// are skipped entirely; compacted ranges are skipped as in Walk.
+func (s *Store) WalkRange(t0, t1 float64, series func(ts.Window) error, value func(t, v float64) error) error {
+	if t0 > t1 {
+		return fmt.Errorf("store: walk window [%g, %g] inverted", t0, t1)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := s.series[name]
+		eps := gridEps(ss.stepS)
+		lo, hi := t0-eps, t1+eps
+
+		// First pass over the index only — no page reads: exact in-range
+		// count and first time, so the series meta is right up front.
+		var total uint64
+		firstT := math.Inf(1)
+		for _, e := range ss.entries {
+			if e.level != 0 || e.lastT < lo || e.firstT > hi {
+				continue
+			}
+			if iLo, iHi, ok := gridOverlap(e.firstT, ss.stepS, int64(e.count), lo, hi); ok {
+				total += uint64(iHi - iLo + 1)
+				if t := e.firstT + float64(iLo)*ss.stepS; t < firstT {
+					firstT = t
+				}
+			}
+		}
+		if ss.pCount > 0 {
+			if iLo, iHi, ok := gridOverlap(ss.pFirstT, ss.stepS, int64(ss.pCount), lo, hi); ok {
+				total += uint64(iHi - iLo + 1)
+				if t := ss.pFirstT + float64(iLo)*ss.stepS; t < firstT {
+					firstT = t
+				}
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		if err := series(ts.Window{Name: ss.name, Kind: ss.kind, StepS: ss.stepS, FirstT: firstT, Total: total}); err != nil {
+			return err
+		}
+		keep := func(t, v float64) error {
+			if t < lo || t > hi {
+				return nil
+			}
+			return value(t, v)
+		}
+		for _, e := range ss.entries {
+			if e.level != 0 || e.lastT < lo || e.firstT > hi {
+				continue
+			}
+			if err := s.decodeDataPage(ss, e, keep); err != nil {
+				return err
+			}
+		}
+		if err := ss.pendingEach(lo, hi, keep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Bucket is one downsampled aggregate: Count samples in
 // [T0, T0+width) with their Min, Max, and Sum.
 type Bucket struct {

@@ -70,6 +70,13 @@ type Client struct {
 	// Zero means the default of 64.
 	MaxStale int
 
+	// Push-subscription decode state (see subscribe.go): per-sub name
+	// dictionaries and per-device delta bases, plus pushes that arrived
+	// interleaved with request/response traffic, buffered for the next
+	// ReadPush.
+	subs    map[uint64]*subDecodeState
+	pushBuf []*Push
+
 	// Link-health observables (nil counters are no-ops).
 	om clientMetrics
 }
@@ -275,13 +282,24 @@ func (c *Client) attempt(dev uint16, cmd byte, payload []byte) (*bus.Reader, err
 	if maxStale <= 0 {
 		maxStale = 64
 	}
-	for drained := 0; drained <= maxStale; drained++ {
+	for drained := 0; drained <= maxStale; {
 		resp, err := c.sc.ReadFrame()
 		if err != nil {
 			return nil, fmt.Errorf("pmic: client read: %w", err)
 		}
 		if resp.Seq != seq || resp.Cmd != cmd|RespFlag || resp.Device != dev {
+			if resp.Cmd == CmdPush && len(c.subs) > 0 {
+				// A server push interleaved with the call: buffer it for
+				// the next ReadPush instead of discarding telemetry. A
+				// client that never subscribed treats pushes as stale —
+				// that IS the legacy downgrade path. Buffered pushes do
+				// not count against the stale budget: they are expected
+				// traffic, not a flood symptom.
+				c.bufferPush(resp)
+				continue
+			}
 			c.om.staleFrames.Inc()
+			drained++
 			continue // stale response from a timed-out earlier call
 		}
 		r := bus.NewReader(resp.Payload)
@@ -469,20 +487,7 @@ func (d DeviceClient) TraceEvents() ([]obs.Event, error) {
 	n := int(r.U16())
 	out := make([]obs.Event, 0, n)
 	for i := 0; i < n; i++ {
-		var ev obs.Event
-		ev.Seq = r.U64()
-		ev.TimeS = r.F64()
-		ev.Scope = r.Str()
-		ev.Kind = r.Str()
-		cell := r.U16()
-		ev.Cell = int(cell)
-		if cell == 0xFFFF {
-			ev.Cell = -1
-		}
-		ev.V1 = r.F64()
-		ev.V2 = r.F64()
-		ev.Detail = r.Str()
-		out = append(out, ev)
+		out = append(out, DecodeEvent(r))
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("pmic: malformed trace response: %w", err)

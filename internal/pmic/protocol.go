@@ -41,8 +41,69 @@ const (
 	// the aggregate counters. A single-device controller answers
 	// StatusBadCmd — it has no fleet.
 	CmdFleetInfo = 0x0C
-	RespFlag     = 0x80
+	// CmdSubscribe opens a push subscription on a fleet endpoint: the
+	// request names a signal set (metrics, trace events, alert
+	// transitions), a device scope (an id list or the whole fleet), a
+	// sim-time cadence, and optional metric-name globs; the response
+	// carries the subscription id. From then on the server pushes
+	// CmdPush frames on the same connection from its tick barrier.
+	// CmdUnsubscribe tears the subscription down by id. A single-device
+	// controller answers StatusBadCmd — push needs a fleet barrier.
+	CmdSubscribe   = 0x0D
+	CmdUnsubscribe = 0x0E
+	// CmdPush is the server-push frame family. Push frames are
+	// unsolicited: they carry sequence number 0, which no client
+	// request ever uses (the client sequence wraps 255 -> 1 skipping
+	// 0), so a legacy request/response client can never match one to a
+	// pending call — it counts the frame stale and keeps working. The
+	// first payload byte selects the push kind (PushMetrics, PushTrace,
+	// PushAlert).
+	CmdPush  = 0x0F
+	RespFlag = 0x80
 )
+
+// CmdPush payload kinds (first payload byte).
+const (
+	// PushMetrics carries delta-encoded metric samples: per device,
+	// each changed value as (name id, XOR of the float64 bit patterns
+	// against the previous push). Device id 0xFFFF is the fleet itself
+	// (the rollup pseudo-device). A frame flagged PushFlagReset re-bases
+	// every delta on zero and re-announces the name dictionary — the
+	// server sends it after it had to drop frames for the subscriber,
+	// so a lossy stream always re-converges.
+	PushMetrics = 0x01
+	// PushTrace carries fleet-scope trace events newer than the last
+	// push, encoded like a CmdTrace response body.
+	PushTrace = 0x02
+	// PushAlert carries fleet alert transitions (rule, device, state
+	// edge, value, threshold) from the tick barrier they happened at.
+	PushAlert = 0x03
+)
+
+// PushFlagReset marks a PushMetrics frame whose deltas are based on
+// zero rather than the previous push; the subscriber must zero its
+// per-device bit state for the subscription before applying.
+const PushFlagReset = 0x01
+
+// CmdSubscribe device scopes.
+const (
+	// SubScopeDevices subscribes to an explicit device-id list.
+	SubScopeDevices = 0x00
+	// SubScopeFleet subscribes to every device, present and future.
+	SubScopeFleet = 0x01
+)
+
+// CmdSubscribe signal-set bits.
+const (
+	SubSigMetrics = 1 << 0
+	SubSigTrace   = 1 << 1
+	SubSigAlerts  = 1 << 2
+)
+
+// PushFleetDevice is the pseudo device id PushMetrics uses for the
+// fleet-level rollup block (devices, running, steps, quarantined,
+// firing alerts). Real devices should not register under it.
+const PushFleetDevice = 0xFFFF
 
 // CmdSeries request modes.
 const (
@@ -58,6 +119,10 @@ const (
 	// configured path; the response reports the path and encoded size.
 	// A fleet with no checkpoint path answers StatusBadArgs.
 	FleetSnapshot = 0x02
+	// FleetSubs lists the endpoint's live push subscriptions with their
+	// pushed/dropped frame counters, the ground truth for slow-consumer
+	// drop accounting.
+	FleetSubs = 0x03
 )
 
 // Protocol status codes (first payload byte of every response).
@@ -307,10 +372,39 @@ func metricsPage(fams []obs.Family, start, budget int) (string, int) {
 	return sb.String(), i
 }
 
-// encodedEventLen is the wire size of one trace event: fixed fields
-// (seq, time, cell, v1, v2) plus three length-prefixed strings.
-func encodedEventLen(ev obs.Event) int {
+// EncodedEventLen is the wire size of one trace event: fixed fields
+// (seq, time, cell, v1, v2) plus three length-prefixed strings. Shared
+// by the CmdTrace response and the fleet's PushTrace frames.
+func EncodedEventLen(ev obs.Event) int {
 	return 8 + 8 + 2 + 8 + 8 + (2 + len(ev.Scope)) + (2 + len(ev.Kind)) + (2 + len(ev.Detail))
+}
+
+// EncodeEvent marshals one trace event in the CmdTrace wire layout.
+func EncodeEvent(w *bus.Writer, ev obs.Event) {
+	cell := uint16(0xFFFF)
+	if ev.Cell >= 0 {
+		cell = uint16(ev.Cell)
+	}
+	w.U64(ev.Seq).F64(ev.TimeS).Str(ev.Scope).Str(ev.Kind)
+	w.U16(cell).F64(ev.V1).F64(ev.V2).Str(ev.Detail)
+}
+
+// DecodeEvent unmarshals one trace event; check r.Err() after.
+func DecodeEvent(r *bus.Reader) obs.Event {
+	var ev obs.Event
+	ev.Seq = r.U64()
+	ev.TimeS = r.F64()
+	ev.Scope = r.Str()
+	ev.Kind = r.Str()
+	cell := r.U16()
+	ev.Cell = int(cell)
+	if cell == 0xFFFF {
+		ev.Cell = -1
+	}
+	ev.V1 = r.F64()
+	ev.V2 = r.F64()
+	ev.Detail = r.Str()
+	return ev
 }
 
 // encodeTrace writes status, a count, and as many of the newest events
@@ -319,19 +413,14 @@ func encodedEventLen(ev obs.Event) int {
 func encodeTrace(w *bus.Writer, events []obs.Event, budget int) {
 	budget -= 2 // count field
 	start := len(events)
-	for start > 0 && budget-encodedEventLen(events[start-1]) >= 0 {
-		budget -= encodedEventLen(events[start-1])
+	for start > 0 && budget-EncodedEventLen(events[start-1]) >= 0 {
+		budget -= EncodedEventLen(events[start-1])
 		start--
 	}
 	events = events[start:]
 	w.U8(StatusOK).U16(uint16(len(events)))
 	for _, ev := range events {
-		cell := uint16(0xFFFF)
-		if ev.Cell >= 0 {
-			cell = uint16(ev.Cell)
-		}
-		w.U64(ev.Seq).F64(ev.TimeS).Str(ev.Scope).Str(ev.Kind)
-		w.U16(cell).F64(ev.V1).F64(ev.V2).Str(ev.Detail)
+		EncodeEvent(w, ev)
 	}
 }
 
